@@ -1,0 +1,322 @@
+// Command robustqo drives the reproduction: it regenerates any figure of
+// the paper, lists the available experiments, and runs ad-hoc queries
+// against a generated TPC-H-like database under either estimator.
+//
+// Usage:
+//
+//	robustqo list
+//	robustqo experiment all | fig5 fig9 ... [flags]
+//	robustqo query [flags] '<predicate over lineitem>'
+//
+// Run `robustqo <subcommand> -h` for per-subcommand flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"robustqo/internal/core"
+	"robustqo/internal/engine"
+	"robustqo/internal/experiments"
+	"robustqo/internal/expr"
+	"robustqo/internal/histogram"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/sqlparse"
+	"robustqo/internal/stats"
+	"robustqo/internal/tpch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "robustqo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return runList(out)
+	case "experiment":
+		return runExperiment(args[1:], out)
+	case "query":
+		return runQuery(args[1:], out)
+	case "sql":
+		return runSQL(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprint(out, `robustqo — robust query optimizer reproduction (SIGMOD 2005)
+
+Subcommands:
+  list                      list experiment ids (figures of the paper)
+  experiment <ids...|all>   regenerate figures; -h for scaling flags
+  query '<predicate>'       optimize+run a lineitem aggregate; -h for flags
+  sql 'SELECT ...'          optimize+run a full SELECT over the TPC-H-like
+                            schema (lineitem, orders, part); -h for flags
+`)
+}
+
+func runList(out io.Writer) error {
+	for _, id := range experiments.IDs() {
+		fmt.Fprintln(out, id)
+	}
+	return nil
+}
+
+func runExperiment(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fs.SetOutput(out)
+	def := experiments.DefaultSystemConfig()
+	lines := fs.Int("lines", def.Lines, "lineitem rows for Experiments 1-2")
+	parts := fs.Int("parts", def.Parts, "part rows for Experiment 2")
+	fact := fs.Int("fact", def.FactRows, "fact rows for Experiment 3")
+	dims := fs.Int("dimrows", def.DimRows, "dimension rows for Experiment 3")
+	sampleSize := fs.Int("samplesize", def.SampleSize, "synopsis tuples")
+	samples := fs.Int("samples", def.Samples, "independent sample sets to average over")
+	seed := fs.Uint64("seed", def.Seed, "base random seed")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("experiment: name at least one figure id or 'all'")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	cfg := def
+	cfg.Lines = *lines
+	cfg.Parts = *parts
+	cfg.FactRows = *fact
+	cfg.DimRows = *dims
+	cfg.SampleSize = *sampleSize
+	cfg.Samples = *samples
+	cfg.Seed = *seed
+	for _, id := range ids {
+		figs, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %v", id, err)
+		}
+		for _, f := range figs {
+			switch *format {
+			case "text":
+				if err := f.Render(out); err != nil {
+					return err
+				}
+			case "csv":
+				if err := f.CSV(out); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown format %q", *format)
+			}
+		}
+	}
+	return nil
+}
+
+func runQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	fs.SetOutput(out)
+	lines := fs.Int("lines", 60000, "lineitem rows to generate")
+	threshold := fs.Float64("threshold", 0.8, "confidence threshold in (0,1)")
+	estimator := fs.String("estimator", "robust", "cardinality estimator: robust or histogram")
+	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
+	seed := fs.Uint64("seed", 2005, "random seed")
+	explainOnly := fs.Bool("explain", false, "print the plan without executing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: provide exactly one predicate string (got %d args)", fs.NArg())
+	}
+	pred, err := expr.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
+	db, err := tpch.Generate(tpch.Config{Lines: *lines, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+	var est core.Estimator
+	switch *estimator {
+	case "robust":
+		syn, err := sample.BuildAll(db, *sampleSize, stats.NewRNG(*seed^0xbeef))
+		if err != nil {
+			return err
+		}
+		est, err = core.NewBayesEstimator(syn, core.ConfidenceThreshold(*threshold))
+		if err != nil {
+			return err
+		}
+	case "histogram":
+		hists, err := histogram.BuildAll(db)
+		if err != nil {
+			return err
+		}
+		est, err = core.NewHistogramEstimator(hists, db.Catalog)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown estimator %q", *estimator)
+	}
+	opt, err := optimizer.New(ctx, est)
+	if err != nil {
+		return err
+	}
+	q := &optimizer.Query{
+		Tables: []string{"lineitem"},
+		Pred:   pred,
+		Aggs: []engine.AggSpec{
+			{Func: engine.Count, As: "n"},
+			{Func: engine.Sum, Arg: expr.TC("lineitem", "l_extendedprice"), As: "revenue"},
+		},
+	}
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "estimator: %s\nestimated cost: %.4f s, estimated rows: %.1f\nplan:\n%s",
+		plan.Estimator, plan.EstCost, plan.EstRows, plan.Explain())
+	if *explainOnly {
+		return nil
+	}
+	res, counters, secs, err := engine.Run(ctx, plan.Root)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "simulated execution: %.4f s  (%s)\n", secs, counters)
+	header := make([]string, len(res.Schema.Fields))
+	for i, f := range res.Schema.Fields {
+		header[i] = f.Column
+	}
+	fmt.Fprintln(out, strings.Join(header, "\t"))
+	for _, r := range res.Rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+	}
+	return nil
+}
+
+func runSQL(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sql", flag.ContinueOnError)
+	fs.SetOutput(out)
+	lines := fs.Int("lines", 60000, "lineitem rows to generate")
+	threshold := fs.Float64("threshold", 0.8, "confidence threshold in (0,1)")
+	estimator := fs.String("estimator", "robust", "cardinality estimator: robust or histogram")
+	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
+	seed := fs.Uint64("seed", 2005, "random seed")
+	explainOnly := fs.Bool("explain", false, "print the plan without executing")
+	maxRows := fs.Int("maxrows", 20, "print at most this many result rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sql: provide exactly one SELECT statement (got %d args)", fs.NArg())
+	}
+	q, err := sqlparse.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
+	db, err := tpch.Generate(tpch.Config{Lines: *lines, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+	var est core.Estimator
+	switch *estimator {
+	case "robust":
+		syn, err := sample.BuildAll(db, *sampleSize, stats.NewRNG(*seed^0xbeef))
+		if err != nil {
+			return err
+		}
+		est, err = core.NewBayesEstimator(syn, core.ConfidenceThreshold(*threshold))
+		if err != nil {
+			return err
+		}
+	case "histogram":
+		hists, err := histogram.BuildAll(db)
+		if err != nil {
+			return err
+		}
+		est, err = core.NewHistogramEstimator(hists, db.Catalog)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown estimator %q", *estimator)
+	}
+	opt, err := optimizer.New(ctx, est)
+	if err != nil {
+		return err
+	}
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "estimator: %s\nestimated cost: %.4f s, estimated rows: %.1f\nplan:\n%s",
+		plan.Estimator, plan.EstCost, plan.EstRows, plan.Explain())
+	if *explainOnly {
+		return nil
+	}
+	res, counters, secs, err := engine.Run(ctx, plan.Root)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "simulated execution: %.4f s  (%s)\n", secs, counters)
+	header := make([]string, len(res.Schema.Fields))
+	for i, f := range res.Schema.Fields {
+		if f.Table != "" {
+			header[i] = f.Table + "." + f.Column
+		} else {
+			header[i] = f.Column
+		}
+	}
+	fmt.Fprintln(out, strings.Join(header, "\t"))
+	shown := 0
+	for _, r := range res.Rows {
+		if shown >= *maxRows {
+			fmt.Fprintf(out, "... (%d more rows)\n", len(res.Rows)-shown)
+			break
+		}
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+		shown++
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+	return nil
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args accepted")
+	}
+	if !strings.Contains(buf.String(), "Subcommands") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"help"}, &buf); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1", "fig9", "fig12", "ovh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentAnalytic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment", "fig5", "fig6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig5") || !strings.Contains(out, "fig6") {
+		t.Errorf("missing figures:\n%s", out)
+	}
+	if !strings.Contains(out, "T=95%") {
+		t.Errorf("missing threshold series:\n%s", out)
+	}
+}
+
+func TestRunExperimentCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment", "-format", "csv", "fig1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig1,Plan 1,") {
+		t.Errorf("csv output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunExperimentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"experiment"}, &buf); err == nil {
+		t.Error("no ids accepted")
+	}
+	if err := run([]string{"experiment", "nope"}, &buf); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := run([]string{"experiment", "-format", "xml", "fig1"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunExperimentRealSystemSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"experiment", "-lines", "10000", "-samples", "2", "fig9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig9a") || !strings.Contains(out, "fig9b") {
+		t.Errorf("missing panels:\n%s", out)
+	}
+	if !strings.Contains(out, "Histograms") {
+		t.Error("missing histogram baseline")
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"query", "-lines", "5000",
+		"l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plan:", "simulated execution", "revenue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQueryExplainAndHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"query", "-lines", "5000", "-estimator", "histogram", "-explain",
+		"l_quantity < 10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "simulated execution") {
+		t.Error("-explain executed the query")
+	}
+	if !strings.Contains(buf.String(), "histograms") {
+		t.Errorf("histogram estimator not used:\n%s", buf.String())
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"query"}, &buf); err == nil {
+		t.Error("missing predicate accepted")
+	}
+	if err := run([]string{"query", "((bad"}, &buf); err == nil {
+		t.Error("bad predicate accepted")
+	}
+	if err := run([]string{"query", "-estimator", "psychic", "l_quantity < 10"}, &buf); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+	if err := run([]string{"query", "-threshold", "2", "l_quantity < 10"}, &buf); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}
+
+func TestRunSQL(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"sql", "-lines", "5000",
+		"SELECT l_partkey, SUM(l_extendedprice) AS rev FROM lineitem " +
+			"WHERE l_quantity < 10 GROUP BY l_partkey ORDER BY l_partkey LIMIT 5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plan:", "Aggregate", "Limit(5)", "rev", "(5 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sql output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSQLJoin(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"sql", "-lines", "5000", "-maxrows", "3",
+		"SELECT COUNT(*) FROM lineitem, orders, part WHERE p_attr1 < 20"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Join") {
+		t.Errorf("join output:\n%s", buf.String())
+	}
+}
+
+func TestRunSQLErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"sql"}, &buf); err == nil {
+		t.Error("missing statement accepted")
+	}
+	if err := run([]string{"sql", "DELETE FROM lineitem"}, &buf); err == nil {
+		t.Error("non-SELECT accepted")
+	}
+	if err := run([]string{"sql", "-estimator", "tea-leaves", "SELECT * FROM lineitem"}, &buf); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+	if err := run([]string{"sql", "-lines", "5000", "SELECT * FROM ghost"}, &buf); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

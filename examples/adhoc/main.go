@@ -1,0 +1,136 @@
+// Adhoc: the exploratory-analysis scenario of Section 2.1. An analyst
+// fires one-off queries and wants answers as fast as possible on average,
+// accepting that a few queries run long. The example contrasts the
+// aggressive and conservative thresholds over a batch of ad-hoc queries
+// with wildly different selectivities, and demonstrates the per-query
+// hint: one latency-critical query inside the batch overrides the
+// session's aggressive default.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"robustqo"
+)
+
+func main() {
+	db := buildEventLog()
+	if err := db.UpdateStatistics(robustqo.StatsOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A grab-bag of exploratory questions over an event log: narrow
+	// needle-in-haystack lookups next to broad slices.
+	questions := []struct {
+		title string
+		pred  string
+	}{
+		{"rare error burst", "severity = 9 AND service_id BETWEEN 49 AND 50"},
+		{"one service's warnings", "service_id = 42 AND severity >= 5"},
+		{"whole quarter of traffic", "day BETWEEN 25 AND 50"},
+		{"broad severity slice", "severity >= 3 AND day BETWEEN 0 AND 80"},
+		{"needle by day+service", "day = 17 AND service_id = 0"},
+	}
+
+	for _, t := range []robustqo.ConfidenceThreshold{robustqo.Aggressive, robustqo.Conservative} {
+		sess, err := db.Session(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== session threshold %v ===\n", t)
+		var total float64
+		for _, question := range questions {
+			res, err := sess.Query(&robustqo.Query{
+				Tables: []string{"events"},
+				Pred:   robustqo.MustParsePredicate(question.pred),
+				Aggs:   []robustqo.AggSpec{{Func: robustqo.Count, As: "n"}},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.SimulatedSeconds
+			fmt.Printf("  %-26s %8v rows  %.4fs  %s\n",
+				question.title, res.Rows[0][0], res.SimulatedSeconds, firstLine(res.Plan))
+		}
+		fmt.Printf("  batch total: %.4fs\n\n", total)
+	}
+
+	// Per-query hint: inside an aggressive session, one query that backs
+	// a user-facing page is pinned to the conservative threshold.
+	sess, err := db.Session(robustqo.Aggressive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := &robustqo.Query{
+		Tables: []string{"events"},
+		Pred:   robustqo.MustParsePredicate("day = 3 AND service_id = 3"),
+		Aggs:   []robustqo.AggSpec{{Func: robustqo.Count, As: "n"}},
+	}
+	fast, err := sess.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pinned, err := sess.QueryWithThreshold(q, robustqo.Conservative)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-query hint on an aggressive session:")
+	fmt.Printf("  session default: %s", firstLine(fast.Plan))
+	fmt.Printf("\n  hinted T=95%%:    %s\n", firstLine(pinned.Plan))
+}
+
+// firstLine summarizes a plan by its access path: the first line naming a
+// scan, index, or join operator.
+func firstLine(plan string) string {
+	for _, line := range strings.Split(plan, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.Contains(trimmed, "Scan") || strings.Contains(trimmed, "Index") ||
+			strings.Contains(trimmed, "Join") {
+			return trimmed
+		}
+	}
+	return strings.TrimSpace(plan)
+}
+
+func buildEventLog() *robustqo.Database {
+	db := robustqo.NewDatabase()
+	err := db.CreateTable(&robustqo.TableSchema{
+		Name: "events",
+		Columns: []robustqo.Column{
+			{Name: "id", Type: robustqo.Int},
+			{Name: "day", Type: robustqo.Int},
+			{Name: "service_id", Type: robustqo.Int},
+			{Name: "severity", Type: robustqo.Int},
+		},
+		PrimaryKey: "id",
+		Indexes: []robustqo.Index{
+			{Name: "ix_day", Column: "day", Kind: robustqo.NonClustered},
+			{Name: "ix_service", Column: "service_id", Kind: robustqo.NonClustered},
+			{Name: "ix_severity", Column: "severity", Kind: robustqo.NonClustered},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(0); i < 100000; i++ {
+		day := (i * 7) % 100
+		service := (i * 131) % 64
+		severity := i % 10
+		// One flaky service logs everything at the highest severity.
+		if service == 7 {
+			severity = 9
+		}
+		err := db.Insert("events", robustqo.Row{
+			robustqo.NewInt(i),
+			robustqo.NewInt(day),
+			robustqo.NewInt(service),
+			robustqo.NewInt(severity),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}

@@ -1,0 +1,3 @@
+module robustqo
+
+go 1.22

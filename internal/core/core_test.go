@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfidenceThresholdValidate(t *testing.T) {
+	for _, ok := range []ConfidenceThreshold{0.05, 0.5, 0.8, 0.95, Aggressive, Moderate, Conservative} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", ok, err)
+		}
+	}
+	for _, bad := range []ConfidenceThreshold{0, 1, -0.5, 1.5, ConfidenceThreshold(math.NaN())} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%v) succeeded", float64(bad))
+		}
+	}
+	if s := Moderate.String(); !strings.Contains(s, "80") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPriorValidateAndDist(t *testing.T) {
+	if err := Jeffreys.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Uniform.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Prior{A: 0, B: 1}).Validate(); err == nil {
+		t.Error("zero shape accepted")
+	}
+	d, err := Jeffreys.Dist()
+	if err != nil || d.Alpha != 0.5 || d.Beta != 0.5 {
+		t.Errorf("Dist = %v, %v", d, err)
+	}
+}
+
+func TestPosteriorShapes(t *testing.T) {
+	post, err := Jeffreys.Posterior(10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Alpha != 10.5 || post.Beta != 90.5 {
+		t.Errorf("posterior = Beta(%g, %g)", post.Alpha, post.Beta)
+	}
+	post, err = Uniform.Posterior(50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Alpha != 51 || post.Beta != 451 {
+		t.Errorf("uniform posterior = Beta(%g, %g)", post.Alpha, post.Beta)
+	}
+	for _, bad := range [][2]int{{-1, 10}, {11, 10}, {0, -1}} {
+		if _, err := Jeffreys.Posterior(bad[0], bad[1]); err == nil {
+			t.Errorf("Posterior(%d, %d) succeeded", bad[0], bad[1])
+		}
+	}
+	if _, err := (Prior{}).Posterior(1, 2); err == nil {
+		t.Error("invalid prior accepted")
+	}
+}
+
+func TestRobustSelectivityPaperExample(t *testing.T) {
+	// Section 3.4: k=10, n=100, Jeffreys prior -> 7.8%, 10.1%, 12.8% at
+	// thresholds 20%, 50%, 80%.
+	cases := []struct {
+		t    ConfidenceThreshold
+		want float64
+	}{
+		{0.20, 0.078},
+		{0.50, 0.101},
+		{0.80, 0.128},
+	}
+	for _, c := range cases {
+		got, err := RobustSelectivity(10, 100, Jeffreys, c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.0015 {
+			t.Errorf("RobustSelectivity at %v = %.4f, want ~%.3f", c.t, got, c.want)
+		}
+	}
+}
+
+func TestRobustSelectivityValidation(t *testing.T) {
+	if _, err := RobustSelectivity(10, 100, Jeffreys, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := RobustSelectivity(-1, 100, Jeffreys, 0.5); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestRobustSelectivityMonotoneInThreshold(t *testing.T) {
+	f := func(kRaw, nRaw uint16, t1Raw, t2Raw uint16) bool {
+		n := 1 + int(nRaw%2000)
+		k := int(kRaw) % (n + 1)
+		t1 := ConfidenceThreshold(0.001 + 0.998*float64(t1Raw)/65535)
+		t2 := ConfidenceThreshold(0.001 + 0.998*float64(t2Raw)/65535)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		s1, err1 := RobustSelectivity(k, n, Jeffreys, t1)
+		s2, err2 := RobustSelectivity(k, n, Jeffreys, t2)
+		return err1 == nil && err2 == nil && s1 <= s2+1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreEvidenceTightensPosterior(t *testing.T) {
+	// Property: with the same observed fraction, a larger sample yields a
+	// narrower posterior (Figure 4's "sample size matters").
+	small, _ := Jeffreys.Posterior(10, 100)
+	large, _ := Jeffreys.Posterior(50, 500)
+	if large.StdDev() >= small.StdDev() {
+		t.Errorf("stddev small=%g large=%g", small.StdDev(), large.StdDev())
+	}
+	// And the priors barely matter (Figure 4's other message): medians
+	// under Jeffreys and uniform differ by far less than a stddev.
+	ju, _ := Uniform.Posterior(10, 100)
+	mJ := small.MustQuantile(0.5)
+	mU := ju.MustQuantile(0.5)
+	if math.Abs(mJ-mU) > small.StdDev()/5 {
+		t.Errorf("prior sensitivity too high: %g vs %g", mJ, mU)
+	}
+}
+
+func TestZeroMatchesStillAllowsHighSelectivity(t *testing.T) {
+	// Section 5.2.1's T=95% observation: even with k=0 out of n=1000,
+	// the 95th percentile exceeds the 0.14% crossover, so a conservative
+	// optimizer never picks the risky plan.
+	sel, err := RobustSelectivity(0, 1000, Jeffreys, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel <= 0.0014 {
+		t.Errorf("k=0, n=1000 at T=95%% = %g, want > 0.0014", sel)
+	}
+	// And the Experiment-4 self-adjustment: with a 50-tuple sample even
+	// the median exceeds the crossover.
+	sel, err = RobustSelectivity(0, 50, Jeffreys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel <= 0.0014 {
+		t.Errorf("k=0, n=50 at T=50%% = %g, want > 0.0014", sel)
+	}
+}
+
+func TestMLAndExpectedSelectivity(t *testing.T) {
+	ml, err := MLSelectivity(10, 100)
+	if err != nil || ml != 0.1 {
+		t.Errorf("ML = %g, %v", ml, err)
+	}
+	if _, err := MLSelectivity(1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MLSelectivity(5, 4); err == nil {
+		t.Error("k>n accepted")
+	}
+	exp, err := ExpectedSelectivity(10, 100, Jeffreys)
+	if err != nil || math.Abs(exp-10.5/101) > 1e-12 {
+		t.Errorf("Expected = %g, %v", exp, err)
+	}
+}
+
+func TestEstimateDistinct(t *testing.T) {
+	// All-unique sample scales up by sqrt(N/n).
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = string(rune('a' + i%26)) // duplicates within 26 letters
+	}
+	est, err := EstimateDistinct(keys, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 26 || est > 10000 {
+		t.Errorf("distinct = %g", est)
+	}
+	if _, err := EstimateDistinct(nil, 100); err == nil {
+		t.Error("empty sample accepted")
+	}
+	// A sample where every value appears many times: estimate is close to
+	// the sample-distinct count, not inflated.
+	rep := make([]string, 100)
+	for i := range rep {
+		rep[i] = []string{"x", "y"}[i%2]
+	}
+	est, _ = EstimateDistinct(rep, 1000000)
+	if est != 2 {
+		t.Errorf("repeated distinct = %g, want 2", est)
+	}
+	// All-singleton sample: pure sqrt scaling, clamped by total.
+	uniq := make([]string, 4)
+	for i := range uniq {
+		uniq[i] = string(rune('a' + i))
+	}
+	est, _ = EstimateDistinct(uniq, 16)
+	if math.Abs(est-8) > 1e-9 { // sqrt(16/4)*4 = 8
+		t.Errorf("singleton estimate = %g, want 8", est)
+	}
+}

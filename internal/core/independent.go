@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/histogram"
+	"robustqo/internal/sample"
+)
+
+// IndependentSamplesEstimator is the paper's first fallback when a join
+// synopsis is unavailable for an expression (Section 3.5, "No statistics
+// available"): estimate the selectivity of each table's own predicates
+// from that table's sample, then combine under the attribute value
+// independence and containment assumptions. Predicates that cannot be
+// attributed to a single sampled table contribute magic constants.
+//
+// Each per-table estimate still goes through the Bayesian posterior and
+// the confidence threshold, so even the degraded path responds to the
+// robustness knob — only the cross-table combination reintroduces the
+// independence assumption (and with it the compounding error the paper
+// warns about).
+type IndependentSamplesEstimator struct {
+	Samples   *sample.Set
+	Catalog   *catalog.Catalog
+	Prior     Prior
+	Threshold ConfidenceThreshold
+}
+
+// Name implements Estimator.
+func (e *IndependentSamplesEstimator) Name() string {
+	return fmt.Sprintf("independent-samples(%s)", e.Threshold)
+}
+
+// Estimate implements Estimator.
+func (e *IndependentSamplesEstimator) Estimate(req Request) (Estimate, error) {
+	if e.Samples == nil || e.Catalog == nil {
+		return Estimate{}, fmt.Errorf("core: independent-samples estimator needs samples and a catalog")
+	}
+	if err := e.Threshold.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if len(req.Tables) == 0 {
+		return Estimate{}, fmt.Errorf("core: estimate over no tables")
+	}
+	root, err := e.Catalog.RootOf(req.Tables)
+	if err != nil {
+		return Estimate{}, err
+	}
+	rootSample, ok := e.Samples.Synopsis(root)
+	if !ok {
+		return Estimate{}, fmt.Errorf("core: no sample for root table %q", root)
+	}
+	// Attribute each top-level conjunct to the single query table owning
+	// all its columns; group per table.
+	perTable := make(map[string][]expr.Expr)
+	sel := 1.0
+	for _, term := range expr.SplitConjuncts(req.Pred) {
+		owner, ok := e.ownerOf(req.Tables, term)
+		if !ok {
+			sel *= magicFor(term)
+			continue
+		}
+		perTable[owner] = append(perTable[owner], term)
+	}
+	// One robust estimate per table over its own conjunct conjunction,
+	// combined multiplicatively (AVI across tables + containment).
+	for table, terms := range perTable {
+		syn, ok := e.Samples.Synopsis(table)
+		if !ok {
+			for _, term := range terms {
+				sel *= magicFor(term)
+			}
+			continue
+		}
+		k, err := syn.Count(expr.Conj(terms...))
+		if err != nil {
+			return Estimate{}, fmt.Errorf("core: table %q sample: %v", table, err)
+		}
+		s, err := RobustSelectivity(k, syn.Size(), e.Prior, e.Threshold)
+		if err != nil {
+			return Estimate{}, err
+		}
+		sel *= s
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return Estimate{Selectivity: sel, Rows: sel * float64(rootSample.N)}, nil
+}
+
+// ownerOf finds the unique query table owning every column of the term.
+func (e *IndependentSamplesEstimator) ownerOf(tables []string, term expr.Expr) (string, bool) {
+	owner := ""
+	for _, ref := range expr.Columns(term) {
+		var t string
+		if ref.Table != "" {
+			found := false
+			for _, qt := range tables {
+				if qt == ref.Table {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return "", false
+			}
+			s, ok := e.Catalog.Table(ref.Table)
+			if !ok || s.ColumnIndex(ref.Column) < 0 {
+				return "", false
+			}
+			t = ref.Table
+		} else {
+			matches := 0
+			for _, qt := range tables {
+				s, ok := e.Catalog.Table(qt)
+				if ok && s.ColumnIndex(ref.Column) >= 0 {
+					t = qt
+					matches++
+				}
+			}
+			if matches != 1 {
+				return "", false
+			}
+		}
+		if owner == "" {
+			owner = t
+		} else if owner != t {
+			return "", false
+		}
+	}
+	return owner, owner != ""
+}
+
+// magicFor picks the System-R magic constant matching a predicate shape.
+func magicFor(term expr.Expr) float64 {
+	switch n := term.(type) {
+	case expr.Cmp:
+		if n.Op == expr.EQ {
+			return histogram.MagicEq
+		}
+		return histogram.MagicRange
+	case expr.Between:
+		return histogram.MagicRange
+	default:
+		return histogram.MagicOther
+	}
+}
+
+var _ Estimator = (*IndependentSamplesEstimator)(nil)

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/histogram"
+	"robustqo/internal/sample"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// diamondDB builds a -> {b, c} -> d: the diamond that makes a's join
+// synopsis ill-defined, forcing multi-table estimates rooted at a onto
+// the independent-samples fallback.
+func diamondDB(t *testing.T, nRoot int) *storage.Database {
+	t.Helper()
+	cat := catalog.NewCatalog()
+	db := storage.NewDatabase(cat)
+	d, err := db.CreateTable(&catalog.TableSchema{
+		Name:       "d",
+		Columns:    []catalog.Column{{Name: "d_id", Type: catalog.Int}},
+		PrimaryKey: "d_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkMid := func(name string) *storage.Table {
+		tab, err := db.CreateTable(&catalog.TableSchema{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: name + "_id", Type: catalog.Int},
+				{Name: name + "_attr", Type: catalog.Int},
+				{Name: name + "_d", Type: catalog.Int},
+			},
+			PrimaryKey: name + "_id",
+			Foreign:    []catalog.ForeignKey{{Column: name + "_d", RefTable: "d"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	b := mkMid("b")
+	c := mkMid("c")
+	a, err := db.CreateTable(&catalog.TableSchema{
+		Name: "a",
+		Columns: []catalog.Column{
+			{Name: "a_id", Type: catalog.Int},
+			{Name: "a_attr", Type: catalog.Int},
+			{Name: "a_b", Type: catalog.Int},
+			{Name: "a_c", Type: catalog.Int},
+		},
+		PrimaryKey: "a_id",
+		Foreign: []catalog.ForeignKey{
+			{Column: "a_b", RefTable: "b"},
+			{Column: "a_c", RefTable: "c"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(17)
+	const nMid = 200
+	_ = d.Append(value.Row{value.Int(0)})
+	for i := int64(1); i < 10; i++ {
+		_ = d.Append(value.Row{value.Int(i)})
+	}
+	for i := int64(0); i < nMid; i++ {
+		_ = b.Append(value.Row{value.Int(i), value.Int(int64(rng.Intn(100))), value.Int(int64(rng.Intn(10)))})
+		_ = c.Append(value.Row{value.Int(i), value.Int(int64(rng.Intn(100))), value.Int(int64(rng.Intn(10)))})
+	}
+	for i := int64(0); i < int64(nRoot); i++ {
+		_ = a.Append(value.Row{
+			value.Int(i),
+			value.Int(int64(rng.Intn(100))),
+			value.Int(int64(rng.Intn(nMid))),
+			value.Int(int64(rng.Intn(nMid))),
+		})
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestIndependentSamplesOnDiamond(t *testing.T) {
+	db := diamondDB(t, 5000)
+	set, err := sample.BuildAll(db, 500, stats.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bayes, err := NewBayesEstimator(set, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := &IndependentSamplesEstimator{
+		Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.5,
+	}
+	req := Request{
+		Tables: []string{"a", "b", "c"},
+		Pred:   expr.MustParse("a_attr < 50 AND b_attr < 50 AND c_attr < 50"),
+	}
+	// The join synopsis path fails on the diamond.
+	if _, err := bayes.Estimate(req); err == nil {
+		t.Fatal("bayes succeeded over a diamond join")
+	}
+	// The fallback succeeds and, with independent-by-construction data,
+	// lands near the true joint selectivity.
+	est, err := indep.Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0.5 * 0.5 * 0.5 // attributes independent by construction
+	if math.Abs(est.Selectivity-truth) > 0.05 {
+		t.Errorf("independent estimate = %g, want ~%g", est.Selectivity, truth)
+	}
+	if math.Abs(est.Rows-est.Selectivity*5000) > 1e-6 {
+		t.Errorf("rows = %g", est.Rows)
+	}
+	// The chain glues them together.
+	chain := &Chain{Estimators: []Estimator{bayes, indep}}
+	chained, err := chain.Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.Selectivity != est.Selectivity {
+		t.Error("chain did not fall through to the independent estimator")
+	}
+}
+
+func TestIndependentSamplesSingleTableStillRobust(t *testing.T) {
+	db := diamondDB(t, 5000)
+	set, err := sample.BuildAll(db, 500, stats.NewRNG(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := &IndependentSamplesEstimator{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.05}
+	hi := &IndependentSamplesEstimator{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.95}
+	req := Request{Tables: []string{"a"}, Pred: expr.MustParse("a_attr = 7")}
+	eLo, err := lo.Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHi, err := hi.Estimate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eLo.Selectivity >= eHi.Selectivity {
+		t.Errorf("threshold not respected: %g vs %g", eLo.Selectivity, eHi.Selectivity)
+	}
+}
+
+func TestIndependentSamplesMagicContributions(t *testing.T) {
+	db := diamondDB(t, 1000)
+	set, err := sample.BuildAll(db, 200, stats.NewRNG(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &IndependentSamplesEstimator{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.5}
+	// A cross-table comparison cannot be attributed to one table: it
+	// contributes the magic range constant.
+	est, err := e.Estimate(Request{
+		Tables: []string{"a", "b"},
+		Pred:   expr.MustParse("a_attr < b_attr"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Selectivity-1.0/3) > 1e-9 {
+		t.Errorf("cross-table magic = %g, want 1/3", est.Selectivity)
+	}
+	// Equality and other shapes use their own constants.
+	est, err = e.Estimate(Request{Tables: []string{"a", "b"}, Pred: expr.MustParse("a_attr = b_attr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Selectivity != 0.10 {
+		t.Errorf("eq magic = %g", est.Selectivity)
+	}
+	est, err = e.Estimate(Request{
+		Tables: []string{"a", "b"},
+		Pred:   expr.MustParse("a_attr < 10 OR b_attr < 10"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Selectivity != 0.10 { // OR term spans tables -> MagicOther
+		t.Errorf("or magic = %g", est.Selectivity)
+	}
+}
+
+func TestIndependentSamplesValidation(t *testing.T) {
+	db := diamondDB(t, 100)
+	set, _ := sample.BuildAll(db, 50, stats.NewRNG(3))
+	cases := []*IndependentSamplesEstimator{
+		{Samples: nil, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.5},
+		{Samples: set, Catalog: nil, Prior: Jeffreys, Threshold: 0.5},
+		{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0},
+	}
+	for i, e := range cases {
+		if _, err := e.Estimate(Request{Tables: []string{"a"}}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := &IndependentSamplesEstimator{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.5}
+	if _, err := good.Estimate(Request{}); err == nil {
+		t.Error("no tables accepted")
+	}
+	if _, err := good.Estimate(Request{Tables: []string{"ghost"}}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if !strings.Contains(good.Name(), "independent-samples") {
+		t.Errorf("Name = %q", good.Name())
+	}
+	// A predicate over a known table but bad column errors at Count.
+	if _, err := good.Estimate(Request{Tables: []string{"a"}, Pred: expr.Cmp{
+		Op: expr.EQ, L: expr.TC("a", "a_attr"), R: expr.Arith{Op: expr.Div, L: expr.IntLit(1), R: expr.IntLit(0)},
+	}}); err == nil {
+		t.Error("runtime eval error not propagated")
+	}
+}
+
+func TestGroupsEstimators(t *testing.T) {
+	db := diamondDB(t, 5000)
+	set, err := sample.BuildAll(db, 500, stats.NewRNG(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bayes, _ := NewBayesEstimator(set, 0.5)
+	groups, err := bayes.EstimateGroups([]string{"b"}, []expr.ColumnRef{{Table: "b", Column: "b_attr"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b_attr has up to 100 distinct values over 200 rows.
+	if groups < 30 || groups > 200 {
+		t.Errorf("bayes groups = %g", groups)
+	}
+	if _, err := bayes.EstimateGroups([]string{"a", "b", "c"}, []expr.ColumnRef{{Column: "b_attr"}}); err == nil {
+		t.Error("diamond group estimate succeeded")
+	}
+
+	hists, err := histogram.BuildAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, _ := NewHistogramEstimator(hists, db.Catalog)
+	groups, err = hist.EstimateGroups([]string{"b"}, []expr.ColumnRef{{Table: "b", Column: "b_attr"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups < 30 || groups > 200 {
+		t.Errorf("hist groups = %g", groups)
+	}
+	// Multi-column product capped at the table cardinality.
+	groups, err = hist.EstimateGroups([]string{"a"}, []expr.ColumnRef{
+		{Table: "a", Column: "a_attr"}, {Table: "a", Column: "a_b"}, {Table: "a", Column: "a_c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups > 5000 {
+		t.Errorf("capped groups = %g", groups)
+	}
+	if _, err := hist.EstimateGroups([]string{"a"}, nil); err == nil {
+		t.Error("no group columns accepted")
+	}
+}

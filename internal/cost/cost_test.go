@@ -1,0 +1,65 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCountersAddAccumulatesAllFields(t *testing.T) {
+	a := Counters{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	var c Counters
+	c.Add(a)
+	c.Add(a)
+	want := Counters{2, 4, 6, 8, 10, 12, 14, 16, 18}
+	if c != want {
+		t.Errorf("Add = %+v, want %+v", c, want)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	s := Counters{SeqPages: 3, Output: 9}.String()
+	for _, want := range []string{"seq=3", "out=9", "rand=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestModelTimeLinear(t *testing.T) {
+	m := Model{SeqPage: 1, RandPage: 2, Tuple: 3, IndexSeek: 4, IndexEntry: 5,
+		HashBuild: 6, HashProbe: 7, SortTuple: 8, Output: 9}
+	c := Counters{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if got := m.Time(c); got != 45 {
+		t.Errorf("Time = %g", got)
+	}
+	if got := m.Time(Counters{}); got != 0 {
+		t.Errorf("empty Time = %g", got)
+	}
+}
+
+func TestDefaultCalibrationMatchesPaper51(t *testing.T) {
+	// A 6,000,000-row sequential scan (75,000 pages at 80 tuples/page)
+	// must cost the paper's f1 = 35 seconds.
+	scan := Counters{SeqPages: 75000, Tuples: 6_000_000}
+	if got := Default.Time(scan); math.Abs(got-35) > 0.5 {
+		t.Errorf("SF1 scan = %gs, want ~35", got)
+	}
+	// Each qualifying tuple of the index plan costs one random page plus
+	// output emission: the paper's v2 = 3.5e-3 seconds per tuple.
+	perTuple := Default.Time(Counters{RandPages: 1, Output: 1})
+	if math.Abs(perTuple-3.5e-3) > 1e-4 {
+		t.Errorf("per-tuple fetch = %g, want ~3.5e-3", perTuple)
+	}
+	// The stable plan's per-qualifying-tuple increment is v1 = 3.5e-6.
+	if math.Abs(Default.Output-3.5e-6) > 1e-9 {
+		t.Errorf("Output = %g, want 3.5e-6", Default.Output)
+	}
+	// Relative magnitudes that the plan space depends on.
+	if Default.RandPage <= Default.SeqPage {
+		t.Error("random pages must cost more than sequential")
+	}
+	if Default.IndexSeek <= Default.IndexEntry {
+		t.Error("seeks must cost more than entry scans")
+	}
+}

@@ -1,0 +1,126 @@
+// Package engine implements the physical query execution layer: scans,
+// index intersection, joins (indexed nested-loop, hash, merge), the
+// semijoin-based star strategy, filters, projections, and aggregation.
+//
+// Operators execute for real over the in-memory tables — producing exact
+// result rows — while recording the page- and tuple-level work they
+// perform in cost.Counters. The simulated execution time of a query is the
+// cost model applied to those counters; see package cost for how this
+// substitutes for the paper's wall-clock measurements.
+package engine
+
+import (
+	"fmt"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/index"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// Context carries the runtime environment plans execute against.
+type Context struct {
+	DB      *storage.Database
+	Indexes *index.Set
+	Model   cost.Model
+}
+
+// NewContext builds a Context with the default cost model, constructing
+// all catalog-declared indexes.
+func NewContext(db *storage.Database) (*Context, error) {
+	ixs, err := index.BuildAll(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{DB: db, Indexes: ixs, Model: cost.Default}, nil
+}
+
+// Result is a fully materialized operator output.
+type Result struct {
+	Schema expr.RelSchema
+	Rows   []value.Row
+}
+
+// Node is a physical plan operator.
+type Node interface {
+	// Schema returns the output schema without executing.
+	Schema(ctx *Context) (expr.RelSchema, error)
+	// Execute runs the operator, accumulating work into counters.
+	Execute(ctx *Context, counters *cost.Counters) (*Result, error)
+	// Describe renders a one-line description for plan printing.
+	Describe() string
+}
+
+// Run executes a plan root, charging output cost for the final result, and
+// returns the result together with the counters and the simulated time.
+func Run(ctx *Context, root Node) (*Result, cost.Counters, float64, error) {
+	var counters cost.Counters
+	res, err := root.Execute(ctx, &counters)
+	if err != nil {
+		return nil, counters, 0, err
+	}
+	counters.Output += int64(len(res.Rows))
+	return res, counters, ctx.Model.Time(counters), nil
+}
+
+// Explain renders a plan tree as an indented multi-line string.
+func Explain(root Node) string {
+	var b []byte
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		b = append(b, n.Describe()...)
+		b = append(b, '\n')
+		for _, child := range children(n) {
+			walk(child, depth+1)
+		}
+	}
+	walk(root, 0)
+	return string(b)
+}
+
+func children(n Node) []Node {
+	switch t := n.(type) {
+	case *Filter:
+		return []Node{t.Input}
+	case *Project:
+		return []Node{t.Input}
+	case *Aggregate:
+		return []Node{t.Input}
+	case *Sort:
+		return []Node{t.Input}
+	case *Limit:
+		return []Node{t.Input}
+	case *HashJoin:
+		return []Node{t.Build, t.Probe}
+	case *MergeJoin:
+		return []Node{t.Left, t.Right}
+	case *INLJoin:
+		return []Node{t.Outer}
+	case *StarSemiJoin:
+		out := make([]Node, 0, len(t.Dims))
+		for _, d := range t.Dims {
+			out = append(out, d.Scan)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// bindFilter binds an optional predicate against a schema.
+func bindFilter(pred expr.Expr, schema expr.RelSchema) (*expr.Bound, error) {
+	return expr.Bind(pred, schema)
+}
+
+// tableAndSchema resolves a table and its qualified scan schema.
+func tableAndSchema(ctx *Context, name string) (*storage.Table, expr.RelSchema, error) {
+	t, ok := ctx.DB.Table(name)
+	if !ok {
+		return nil, expr.RelSchema{}, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, expr.SchemaForTable(t.Schema()), nil
+}

@@ -1,0 +1,473 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/value"
+)
+
+// HashJoin builds a hash table over the Build input keyed by BuildCol and
+// probes it with the Probe input on ProbeCol. Output rows are build-row
+// followed by probe-row values.
+type HashJoin struct {
+	Build    Node
+	Probe    Node
+	BuildCol expr.ColumnRef
+	ProbeCol expr.ColumnRef
+}
+
+// Schema implements Node.
+func (j *HashJoin) Schema(ctx *Context) (expr.RelSchema, error) {
+	ls, err := j.Build.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	rs, err := j.Probe.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	return ls.Concat(rs), nil
+}
+
+// Describe implements Node.
+func (j *HashJoin) Describe() string {
+	return fmt.Sprintf("HashJoin(%s = %s)", j.BuildCol, j.ProbeCol)
+}
+
+// Execute implements Node.
+func (j *HashJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	build, err := j.Build.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := j.Probe.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	bIdx, err := build.Schema.Resolve(j.BuildCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: HashJoin build key: %v", err)
+	}
+	pIdx, err := probe.Schema.Resolve(j.ProbeCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: HashJoin probe key: %v", err)
+	}
+	table := make(map[any][]value.Row, len(build.Rows))
+	for _, row := range build.Rows {
+		k := row[bIdx].Key()
+		table[k] = append(table[k], row)
+	}
+	counters.HashBuilds += int64(len(build.Rows))
+	counters.HashProbes += int64(len(probe.Rows))
+	outSchema := build.Schema.Concat(probe.Schema)
+	var rows []value.Row
+	for _, pRow := range probe.Rows {
+		for _, bRow := range table[pRow[pIdx].Key()] {
+			out := make(value.Row, 0, len(bRow)+len(pRow))
+			out = append(out, bRow...)
+			out = append(out, pRow...)
+			rows = append(rows, out)
+		}
+	}
+	counters.Tuples += int64(len(rows))
+	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+// MergeJoin sort-merges its inputs on integer-valued join keys. Inputs
+// already ordered by their key (e.g. clustered primary-key order) should
+// set LeftSorted/RightSorted to avoid the sort charge.
+type MergeJoin struct {
+	Left, Right             Node
+	LeftCol, RightCol       expr.ColumnRef
+	LeftSorted, RightSorted bool
+}
+
+// Schema implements Node.
+func (j *MergeJoin) Schema(ctx *Context) (expr.RelSchema, error) {
+	ls, err := j.Left.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	rs, err := j.Right.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	return ls.Concat(rs), nil
+}
+
+// Describe implements Node.
+func (j *MergeJoin) Describe() string {
+	return fmt.Sprintf("MergeJoin(%s = %s)", j.LeftCol, j.RightCol)
+}
+
+// Execute implements Node.
+func (j *MergeJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	left, err := j.Left.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	lIdx, err := left.Schema.Resolve(j.LeftCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: MergeJoin left key: %v", err)
+	}
+	rIdx, err := right.Schema.Resolve(j.RightCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: MergeJoin right key: %v", err)
+	}
+	lRows, err := sortedByKey(left.Rows, lIdx, j.LeftSorted)
+	if err != nil {
+		return nil, err
+	}
+	if !j.LeftSorted {
+		counters.SortTuples += int64(len(lRows))
+	}
+	rRows, err := sortedByKey(right.Rows, rIdx, j.RightSorted)
+	if err != nil {
+		return nil, err
+	}
+	if !j.RightSorted {
+		counters.SortTuples += int64(len(rRows))
+	}
+	counters.Tuples += int64(len(lRows) + len(rRows))
+	outSchema := left.Schema.Concat(right.Schema)
+	var rows []value.Row
+	i, k := 0, 0
+	for i < len(lRows) && k < len(rRows) {
+		lk := lRows[i][lIdx].I
+		rk := rRows[k][rIdx].I
+		switch {
+		case lk < rk:
+			i++
+		case lk > rk:
+			k++
+		default:
+			// Join the full equal-key groups.
+			iEnd := i
+			for iEnd < len(lRows) && lRows[iEnd][lIdx].I == lk {
+				iEnd++
+			}
+			kEnd := k
+			for kEnd < len(rRows) && rRows[kEnd][rIdx].I == lk {
+				kEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := k; b < kEnd; b++ {
+					out := make(value.Row, 0, len(lRows[a])+len(rRows[b]))
+					out = append(out, lRows[a]...)
+					out = append(out, rRows[b]...)
+					rows = append(rows, out)
+				}
+			}
+			i, k = iEnd, kEnd
+		}
+	}
+	counters.Tuples += int64(len(rows))
+	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+// sortedByKey returns rows ordered by the integer key at idx. When
+// alreadySorted, it verifies the order rather than trusting it blindly and
+// sorts a copy if the claim is wrong (keeping results correct even if a
+// plan mislabels its inputs).
+func sortedByKey(rows []value.Row, idx int, alreadySorted bool) ([]value.Row, error) {
+	for _, r := range rows {
+		if !r[idx].Numeric() {
+			return nil, fmt.Errorf("engine: merge join over non-numeric key %s", r[idx])
+		}
+	}
+	inOrder := sort.SliceIsSorted(rows, func(a, b int) bool { return rows[a][idx].I < rows[b][idx].I })
+	if inOrder {
+		return rows, nil
+	}
+	if alreadySorted {
+		// Mislabelled input: fall through to sorting (correctness first).
+		cp := make([]value.Row, len(rows))
+		copy(cp, rows)
+		sort.SliceStable(cp, func(a, b int) bool { return cp[a][idx].I < cp[b][idx].I })
+		return cp, nil
+	}
+	cp := make([]value.Row, len(rows))
+	copy(cp, rows)
+	sort.SliceStable(cp, func(a, b int) bool { return cp[a][idx].I < cp[b][idx].I })
+	return cp, nil
+}
+
+// INLJoin is an indexed nested-loop join: for every outer row it probes an
+// access path on the inner table. Two probe modes are supported, chosen by
+// the inner column:
+//
+//   - inner primary key: one clustered lookup (one random page) per probe;
+//   - inner secondary index: an index seek plus one random page per match.
+//
+// Output rows are outer-row followed by inner-row values.
+type INLJoin struct {
+	Outer      Node
+	OuterCol   expr.ColumnRef
+	InnerTable string
+	InnerCol   string    // join column of the inner table
+	Residual   expr.Expr // evaluated over the combined row
+}
+
+// Schema implements Node.
+func (j *INLJoin) Schema(ctx *Context) (expr.RelSchema, error) {
+	os, err := j.Outer.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	_, is, err := tableAndSchema(ctx, j.InnerTable)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	return os.Concat(is), nil
+}
+
+// Describe implements Node.
+func (j *INLJoin) Describe() string {
+	d := fmt.Sprintf("INLJoin(%s = %s.%s)", j.OuterCol, j.InnerTable, j.InnerCol)
+	if j.Residual != nil {
+		d += " residual=" + j.Residual.String()
+	}
+	return d
+}
+
+// Execute implements Node.
+func (j *INLJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	outer, err := j.Outer.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	inner, innerSchema, err := tableAndSchema(ctx, j.InnerTable)
+	if err != nil {
+		return nil, err
+	}
+	oIdx, err := outer.Schema.Resolve(j.OuterCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: INLJoin outer key: %v", err)
+	}
+	outSchema := outer.Schema.Concat(innerSchema)
+	pred, err := bindFilter(j.Residual, outSchema)
+	if err != nil {
+		return nil, err
+	}
+	usePK := inner.Schema().PrimaryKey == j.InnerCol
+	var rows []value.Row
+	innerBuf := make(value.Row, len(innerSchema.Fields))
+	emit := func(oRow value.Row, rid int) error {
+		inner.ReadRow(rid, innerBuf)
+		out := make(value.Row, 0, len(oRow)+len(innerBuf))
+		out = append(out, oRow...)
+		out = append(out, innerBuf...)
+		ok, err := pred.Eval(out)
+		if err != nil {
+			return err
+		}
+		if ok {
+			rows = append(rows, out)
+		}
+		return nil
+	}
+	if usePK {
+		for _, oRow := range outer.Rows {
+			key := oRow[oIdx]
+			if !key.Numeric() {
+				return nil, fmt.Errorf("engine: INLJoin over non-numeric key %s", key)
+			}
+			counters.RandPages++
+			counters.Tuples++
+			rid, ok := inner.LookupPK(key.I)
+			if !ok {
+				continue
+			}
+			if err := emit(oRow, rid); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		ix, ok := ctx.Indexes.Lookup(j.InnerTable, j.InnerCol)
+		if !ok {
+			return nil, fmt.Errorf("engine: INLJoin: no index on %s.%s", j.InnerTable, j.InnerCol)
+		}
+		for _, oRow := range outer.Rows {
+			key := oRow[oIdx]
+			if !key.Numeric() {
+				return nil, fmt.Errorf("engine: INLJoin over non-numeric key %s", key)
+			}
+			counters.IndexSeeks++
+			rids, scanned := ix.Equal(key.I)
+			counters.IndexEntries += int64(scanned)
+			counters.RandPages += int64(len(rids))
+			counters.Tuples += int64(len(rids))
+			for _, rid := range rids {
+				if err := emit(oRow, int(rid)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	counters.Tuples += int64(len(rows))
+	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+// StarDim describes one dimension arm of a StarSemiJoin: the (filtered)
+// dimension scan, the dimension's primary-key column, and the fact-table
+// foreign-key column pointing at it.
+type StarDim struct {
+	Scan   Node // produces the selected dimension rows
+	DimPK  expr.ColumnRef
+	FactFK string // fact column with a secondary index
+}
+
+// StarSemiJoin is the sophisticated star-query strategy of Experiment 3:
+// for each dimension, the fact table's foreign-key index converts the
+// selected dimension keys into a fact RID list (a semijoin); the per-
+// dimension RID lists are intersected; only the surviving fact rows are
+// fetched; finally each fact row is joined back to its dimension rows.
+// Output rows are fact-row values followed by each dimension's row values
+// in Dims order.
+type StarSemiJoin struct {
+	Fact     string
+	Dims     []StarDim
+	Residual expr.Expr // over the combined row
+}
+
+// Schema implements Node.
+func (j *StarSemiJoin) Schema(ctx *Context) (expr.RelSchema, error) {
+	_, fs, err := tableAndSchema(ctx, j.Fact)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	out := fs
+	for _, d := range j.Dims {
+		ds, err := d.Scan.Schema(ctx)
+		if err != nil {
+			return expr.RelSchema{}, err
+		}
+		out = out.Concat(ds)
+	}
+	return out, nil
+}
+
+// Describe implements Node.
+func (j *StarSemiJoin) Describe() string {
+	return fmt.Sprintf("StarSemiJoin(%s, %d dims)", j.Fact, len(j.Dims))
+}
+
+// Execute implements Node.
+func (j *StarSemiJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	if len(j.Dims) == 0 {
+		return nil, fmt.Errorf("engine: StarSemiJoin(%s) with no dimensions", j.Fact)
+	}
+	fact, factSchema, err := tableAndSchema(ctx, j.Fact)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := factSchema
+	type dimState struct {
+		rowsByPK map[int64]value.Row
+		fkIdx    int // fact column ordinal of the FK
+	}
+	states := make([]dimState, len(j.Dims))
+	ridLists := make([][]int32, len(j.Dims))
+	for i, d := range j.Dims {
+		dimRes, err := d.Scan.Execute(ctx, counters)
+		if err != nil {
+			return nil, err
+		}
+		pkIdx, err := dimRes.Schema.Resolve(d.DimPK)
+		if err != nil {
+			return nil, fmt.Errorf("engine: StarSemiJoin dim %d key: %v", i, err)
+		}
+		ix, ok := ctx.Indexes.Lookup(j.Fact, d.FactFK)
+		if !ok {
+			return nil, fmt.Errorf("engine: StarSemiJoin: no index on %s.%s", j.Fact, d.FactFK)
+		}
+		byPK := make(map[int64]value.Row, len(dimRes.Rows))
+		var rids []int32
+		for _, row := range dimRes.Rows {
+			pk := row[pkIdx].I
+			byPK[pk] = row
+			counters.IndexSeeks++
+			matches, scanned := ix.Equal(pk)
+			counters.IndexEntries += int64(scanned)
+			rids = append(rids, matches...)
+		}
+		sort.Slice(rids, func(a, b int) bool { return rids[a] < rids[b] })
+		counters.Tuples += int64(len(rids)) // RID list construction CPU
+		fkIdx := fact.Schema().ColumnIndex(d.FactFK)
+		if fkIdx < 0 {
+			return nil, fmt.Errorf("engine: fact table %q has no column %q", j.Fact, d.FactFK)
+		}
+		states[i] = dimState{rowsByPK: byPK, fkIdx: fkIdx}
+		ridLists[i] = rids
+		outSchema = outSchema.Concat(dimRes.Schema)
+	}
+	pred, err := bindFilter(j.Residual, outSchema)
+	if err != nil {
+		return nil, err
+	}
+	surviving := intersectSorted(ridLists)
+	counters.RandPages += int64(len(surviving))
+	counters.Tuples += int64(len(surviving))
+	factBuf := make(value.Row, len(factSchema.Fields))
+	var rows []value.Row
+	for _, rid := range surviving {
+		fact.ReadRow(int(rid), factBuf)
+		out := make(value.Row, 0, len(outSchema.Fields))
+		out = append(out, factBuf...)
+		complete := true
+		for _, st := range states {
+			dimRow, ok := st.rowsByPK[factBuf[st.fkIdx].I]
+			if !ok {
+				complete = false
+				break
+			}
+			out = append(out, dimRow...)
+		}
+		if !complete {
+			continue
+		}
+		ok, err := pred.Eval(out)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, out)
+		}
+	}
+	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+func intersectSorted(lists [][]int32) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	result := lists[0]
+	for _, l := range lists[1:] {
+		var out []int32
+		i, j := 0, 0
+		for i < len(result) && j < len(l) {
+			switch {
+			case result[i] < l[j]:
+				i++
+			case result[i] > l[j]:
+				j++
+			default:
+				out = append(out, result[i])
+				i++
+				j++
+			}
+		}
+		result = out
+		if len(result) == 0 {
+			break
+		}
+	}
+	return result
+}

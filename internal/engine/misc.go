@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/value"
+)
+
+// Filter applies a predicate to its input's rows.
+type Filter struct {
+	Input Node
+	Pred  expr.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema(ctx *Context) (expr.RelSchema, error) { return f.Input.Schema(ctx) }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred) }
+
+// Execute implements Node.
+func (f *Filter) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	in, err := f.Input.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bindFilter(f.Pred, in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	counters.Tuples += int64(len(in.Rows))
+	var rows []value.Row
+	for _, r := range in.Rows {
+		ok, err := pred.Eval(r)
+		if err != nil {
+			return nil, fmt.Errorf("engine: Filter: %v", err)
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	return &Result{Schema: in.Schema, Rows: rows}, nil
+}
+
+// Project narrows the input to the named columns, in order.
+type Project struct {
+	Input Node
+	Cols  []expr.ColumnRef
+}
+
+// Schema implements Node.
+func (p *Project) Schema(ctx *Context) (expr.RelSchema, error) {
+	in, err := p.Input.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	fields := make([]expr.Field, len(p.Cols))
+	for i, c := range p.Cols {
+		idx, err := in.Resolve(c)
+		if err != nil {
+			return expr.RelSchema{}, fmt.Errorf("engine: Project: %v", err)
+		}
+		fields[i] = in.Fields[idx]
+	}
+	return expr.RelSchema{Fields: fields}, nil
+}
+
+// Describe implements Node.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		parts[i] = c.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Execute implements Node.
+func (p *Project) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	in, err := p.Input.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, len(p.Cols))
+	fields := make([]expr.Field, len(p.Cols))
+	for i, c := range p.Cols {
+		idx, err := in.Schema.Resolve(c)
+		if err != nil {
+			return nil, fmt.Errorf("engine: Project: %v", err)
+		}
+		idxs[i] = idx
+		fields[i] = in.Schema.Fields[idx]
+	}
+	counters.Tuples += int64(len(in.Rows))
+	rows := make([]value.Row, len(in.Rows))
+	for r, row := range in.Rows {
+		out := make(value.Row, len(idxs))
+		for i, idx := range idxs {
+			out[i] = row[idx]
+		}
+		rows[r] = out
+	}
+	return &Result{Schema: expr.RelSchema{Fields: fields}, Rows: rows}, nil
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Sum AggFunc = iota
+	Count
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// AggSpec is one aggregate output: Func applied to the scalar Arg
+// (ignored for COUNT, which may leave Arg nil).
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr // scalar; nil allowed for Count
+	As   string    // output column name
+}
+
+// Aggregate computes hash-grouped aggregates. With no GroupBy columns it
+// produces a single row of grand totals (even over empty input, matching
+// SQL semantics for COUNT/SUM over empty sets: COUNT = 0, others NaN-free
+// zero values).
+type Aggregate struct {
+	Input   Node
+	GroupBy []expr.ColumnRef
+	Aggs    []AggSpec
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema(ctx *Context) (expr.RelSchema, error) {
+	in, err := a.Input.Schema(ctx)
+	if err != nil {
+		return expr.RelSchema{}, err
+	}
+	return a.outSchema(in)
+}
+
+func (a *Aggregate) outSchema(in expr.RelSchema) (expr.RelSchema, error) {
+	var fields []expr.Field
+	for _, g := range a.GroupBy {
+		idx, err := in.Resolve(g)
+		if err != nil {
+			return expr.RelSchema{}, fmt.Errorf("engine: Aggregate group key: %v", err)
+		}
+		fields = append(fields, in.Fields[idx])
+	}
+	for i, spec := range a.Aggs {
+		name := spec.As
+		if name == "" {
+			name = fmt.Sprintf("%s_%d", strings.ToLower(spec.Func.String()), i)
+		}
+		typ := catalog.Float
+		if spec.Func == Count {
+			typ = catalog.Int
+		}
+		fields = append(fields, expr.Field{Column: name, Type: typ})
+	}
+	return expr.RelSchema{Fields: fields}, nil
+}
+
+// Describe implements Node.
+func (a *Aggregate) Describe() string {
+	parts := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		if s.Arg != nil {
+			parts[i] = fmt.Sprintf("%s(%s)", s.Func, s.Arg)
+		} else {
+			parts[i] = fmt.Sprintf("%s(*)", s.Func)
+		}
+	}
+	d := "Aggregate(" + strings.Join(parts, ", ")
+	if len(a.GroupBy) > 0 {
+		keys := make([]string, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			keys[i] = g.String()
+		}
+		d += " BY " + strings.Join(keys, ", ")
+	}
+	return d + ")"
+}
+
+type aggState struct {
+	groupVals value.Row
+	count     int64
+	sums      []float64
+	mins      []float64
+	maxs      []float64
+	counts    []int64 // per-agg counts (for AVG)
+}
+
+// Execute implements Node.
+func (a *Aggregate) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	if len(a.Aggs) == 0 && len(a.GroupBy) == 0 {
+		return nil, fmt.Errorf("engine: Aggregate with no aggregates and no group keys")
+	}
+	in, err := a.Input.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := a.outSchema(in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	groupIdxs := make([]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groupIdxs[i], err = in.Schema.Resolve(g)
+		if err != nil {
+			return nil, fmt.Errorf("engine: Aggregate group key: %v", err)
+		}
+	}
+	argFns := make([]*expr.BoundScalar, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		if spec.Arg == nil {
+			if spec.Func != Count {
+				return nil, fmt.Errorf("engine: %s requires an argument", spec.Func)
+			}
+			continue
+		}
+		argFns[i], err = expr.BindScalar(spec.Arg, in.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("engine: Aggregate arg: %v", err)
+		}
+	}
+	counters.Tuples += int64(len(in.Rows))
+	counters.HashBuilds += int64(len(in.Rows))
+
+	groups := make(map[string]*aggState)
+	var order []string
+	keyOf := func(row value.Row) string {
+		if len(groupIdxs) == 0 {
+			return ""
+		}
+		var sb strings.Builder
+		for _, gi := range groupIdxs {
+			sb.WriteString(row[gi].String())
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
+	}
+	newState := func(row value.Row) *aggState {
+		st := &aggState{
+			sums:   make([]float64, len(a.Aggs)),
+			mins:   make([]float64, len(a.Aggs)),
+			maxs:   make([]float64, len(a.Aggs)),
+			counts: make([]int64, len(a.Aggs)),
+		}
+		for i := range st.mins {
+			st.mins[i] = math.Inf(1)
+			st.maxs[i] = math.Inf(-1)
+		}
+		if row != nil {
+			st.groupVals = make(value.Row, len(groupIdxs))
+			for i, gi := range groupIdxs {
+				st.groupVals[i] = row[gi]
+			}
+		}
+		return st
+	}
+	for _, row := range in.Rows {
+		k := keyOf(row)
+		st, ok := groups[k]
+		if !ok {
+			st = newState(row)
+			groups[k] = st
+			order = append(order, k)
+		}
+		st.count++
+		for i, spec := range a.Aggs {
+			if spec.Func == Count && spec.Arg == nil {
+				continue
+			}
+			v, err := argFns[i].Eval(row)
+			if err != nil {
+				return nil, fmt.Errorf("engine: Aggregate: %v", err)
+			}
+			if !v.Numeric() {
+				return nil, fmt.Errorf("engine: %s over non-numeric value %s", spec.Func, v)
+			}
+			f := v.AsFloat()
+			st.sums[i] += f
+			if f < st.mins[i] {
+				st.mins[i] = f
+			}
+			if f > st.maxs[i] {
+				st.maxs[i] = f
+			}
+			st.counts[i]++
+		}
+	}
+	// A global aggregate over empty input still yields one row.
+	if len(groupIdxs) == 0 && len(groups) == 0 {
+		groups[""] = newState(nil)
+		order = append(order, "")
+	}
+	sort.Strings(order) // deterministic output order
+	rows := make([]value.Row, 0, len(order))
+	for _, k := range order {
+		st := groups[k]
+		out := make(value.Row, 0, len(outSchema.Fields))
+		out = append(out, st.groupVals...)
+		for i, spec := range a.Aggs {
+			switch spec.Func {
+			case Count:
+				if spec.Arg == nil {
+					out = append(out, value.Int(st.count))
+				} else {
+					out = append(out, value.Int(st.counts[i]))
+				}
+			case Sum:
+				out = append(out, value.Float(st.sums[i]))
+			case Min:
+				out = append(out, value.Float(zeroIfInf(st.mins[i])))
+			case Max:
+				out = append(out, value.Float(zeroIfInf(st.maxs[i])))
+			case Avg:
+				if st.counts[i] == 0 {
+					out = append(out, value.Float(0))
+				} else {
+					out = append(out, value.Float(st.sums[i]/float64(st.counts[i])))
+				}
+			}
+		}
+		rows = append(rows, out)
+	}
+	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+func zeroIfInf(f float64) float64 {
+	if math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/index"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// SeqScan reads every page of a table sequentially, applying an optional
+// filter. Its cost is essentially independent of the filter's selectivity —
+// it is the paper's archetypal "stable" plan.
+type SeqScan struct {
+	Table  string
+	Filter expr.Expr // nil means no filter
+}
+
+// Schema implements Node.
+func (s *SeqScan) Schema(ctx *Context) (expr.RelSchema, error) {
+	_, schema, err := tableAndSchema(ctx, s.Table)
+	return schema, err
+}
+
+// Describe implements Node.
+func (s *SeqScan) Describe() string {
+	if s.Filter == nil {
+		return fmt.Sprintf("SeqScan(%s)", s.Table)
+	}
+	return fmt.Sprintf("SeqScan(%s, filter=%s)", s.Table, s.Filter)
+}
+
+// Execute implements Node.
+func (s *SeqScan) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	t, schema, err := tableAndSchema(ctx, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bindFilter(s.Filter, schema)
+	if err != nil {
+		return nil, err
+	}
+	counters.SeqPages += int64(t.NumPages())
+	counters.Tuples += int64(t.NumRows())
+	nCols := len(schema.Fields)
+	buf := make(value.Row, nCols)
+	var rows []value.Row
+	for r := 0; r < t.NumRows(); r++ {
+		t.ReadRow(r, buf)
+		ok, err := pred.Eval(buf)
+		if err != nil {
+			return nil, fmt.Errorf("engine: SeqScan(%s): %v", s.Table, err)
+		}
+		if ok {
+			rows = append(rows, buf.Clone())
+		}
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+// KeyRange is one indexed range condition lo <= column <= hi over an Int
+// or Date column.
+type KeyRange struct {
+	Column string
+	Lo, Hi int64
+}
+
+func (k KeyRange) String() string {
+	return fmt.Sprintf("%s in [%d, %d]", k.Column, k.Lo, k.Hi)
+}
+
+// IndexRangeScan probes a single secondary index for a key range, fetches
+// the qualifying rows by RID (one random page read each), and applies an
+// optional residual predicate.
+type IndexRangeScan struct {
+	Table    string
+	Range    KeyRange
+	Residual expr.Expr
+}
+
+// Schema implements Node.
+func (s *IndexRangeScan) Schema(ctx *Context) (expr.RelSchema, error) {
+	_, schema, err := tableAndSchema(ctx, s.Table)
+	return schema, err
+}
+
+// Describe implements Node.
+func (s *IndexRangeScan) Describe() string {
+	d := fmt.Sprintf("IndexRangeScan(%s, %s", s.Table, s.Range)
+	if s.Residual != nil {
+		d += ", residual=" + s.Residual.String()
+	}
+	return d + ")"
+}
+
+// Execute implements Node.
+func (s *IndexRangeScan) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	t, schema, err := tableAndSchema(ctx, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := ctx.Indexes.Lookup(s.Table, s.Range.Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: no index on %s.%s", s.Table, s.Range.Column)
+	}
+	pred, err := bindFilter(s.Residual, schema)
+	if err != nil {
+		return nil, err
+	}
+	counters.IndexSeeks++
+	rids, scanned := ix.Range(s.Range.Lo, s.Range.Hi)
+	counters.IndexEntries += int64(scanned)
+	counters.RandPages += int64(len(rids))
+	counters.Tuples += int64(len(rids))
+	rows, err := fetchFiltered(t, schema, rids, pred)
+	if err != nil {
+		return nil, fmt.Errorf("engine: IndexRangeScan(%s): %v", s.Table, err)
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+// IndexIntersect is the paper's risky plan: probe one index per range
+// condition, intersect the RID lists, fetch only the surviving rows (one
+// random page read each), and apply an optional residual predicate. Very
+// fast when few rows qualify; much slower than a scan when many do.
+type IndexIntersect struct {
+	Table    string
+	Ranges   []KeyRange
+	Residual expr.Expr
+}
+
+// Schema implements Node.
+func (s *IndexIntersect) Schema(ctx *Context) (expr.RelSchema, error) {
+	_, schema, err := tableAndSchema(ctx, s.Table)
+	return schema, err
+}
+
+// Describe implements Node.
+func (s *IndexIntersect) Describe() string {
+	parts := make([]string, len(s.Ranges))
+	for i, r := range s.Ranges {
+		parts[i] = r.String()
+	}
+	d := fmt.Sprintf("IndexIntersect(%s, %s", s.Table, strings.Join(parts, " & "))
+	if s.Residual != nil {
+		d += ", residual=" + s.Residual.String()
+	}
+	return d + ")"
+}
+
+// Execute implements Node.
+func (s *IndexIntersect) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	if len(s.Ranges) == 0 {
+		return nil, fmt.Errorf("engine: IndexIntersect(%s) with no ranges", s.Table)
+	}
+	t, schema, err := tableAndSchema(ctx, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bindFilter(s.Residual, schema)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]int32, len(s.Ranges))
+	for i, r := range s.Ranges {
+		ix, ok := ctx.Indexes.Lookup(s.Table, r.Column)
+		if !ok {
+			return nil, fmt.Errorf("engine: no index on %s.%s", s.Table, r.Column)
+		}
+		counters.IndexSeeks++
+		rids, scanned := ix.Range(r.Lo, r.Hi)
+		counters.IndexEntries += int64(scanned)
+		counters.Tuples += int64(scanned) // intersection CPU
+		lists[i] = rids
+	}
+	rids := index.Intersect(lists...)
+	counters.RandPages += int64(len(rids))
+	counters.Tuples += int64(len(rids))
+	rows, err := fetchFiltered(t, schema, rids, pred)
+	if err != nil {
+		return nil, fmt.Errorf("engine: IndexIntersect(%s): %v", s.Table, err)
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+// fetchFiltered materializes the rows behind rids and keeps those passing
+// the (already bound) predicate.
+func fetchFiltered(t *storage.Table, schema expr.RelSchema, rids []int32, pred *expr.Bound) ([]value.Row, error) {
+	buf := make(value.Row, len(schema.Fields))
+	var rows []value.Row
+	for _, rid := range rids {
+		t.ReadRow(int(rid), buf)
+		ok, err := pred.Eval(buf)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, buf.Clone())
+		}
+	}
+	return rows, nil
+}

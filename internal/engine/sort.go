@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/value"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Col  expr.ColumnRef
+	Desc bool
+}
+
+func (k SortKey) String() string {
+	if k.Desc {
+		return k.Col.String() + " DESC"
+	}
+	return k.Col.String()
+}
+
+// Sort materializes and orders its input by the sort keys. Ties preserve
+// input order (stable sort).
+type Sort struct {
+	Input Node
+	By    []SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema(ctx *Context) (expr.RelSchema, error) { return s.Input.Schema(ctx) }
+
+// Describe implements Node.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.By))
+	for i, k := range s.By {
+		parts[i] = k.String()
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+// Execute implements Node.
+func (s *Sort) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	if len(s.By) == 0 {
+		return nil, fmt.Errorf("engine: Sort with no keys")
+	}
+	in, err := s.Input.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, len(s.By))
+	for i, k := range s.By {
+		idxs[i], err = in.Schema.Resolve(k.Col)
+		if err != nil {
+			return nil, fmt.Errorf("engine: Sort key: %v", err)
+		}
+	}
+	// Validate comparability up front so sort.SliceStable cannot panic on
+	// mixed types mid-comparison.
+	for _, row := range in.Rows {
+		for _, idx := range idxs {
+			if len(in.Rows) > 0 {
+				if _, err := value.Compare(row[idx], in.Rows[0][idx]); err != nil {
+					return nil, fmt.Errorf("engine: Sort: %v", err)
+				}
+			}
+		}
+	}
+	rows := make([]value.Row, len(in.Rows))
+	copy(rows, in.Rows)
+	counters.SortTuples += int64(len(rows))
+	sort.SliceStable(rows, func(a, b int) bool {
+		for ki, idx := range idxs {
+			c := value.MustCompare(rows[a][idx], rows[b][idx])
+			if c == 0 {
+				continue
+			}
+			if s.By[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return &Result{Schema: in.Schema, Rows: rows}, nil
+}
+
+// Limit passes through at most N input rows.
+type Limit struct {
+	Input Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema(ctx *Context) (expr.RelSchema, error) { return l.Input.Schema(ctx) }
+
+// Describe implements Node.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Execute implements Node.
+func (l *Limit) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	if l.N < 0 {
+		return nil, fmt.Errorf("engine: negative limit %d", l.N)
+	}
+	in, err := l.Input.Execute(ctx, counters)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Rows
+	if len(rows) > l.N {
+		rows = rows[:l.N]
+	}
+	return &Result{Schema: in.Schema, Rows: rows}, nil
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robustqo/internal/analytic"
+	"robustqo/internal/core"
+)
+
+// AnalyticThresholds are the confidence thresholds used across the
+// paper's analysis and evaluation (Sections 5 and 6).
+var AnalyticThresholds = []core.ConfidenceThreshold{0.05, 0.20, 0.50, 0.80, 0.95}
+
+// Fig1 reproduces Figure 1: execution cost of the two hypothetical plans
+// as a function of query selectivity, crossing at 26%.
+func Fig1() (*Figure, error) {
+	p1, p2 := analytic.Figure1Plans()
+	f := &Figure{
+		ID:     "fig1",
+		Title:  "Execution Costs for Two Hypothetical Plans",
+		XLabel: "selectivity",
+		YLabel: "execution cost",
+		Notes:  []string{fmt.Sprintf("crossover at %.0f%% selectivity", 100*(p2.Fixed-p1.Fixed)/(p1.Slope-p2.Slope))},
+	}
+	s1 := Series{Label: "Plan 1"}
+	s2 := Series{Label: "Plan 2"}
+	for _, x := range seq(0, 1, 0.05) {
+		s1.Points = append(s1.Points, Point{X: x, Y: p1.At(x)})
+		s2.Points = append(s2.Points, Point{X: x, Y: p2.At(x)})
+	}
+	f.Series = []Series{s1, s2}
+	return f, nil
+}
+
+// fig23Dists builds the Figure 2/3 cost distributions: the posterior from
+// a 200-tuple sample with 50 matches pushed through each plan's cost
+// function.
+func fig23Dists() (analytic.CostDist, analytic.CostDist, error) {
+	post, err := core.Jeffreys.Posterior(50, 200)
+	if err != nil {
+		return analytic.CostDist{}, analytic.CostDist{}, err
+	}
+	p1, p2 := analytic.Figure1Plans()
+	return analytic.CostDist{Posterior: post, Cost: p1},
+		analytic.CostDist{Posterior: post, Cost: p2}, nil
+}
+
+// Fig2 reproduces Figure 2: the probability density of each plan's
+// execution cost.
+func Fig2() (*Figure, error) {
+	d1, d2, err := fig23Dists()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig2",
+		Title:  "Probability Density Function for Execution Cost",
+		XLabel: "execution cost",
+		YLabel: "probability density",
+		Notes:  []string{"posterior from 50 of 200 sample tuples matching (Beta(50.5, 150.5))"},
+	}
+	s1 := Series{Label: "Plan 1"}
+	s2 := Series{Label: "Plan 2"}
+	for _, c := range seq(20, 45, 0.5) {
+		s1.Points = append(s1.Points, Point{X: c, Y: d1.PDF(c)})
+		s2.Points = append(s2.Points, Point{X: c, Y: d2.PDF(c)})
+	}
+	f.Series = []Series{s1, s2}
+	return f, nil
+}
+
+// Fig3 reproduces Figure 3: the cumulative distribution of each plan's
+// execution cost, whose crossing of the horizontal threshold lines picks
+// the plan (preference flips near T = 65%).
+func Fig3() (*Figure, error) {
+	d1, d2, err := fig23Dists()
+	if err != nil {
+		return nil, err
+	}
+	c150, err := d1.Quantile(0.5)
+	if err != nil {
+		return nil, err
+	}
+	c180, err := d1.Quantile(0.8)
+	if err != nil {
+		return nil, err
+	}
+	c250, err := d2.Quantile(0.5)
+	if err != nil {
+		return nil, err
+	}
+	c280, err := d2.Quantile(0.8)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig3",
+		Title:  "Cumulative Probability for Execution Cost",
+		XLabel: "execution cost",
+		YLabel: "cumulative probability",
+		Notes: []string{
+			fmt.Sprintf("T=50%%: plan1 %.1f, plan2 %.1f (paper: 30.2, 31.5)", c150, c250),
+			fmt.Sprintf("T=80%%: plan1 %.1f, plan2 %.1f (paper: 33.5, 31.9)", c180, c280),
+		},
+	}
+	s1 := Series{Label: "Plan 1"}
+	s2 := Series{Label: "Plan 2"}
+	for _, c := range seq(20, 45, 0.5) {
+		s1.Points = append(s1.Points, Point{X: c, Y: d1.CDF(c)})
+		s2.Points = append(s2.Points, Point{X: c, Y: d2.CDF(c)})
+	}
+	f.Series = []Series{s1, s2}
+	return f, nil
+}
+
+// Fig4 reproduces Figure 4: posterior densities under the uniform and
+// Jeffreys priors for samples of 100 (10 matching) and 500 (50 matching)
+// tuples — sample size matters, the prior does not.
+func Fig4() (*Figure, error) {
+	f := &Figure{
+		ID:     "fig4",
+		Title:  "Sample Size Matters, Prior Doesn't",
+		XLabel: "selectivity",
+		YLabel: "probability density",
+	}
+	cases := []struct {
+		label string
+		prior core.Prior
+		k, n  int
+	}{
+		{"uniform n=100", core.Uniform, 10, 100},
+		{"Jeffreys n=100", core.Jeffreys, 10, 100},
+		{"uniform n=500", core.Uniform, 50, 500},
+		{"Jeffreys n=500", core.Jeffreys, 50, 500},
+	}
+	for _, c := range cases {
+		post, err := c.prior.Posterior(c.k, c.n)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: c.label}
+		for _, x := range seq(0, 0.25, 0.005) {
+			s.Points = append(s.Points, Point{X: x, Y: post.PDF(x)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig5 reproduces Figure 5: expected execution time versus true
+// selectivity for five confidence thresholds, n = 1000, under the
+// Section 5.1 cost model.
+func Fig5() (*Figure, error) {
+	return thresholdSweep("fig5", "Effect of the Confidence Threshold",
+		analytic.Paper51Model(), 1000, AnalyticThresholds, seq(0, 0.01, 0.0005))
+}
+
+func thresholdSweep(id, title string, m analytic.TwoPlanModel, n int,
+	thresholds []core.ConfidenceThreshold, sels []float64) (*Figure, error) {
+	f := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "true selectivity",
+		YLabel: "expected execution time (s)",
+		Notes:  []string{fmt.Sprintf("sample size n=%d, crossover pc=%.4g", n, m.Crossover())},
+	}
+	for _, t := range thresholds {
+		s := Series{Label: fmt.Sprintf("T=%g%%", float64(t)*100)}
+		for _, p := range sels {
+			out, err := m.Evaluate(p, n, core.Jeffreys, t)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: p, Y: out.Mean})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig6 reproduces Figure 6: the performance/predictability trade-off —
+// each threshold becomes one (mean time, std dev) point over the Figure-5
+// workload of equally likely selectivities.
+func Fig6() (*Figure, error) {
+	m := analytic.Paper51Model()
+	f := &Figure{
+		ID:     "fig6",
+		Title:  "Performance vs. Predictability Trade-off",
+		XLabel: "average query time (s)",
+		YLabel: "std dev of query time (s)",
+		Notes:  []string{"one point per confidence threshold; selectivities 0–1% equally likely; n=1000"},
+	}
+	for _, t := range AnalyticThresholds {
+		var outs []analytic.Outcome
+		for _, p := range seq(0, 0.01, 0.0005) {
+			o, err := m.Evaluate(p, 1000, core.Jeffreys, t)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, o)
+		}
+		mean, sd := analytic.WorkloadSummary(outs)
+		f.Series = append(f.Series, Series{
+			Label:  fmt.Sprintf("T=%g%%", float64(t)*100),
+			Points: []Point{{X: mean, Y: sd}},
+		})
+	}
+	return f, nil
+}
+
+// Fig7 reproduces Figure 7: expected execution time versus selectivity
+// for sample sizes 100–5000 at T = 50%.
+func Fig7() (*Figure, error) {
+	m := analytic.Paper51Model()
+	f := &Figure{
+		ID:     "fig7",
+		Title:  "Effect of Sample Size",
+		XLabel: "true selectivity",
+		YLabel: "expected execution time (s)",
+		Notes:  []string{"confidence threshold fixed at 50%"},
+	}
+	for _, n := range []int{100, 250, 500, 1000, 5000} {
+		s := Series{Label: fmt.Sprintf("n=%d", n)}
+		for _, p := range seq(0, 0.01, 0.0005) {
+			out, err := m.Evaluate(p, n, core.Jeffreys, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: p, Y: out.Mean})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig8 reproduces Figure 8: with the crossover pushed to ~5.2%
+// selectivity, sampling works well regardless of the threshold; the pure
+// plan cost lines are included as in the paper.
+func Fig8() (*Figure, error) {
+	m := analytic.HighCrossoverModel()
+	f, err := thresholdSweep("fig8", "Crossover Point at Higher Selectivity",
+		m, 1000, []core.ConfidenceThreshold{0.05, 0.50, 0.95}, seq(0, 0.20, 0.01))
+	if err != nil {
+		return nil, err
+	}
+	s1 := Series{Label: "Plan P1"}
+	s2 := Series{Label: "Plan P2"}
+	for _, p := range seq(0, 0.20, 0.01) {
+		s1.Points = append(s1.Points, Point{X: p, Y: m.CostOf(analytic.StablePlan, p)})
+		s2.Points = append(s2.Points, Point{X: p, Y: m.CostOf(analytic.RiskyPlan, p)})
+	}
+	f.Series = append(f.Series, s1, s2)
+	return f, nil
+}

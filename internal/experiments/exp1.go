@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robustqo/internal/core"
+	"robustqo/internal/sample"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/tpch"
+)
+
+// exp1TargetSelectivities is the Figure 9 x-grid: 0% to 0.6% of lineitem
+// rows in 0.05% steps (Section 6.2.1).
+func exp1TargetSelectivities() []float64 {
+	return seq(0, 0.006, 0.0005)
+}
+
+// shiftCalibrator measures and memoizes the true joint selectivity of the
+// Experiment-1 predicate as a function of the date-window shift.
+type shiftCalibrator struct {
+	db    *storage.Database
+	cache map[int64]float64
+}
+
+func newShiftCalibrator(db *storage.Database) *shiftCalibrator {
+	return &shiftCalibrator{db: db, cache: make(map[int64]float64)}
+}
+
+func (c *shiftCalibrator) selOf(shift int64) (float64, error) {
+	if v, ok := c.cache[shift]; ok {
+		return v, nil
+	}
+	v, err := sample.ExactFraction(c.db, []string{"lineitem"}, tpch.Experiment1Predicate(shift))
+	if err != nil {
+		return 0, err
+	}
+	c.cache[shift] = v
+	return v, nil
+}
+
+// calibrate finds the integer shift whose true selectivity best
+// approaches the target from above, exactly as the paper "varied the
+// degree of overlap so that the overall query selectivity was between 0%
+// and 0.6%". Selectivity decreases monotonically in the shift beyond the
+// receipt-delay mode.
+func (c *shiftCalibrator) calibrate(target float64) (shift int64, actual float64, err error) {
+	if target <= 0 {
+		const far = 200 // no possible window overlap
+		v, err := c.selOf(far)
+		if err != nil {
+			return 0, 0, err
+		}
+		return far, v, nil
+	}
+	lo, hi := int64(tpch.MaxReceiptDelay/2), int64(200)
+	sLo, err := c.selOf(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	if target >= sLo {
+		return lo, sLo, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		v, err := c.selOf(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	v, err := c.selOf(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, v, nil
+}
+
+// exp1Runner builds the Experiment-1 database, runner, and calibrated
+// query points.
+func exp1Runner(cfg SystemConfig) (*sysRunner, []queryPoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	db, err := tpch.Generate(tpch.Config{Lines: cfg.Lines, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	cal := newShiftCalibrator(db)
+	var points []queryPoint
+	for _, target := range exp1TargetSelectivities() {
+		shift, sel, err := cal.calibrate(target)
+		if err != nil {
+			return nil, nil, err
+		}
+		points = append(points, queryPoint{sel: sel, q: tpch.Experiment1Query(shift)})
+	}
+	r, err := newSysRunner(db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, points, nil
+}
+
+// Exp1Figures reproduces Figure 9: the single-table two-predicate
+// lineitem query of Section 6.2.1, returning the (a) time-vs-selectivity
+// and (b) performance-vs-predictability panels.
+func Exp1Figures(cfg SystemConfig) (*Figure, *Figure, error) {
+	r, points, err := exp1Runner(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.scenarioFigures("fig9a", "fig9b", "Two-Predicate lineitem Query", points)
+}
+
+// Exp4Figure reproduces Figure 12: Experiment 1 at T = 50% with the
+// sample size swept from 50 to 2500 tuples; each size becomes one
+// (mean, std-dev) point, with the histogram baseline for comparison.
+func Exp4Figure(cfg SystemConfig, sizes []int) (*Figure, error) {
+	if len(sizes) == 0 {
+		sizes = []int{50, 100, 250, 500, 1000, 2500}
+	}
+	fig := &Figure{
+		ID:     "fig12",
+		Title:  "Effect of Sample Size (Experiment 4)",
+		XLabel: "average execution time (s)",
+		YLabel: "std dev execution time (s)",
+		Notes:  []string{"confidence threshold fixed at 50%"},
+	}
+	var histPoint *Point
+	for _, n := range sizes {
+		c := cfg
+		c.SampleSize = n
+		c.Thresholds = []core.ConfidenceThreshold{0.5}
+		r, points, err := exp1Runner(c)
+		if err != nil {
+			return nil, err
+		}
+		var pooled []float64
+		for _, pt := range points {
+			times, err := r.bayesTimes(pt.q, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			pooled = append(pooled, times...)
+		}
+		mean, sd := stats.MeanStd(pooled)
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("n=%d", n),
+			Points: []Point{{X: mean, Y: sd}},
+		})
+		if histPoint == nil {
+			var histAll []float64
+			for _, pt := range points {
+				secs, err := r.histTime(pt.q)
+				if err != nil {
+					return nil, err
+				}
+				histAll = append(histAll, secs)
+			}
+			hm, hs := stats.MeanStd(histAll)
+			histPoint = &Point{X: hm, Y: hs}
+		}
+	}
+	if histPoint != nil {
+		fig.Series = append(fig.Series, Series{Label: "Histograms", Points: []Point{*histPoint}})
+	}
+	return fig, nil
+}

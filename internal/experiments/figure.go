@@ -1,0 +1,146 @@
+// Package experiments regenerates every figure of the paper's analysis
+// and evaluation sections (Figures 1–12) plus the Section 6.1 estimation
+// overhead measurement, as data series rendered to text tables or CSV.
+//
+// Figures 1–8 are closed-form (package analytic). Figures 9–12 run the
+// full system: generate the workload data, build per-sample join
+// synopses, optimize each query with the robust estimator at several
+// confidence thresholds (and with the histogram baseline), execute the
+// chosen plans, and report simulated execution times.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve or scatter set.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced figure: a set of series over a shared x-axis.
+type Figure struct {
+	ID     string // e.g. "fig5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as an aligned text table, one row per distinct
+// x value and one column per series. Missing values print as "-".
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "   %s\n", n); err != nil {
+			return err
+		}
+	}
+	// Collect the x grid.
+	xsSeen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !xsSeen[p.X] {
+				xsSeen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = formatNum(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the figure in long form: series,x,y.
+func (f *Figure) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "figure,series,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s\n", f.ID, csvEscape(s.Label), formatNum(p.X), formatNum(p.Y)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatNum(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4e", v)
+	}
+}
+
+// seq returns an inclusive arithmetic sequence.
+func seq(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+1e-12; x += step {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"robustqo/internal/core"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/stats"
+	"robustqo/internal/tpch"
+)
+
+// OverheadFigure reproduces the Section 6.1 measurement: wall-clock query
+// optimization time under the sampling-based estimator (for several
+// sample sizes) versus the histogram baseline, on the Experiment-1 query.
+// The paper reports roughly 30–40% more time for its unoptimized
+// sampling prototype.
+func OverheadFigure(cfg SystemConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db, err := tpch.Generate(tpch.Config{Lines: cfg.Lines, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	r, err := newSysRunner(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	q := tpch.Experiment1Query(60)
+	const reps = 50
+
+	timeOpt := func(est core.Estimator) (float64, error) {
+		opt, err := optimizer.New(r.ctx, est)
+		if err != nil {
+			return 0, err
+		}
+		// Warm up once, then time.
+		if _, err := opt.Optimize(q); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := opt.Optimize(q); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / reps, nil
+	}
+
+	fig := &Figure{
+		ID:     "ovh",
+		Title:  "Estimation Overhead (Section 6.1)",
+		XLabel: "sample size (0 = histograms)",
+		YLabel: "optimization time (µs/query)",
+	}
+	histMicros, err := timeOpt(r.hist)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, Series{
+		Label:  "Histograms",
+		Points: []Point{{X: 0, Y: histMicros}},
+	})
+	sampling := Series{Label: "Sampling"}
+	rng := stats.NewRNG(cfg.Seed ^ 0xfeed)
+	for _, n := range []int{100, 250, 500, 1000} {
+		set, err := sample.BuildAll(db, n, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.NewBayesEstimator(set, 0.8)
+		if err != nil {
+			return nil, err
+		}
+		micros, err := timeOpt(est)
+		if err != nil {
+			return nil, err
+		}
+		sampling.Points = append(sampling.Points, Point{X: float64(n), Y: micros})
+		if n == cfg.SampleSize {
+			fig.Notes = append(fig.Notes, fmt.Sprintf(
+				"n=%d sampling / histogram time ratio: %.2f (paper prototype: 1.3–1.4)",
+				n, micros/histMicros))
+		}
+	}
+	fig.Series = append(fig.Series, sampling)
+	return fig, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces the figures for one experiment id.
+type Runner func(cfg SystemConfig) ([]*Figure, error)
+
+// Registry maps experiment ids (figure numbers) to their drivers.
+// Analytic figures ignore the SystemConfig.
+var Registry = map[string]Runner{
+	"fig1": wrap1(func(SystemConfig) (*Figure, error) { return Fig1() }),
+	"fig2": wrap1(func(SystemConfig) (*Figure, error) { return Fig2() }),
+	"fig3": wrap1(func(SystemConfig) (*Figure, error) { return Fig3() }),
+	"fig4": wrap1(func(SystemConfig) (*Figure, error) { return Fig4() }),
+	"fig5": wrap1(func(SystemConfig) (*Figure, error) { return Fig5() }),
+	"fig6": wrap1(func(SystemConfig) (*Figure, error) { return Fig6() }),
+	"fig7": wrap1(func(SystemConfig) (*Figure, error) { return Fig7() }),
+	"fig8": wrap1(func(SystemConfig) (*Figure, error) { return Fig8() }),
+	"fig9": func(cfg SystemConfig) ([]*Figure, error) {
+		a, b, err := Exp1Figures(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{a, b}, nil
+	},
+	"fig10": func(cfg SystemConfig) ([]*Figure, error) {
+		a, b, err := Exp2Figures(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{a, b}, nil
+	},
+	"fig11": func(cfg SystemConfig) ([]*Figure, error) {
+		a, b, err := Exp3Figures(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{a, b}, nil
+	},
+	"fig12": func(cfg SystemConfig) ([]*Figure, error) {
+		f, err := Exp4Figure(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{f}, nil
+	},
+	"ovh":           wrap1(OverheadFigure),
+	"ablation-rule": wrap1(AblationRuleFigure),
+}
+
+func wrap1(f func(SystemConfig) (*Figure, error)) Runner {
+	return func(cfg SystemConfig) ([]*Figure, error) {
+		fig, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{fig}, nil
+	}
+}
+
+// IDs returns the registered experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware ordering: fig2 before fig10, ovh last.
+		return idKey(out[i]) < idKey(out[j])
+	})
+	return out
+}
+
+func idKey(id string) string {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return fmt.Sprintf("a%02d", n)
+	}
+	return "z" + id
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg SystemConfig) ([]*Figure, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robustqo/internal/core"
+	"robustqo/internal/engine"
+	"robustqo/internal/histogram"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+)
+
+// SystemConfig scales the real-system experiments (Figures 9–12). The
+// defaults reproduce the paper's setups at roughly 1/100 of its data
+// volume; simulated execution times scale accordingly while every
+// crossover and trade-off shape is preserved (see DESIGN.md).
+type SystemConfig struct {
+	Lines      int    // lineitem rows for Experiments 1–2 (paper: 6e6)
+	Parts      int    // part rows for Experiment 2
+	FactRows   int    // fact rows for Experiment 3 (paper: 1e7)
+	DimRows    int    // dimension rows for Experiment 3 (paper: 1000)
+	SampleSize int    // synopsis tuples (paper: 500)
+	Samples    int    // independent sample sets averaged over (paper: 12–20)
+	Seed       uint64 // base seed for data and samples
+	Thresholds []core.ConfidenceThreshold
+}
+
+// DefaultSystemConfig returns the standard scaled-down configuration.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Lines:      60_000,
+		Parts:      20_000,
+		FactRows:   100_000,
+		DimRows:    1_000,
+		SampleSize: sample.DefaultSize,
+		Samples:    12,
+		Seed:       2005,
+		Thresholds: AnalyticThresholds,
+	}
+}
+
+func (c *SystemConfig) validate() error {
+	if c.Lines <= 0 || c.FactRows <= 0 || c.SampleSize <= 0 || c.Samples <= 0 {
+		return fmt.Errorf("experiments: sizes and sample counts must be positive: %+v", *c)
+	}
+	if len(c.Thresholds) == 0 {
+		return fmt.Errorf("experiments: no confidence thresholds configured")
+	}
+	for _, t := range c.Thresholds {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sysRunner optimizes and executes queries against one database under
+// several estimators, caching plan executions (execution is deterministic
+// given a plan, so repeated choices across samples and thresholds reuse
+// the measured time).
+type sysRunner struct {
+	db        *storage.Database
+	ctx       *engine.Context
+	cfg       SystemConfig
+	samples   []*sample.Set
+	hist      core.Estimator
+	execCache map[string]float64
+}
+
+func newSysRunner(db *storage.Database, cfg SystemConfig) (*sysRunner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x5a5a5a5a)
+	samples := make([]*sample.Set, cfg.Samples)
+	for i := range samples {
+		set, err := sample.BuildAll(db, cfg.SampleSize, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = set
+	}
+	hists, err := histogram.BuildAll(db)
+	if err != nil {
+		return nil, err
+	}
+	histEst, err := core.NewHistogramEstimator(hists, db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	return &sysRunner{
+		db:        db,
+		ctx:       ctx,
+		cfg:       cfg,
+		samples:   samples,
+		hist:      histEst,
+		execCache: make(map[string]float64),
+	}, nil
+}
+
+// run optimizes the query with the estimator and returns the simulated
+// execution time of the chosen plan.
+func (r *sysRunner) run(q *optimizer.Query, est core.Estimator) (float64, error) {
+	opt, err := optimizer.New(r.ctx, est)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		return 0, err
+	}
+	key := plan.Explain()
+	if secs, ok := r.execCache[key]; ok {
+		return secs, nil
+	}
+	_, _, secs, err := engine.Run(r.ctx, plan.Root)
+	if err != nil {
+		return 0, err
+	}
+	r.execCache[key] = secs
+	return secs, nil
+}
+
+// bayesTimes runs the query once per sample set at the given threshold
+// and sample size, returning the execution time of each chosen plan.
+// sampleSize <= 0 means the configured synopsis size.
+func (r *sysRunner) bayesTimes(q *optimizer.Query, t core.ConfidenceThreshold) ([]float64, error) {
+	times := make([]float64, 0, len(r.samples))
+	for _, set := range r.samples {
+		est, err := core.NewBayesEstimator(set, t)
+		if err != nil {
+			return nil, err
+		}
+		secs, err := r.run(q, est)
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, secs)
+	}
+	return times, nil
+}
+
+// histTime runs the query once under the histogram baseline.
+func (r *sysRunner) histTime(q *optimizer.Query) (float64, error) {
+	return r.run(q, r.hist)
+}
+
+// scenarioFigures builds the paper's two-panel presentation for a set of
+// query points: (a) average execution time versus true selectivity per
+// threshold plus the histogram baseline, and (b) the
+// performance/predictability scatter with one point per threshold.
+type queryPoint struct {
+	sel float64
+	q   *optimizer.Query
+}
+
+func (r *sysRunner) scenarioFigures(idA, idB, title string, points []queryPoint) (*Figure, *Figure, error) {
+	figA := &Figure{
+		ID:     idA,
+		Title:  title + " — Selectivity vs Time",
+		XLabel: "query selectivity",
+		YLabel: "average execution time (s)",
+		Notes: []string{fmt.Sprintf("averaged over %d random %d-tuple samples",
+			r.cfg.Samples, r.cfg.SampleSize)},
+	}
+	figB := &Figure{
+		ID:     idB,
+		Title:  title + " — Performance vs Predictability",
+		XLabel: "average query time (s)",
+		YLabel: "std dev query time (s)",
+	}
+	for _, t := range r.cfg.Thresholds {
+		label := fmt.Sprintf("T=%g%%", float64(t)*100)
+		avgSeries := Series{Label: label}
+		var pooled []float64
+		for _, pt := range points {
+			times, err := r.bayesTimes(pt.q, t)
+			if err != nil {
+				return nil, nil, err
+			}
+			mean, _ := stats.MeanStd(times)
+			avgSeries.Points = append(avgSeries.Points, Point{X: pt.sel, Y: mean})
+			pooled = append(pooled, times...)
+		}
+		mean, sd := stats.MeanStd(pooled)
+		figA.Series = append(figA.Series, avgSeries)
+		figB.Series = append(figB.Series, Series{Label: label, Points: []Point{{X: mean, Y: sd}}})
+	}
+	histSeries := Series{Label: "Histograms"}
+	var histAll []float64
+	for _, pt := range points {
+		secs, err := r.histTime(pt.q)
+		if err != nil {
+			return nil, nil, err
+		}
+		histSeries.Points = append(histSeries.Points, Point{X: pt.sel, Y: secs})
+		histAll = append(histAll, secs)
+	}
+	figA.Series = append(figA.Series, histSeries)
+	hm, hs := stats.MeanStd(histAll)
+	figB.Series = append(figB.Series, Series{Label: "Histograms", Points: []Point{{X: hm, Y: hs}}})
+	return figA, figB, nil
+}

@@ -1,0 +1,396 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/value"
+)
+
+// Field is one column of a relation schema as seen by the binder:
+// the (possibly empty) table qualifier, the column name, and the type.
+type Field struct {
+	Table  string
+	Column string
+	Type   catalog.Type
+}
+
+// RelSchema describes the tuple layout an expression is evaluated against.
+// Base-table scans use a schema with one field per table column; join
+// results and join synopses use concatenated, table-qualified schemas.
+type RelSchema struct {
+	Fields []Field
+}
+
+// SchemaForTable builds the RelSchema of a base table, qualifying each
+// field with the table name.
+func SchemaForTable(s *catalog.TableSchema) RelSchema {
+	fields := make([]Field, len(s.Columns))
+	for i, c := range s.Columns {
+		fields[i] = Field{Table: s.Name, Column: c.Name, Type: c.Type}
+	}
+	return RelSchema{Fields: fields}
+}
+
+// Concat returns the schema of this schema's fields followed by other's.
+func (rs RelSchema) Concat(other RelSchema) RelSchema {
+	fields := make([]Field, 0, len(rs.Fields)+len(other.Fields))
+	fields = append(fields, rs.Fields...)
+	fields = append(fields, other.Fields...)
+	return RelSchema{Fields: fields}
+}
+
+// Resolve finds the ordinal of a column reference. Qualified references
+// must match both table and column; unqualified references must match a
+// unique column name across the schema.
+func (rs RelSchema) Resolve(ref ColumnRef) (int, error) {
+	found := -1
+	for i, f := range rs.Fields {
+		if f.Column != ref.Column {
+			continue
+		}
+		if ref.Table != "" && f.Table != ref.Table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("expr: ambiguous column reference %s", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("expr: unknown column %s in schema %s", ref, rs)
+	}
+	return found, nil
+}
+
+// String renders the schema for error messages.
+func (rs RelSchema) String() string {
+	parts := make([]string, len(rs.Fields))
+	for i, f := range rs.Fields {
+		name := f.Column
+		if f.Table != "" {
+			name = f.Table + "." + f.Column
+		}
+		parts[i] = name
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Bound is a predicate compiled against a specific schema, ready for
+// repeated evaluation over rows of that schema.
+type Bound struct {
+	eval func(row value.Row) (bool, error)
+	src  Expr
+}
+
+// Expr returns the source expression the predicate was bound from.
+func (b *Bound) Expr() Expr { return b.src }
+
+// Eval evaluates the predicate over a row.
+func (b *Bound) Eval(row value.Row) (bool, error) { return b.eval(row) }
+
+// Bind compiles a predicate expression against a schema. A nil expression
+// binds to the always-true predicate.
+func Bind(e Expr, schema RelSchema) (*Bound, error) {
+	if e == nil {
+		return &Bound{eval: func(value.Row) (bool, error) { return true, nil }}, nil
+	}
+	f, err := bindPred(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Bound{eval: f, src: e}, nil
+}
+
+// BoundScalar is a scalar expression compiled against a schema.
+type BoundScalar struct {
+	eval func(row value.Row) (value.Value, error)
+}
+
+// Eval evaluates the scalar over a row.
+func (b *BoundScalar) Eval(row value.Row) (value.Value, error) { return b.eval(row) }
+
+// BindScalar compiles a scalar expression against a schema.
+func BindScalar(e Expr, schema RelSchema) (*BoundScalar, error) {
+	f, err := bindScalar(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundScalar{eval: f}, nil
+}
+
+type predFn func(value.Row) (bool, error)
+
+type scalarFn func(value.Row) (value.Value, error)
+
+func bindPred(e Expr, schema RelSchema) (predFn, error) {
+	switch n := e.(type) {
+	case Cmp:
+		l, err := bindScalar(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalar(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(row value.Row) (bool, error) {
+			lv, err := l(row)
+			if err != nil {
+				return false, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return false, err
+			}
+			c, err := value.Compare(lv, rv)
+			if err != nil {
+				return false, err
+			}
+			switch op {
+			case EQ:
+				return c == 0, nil
+			case NE:
+				return c != 0, nil
+			case LT:
+				return c < 0, nil
+			case LE:
+				return c <= 0, nil
+			case GT:
+				return c > 0, nil
+			default:
+				return c >= 0, nil
+			}
+		}, nil
+	case Between:
+		v, err := bindScalar(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bindScalar(n.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bindScalar(n.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (bool, error) {
+			vv, err := v(row)
+			if err != nil {
+				return false, err
+			}
+			lov, err := lo(row)
+			if err != nil {
+				return false, err
+			}
+			cLo, err := value.Compare(vv, lov)
+			if err != nil {
+				return false, err
+			}
+			if cLo < 0 {
+				return false, nil
+			}
+			hiv, err := hi(row)
+			if err != nil {
+				return false, err
+			}
+			cHi, err := value.Compare(vv, hiv)
+			if err != nil {
+				return false, err
+			}
+			return cHi <= 0, nil
+		}, nil
+	case And:
+		terms, err := bindPredList(n.Terms, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (bool, error) {
+			for _, t := range terms {
+				ok, err := t(row)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		}, nil
+	case Or:
+		terms, err := bindPredList(n.Terms, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (bool, error) {
+			for _, t := range terms {
+				ok, err := t(row)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			}
+			return false, nil
+		}, nil
+	case Not:
+		inner, err := bindPred(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (bool, error) {
+			ok, err := inner(row)
+			return !ok, err
+		}, nil
+	case Contains:
+		v, err := bindScalar(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		sub := n.Substr
+		return func(row value.Row) (bool, error) {
+			vv, err := v(row)
+			if err != nil {
+				return false, err
+			}
+			if vv.Kind != catalog.String {
+				return false, fmt.Errorf("expr: CONTAINS over non-string value %s", vv)
+			}
+			return strings.Contains(vv.S, sub), nil
+		}, nil
+	case In:
+		if len(n.Vals) == 0 {
+			return nil, fmt.Errorf("expr: IN with an empty value list")
+		}
+		v, err := bindScalar(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		vals := n.Vals
+		return func(row value.Row) (bool, error) {
+			vv, err := v(row)
+			if err != nil {
+				return false, err
+			}
+			for _, candidate := range vals {
+				c, err := value.Compare(vv, candidate)
+				if err != nil {
+					return false, err
+				}
+				if c == 0 {
+					return true, nil
+				}
+			}
+			return false, nil
+		}, nil
+	case Col, Lit, Arith:
+		return nil, fmt.Errorf("expr: %s is not a predicate", e)
+	default:
+		return nil, fmt.Errorf("expr: unsupported predicate node %T", e)
+	}
+}
+
+func bindPredList(terms []Expr, schema RelSchema) ([]predFn, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("expr: empty boolean connective")
+	}
+	out := make([]predFn, len(terms))
+	for i, t := range terms {
+		f, err := bindPred(t, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func bindScalar(e Expr, schema RelSchema) (scalarFn, error) {
+	switch n := e.(type) {
+	case Col:
+		idx, err := schema.Resolve(n.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (value.Value, error) {
+			if idx >= len(row) {
+				return value.Value{}, fmt.Errorf("expr: row too short for column ordinal %d", idx)
+			}
+			return row[idx], nil
+		}, nil
+	case Lit:
+		v := n.Val
+		return func(value.Row) (value.Value, error) { return v, nil }, nil
+	case Arith:
+		l, err := bindScalar(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalar(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(row value.Row) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return applyArith(op, lv, rv)
+		}, nil
+	case Cmp, Between, And, Or, Not, Contains, In:
+		return nil, fmt.Errorf("expr: predicate %s used as scalar", e)
+	default:
+		return nil, fmt.Errorf("expr: unsupported scalar node %T", e)
+	}
+}
+
+func applyArith(op ArithOp, l, r value.Value) (value.Value, error) {
+	if !l.Numeric() || !r.Numeric() {
+		return value.Value{}, fmt.Errorf("expr: arithmetic over non-numeric values %s %s %s", l, op, r)
+	}
+	// Integer arithmetic when both operands are integral; this keeps date
+	// shifting (date + days) exact, which Experiment 1's template relies on.
+	if l.Kind != catalog.Float && r.Kind != catalog.Float {
+		kind := l.Kind
+		if r.Kind == catalog.Date {
+			kind = catalog.Date
+		}
+		var out int64
+		switch op {
+		case Add:
+			out = l.I + r.I
+		case Sub:
+			out = l.I - r.I
+		case Mul:
+			out = l.I * r.I
+		case Div:
+			if r.I == 0 {
+				return value.Value{}, fmt.Errorf("expr: integer division by zero")
+			}
+			out = l.I / r.I
+		}
+		return value.Value{Kind: kind, I: out}, nil
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	var out float64
+	switch op {
+	case Add:
+		out = lf + rf
+	case Sub:
+		out = lf - rf
+	case Mul:
+		out = lf * rf
+	case Div:
+		if rf == 0 {
+			return value.Value{}, fmt.Errorf("expr: division by zero")
+		}
+		out = lf / rf
+	}
+	return value.Float(out), nil
+}

@@ -1,0 +1,467 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/value"
+)
+
+// Parse parses a SQL-like predicate such as
+//
+//	l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'
+//	  AND (l_quantity + 2) * 3 >= 10
+//	  AND p_comment CONTAINS 'promo'
+//
+// Supported: comparison operators (=, <>, !=, <, <=, >, >=), BETWEEN..AND,
+// AND/OR/NOT, parentheses, + - * /, unary minus, integer/float/string
+// literals, DATE 'YYYY-MM-DD' literals, and optionally table-qualified
+// column names. Keywords are case-insensitive.
+//
+// Whether the result is a valid predicate (rather than a bare scalar) is
+// checked by Bind, which performs name and type resolution.
+func Parse(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("expr: unexpected trailing input at %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for compile-time-constant predicates; it panics on
+// syntax errors.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation operators
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, idents as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"CONTAINS": true, "LIKE": true, "DATE": true, "TRUE": true, "FALSE": true,
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '+' || c == '-' || c == '*' || c == '/' || c == ',':
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokOp, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("expr: stray '!' at offset %d", i)
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("expr: unterminated string starting at offset %d", i)
+				}
+				if input[j] == '\'' {
+					// '' escapes a quote inside a string.
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' && !seenDot) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			if j == i || input[i:j] == "." {
+				return nil, fmt.Errorf("expr: bad number at offset %d", i)
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{tokKeyword, upper, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("expr: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptOp(text string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("expr: expected %s at offset %d, found %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for p.acceptKeyword("OR") {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return Or{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for p.acceptKeyword("AND") {
+		t, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return And{Terms: terms}, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": EQ, "<>": NE, "<": LT, "<=": LE, ">": GT, ">=": GE,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: left, Lo: lo, Hi: hi}, nil
+	}
+	if p.acceptKeyword("IN") {
+		if !p.acceptOp("(") {
+			return nil, fmt.Errorf("expr: IN requires a parenthesized value list at offset %d", p.peek().pos)
+		}
+		var vals []value.Value
+		for {
+			elem, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			lit, ok := elem.(Lit)
+			if !ok {
+				return nil, fmt.Errorf("expr: IN list elements must be literals, got %s", elem)
+			}
+			vals = append(vals, lit.Val)
+			if p.acceptOp(",") {
+				continue
+			}
+			if p.acceptOp(")") {
+				break
+			}
+			return nil, fmt.Errorf("expr: expected ',' or ')' in IN list at offset %d", p.peek().pos)
+		}
+		return In{E: left, Vals: vals}, nil
+	}
+	if p.acceptKeyword("CONTAINS") || p.acceptKeyword("LIKE") {
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("expr: CONTAINS/LIKE requires a string literal at offset %d", t.pos)
+		}
+		p.next()
+		pattern := t.text
+		// LIKE patterns are restricted to the '%sub%' form the engine
+		// supports; strip the wildcards.
+		pattern = strings.TrimPrefix(pattern, "%")
+		pattern = strings.TrimSuffix(pattern, "%")
+		if strings.ContainsAny(pattern, "%_") {
+			return nil, fmt.Errorf("expr: only '%%substring%%' LIKE patterns are supported, got %q", t.text)
+		}
+		return Contains{E: left, Substr: pattern}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith{Op: Add, L: left, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith{Op: Sub, L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith{Op: Mul, L: left, R: r}
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith{Op: Div, L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold negated literals.
+		if l, ok := e.(Lit); ok {
+			v := l.Val
+			if v.Kind == catalog.Float {
+				v.F = -v.F
+			} else {
+				v.I = -v.I
+			}
+			return Lit{Val: v}, nil
+		}
+		return Arith{Op: Sub, L: IntLit(0), R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad float %q: %v", t.text, err)
+			}
+			return FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad integer %q: %v", t.text, err)
+		}
+		return IntLit(i), nil
+	case tokString:
+		p.next()
+		return StrLit(t.text), nil
+	case tokKeyword:
+		if t.text == "DATE" {
+			p.next()
+			s := p.peek()
+			if s.kind != tokString {
+				return nil, fmt.Errorf("expr: DATE requires a 'YYYY-MM-DD' string at offset %d", s.pos)
+			}
+			p.next()
+			days, err := value.ParseDate(s.text)
+			if err != nil {
+				return nil, err
+			}
+			return DateLit(days), nil
+		}
+		return nil, fmt.Errorf("expr: unexpected keyword %s at offset %d", t.text, t.pos)
+	case tokIdent:
+		p.next()
+		if dot := strings.IndexByte(t.text, '.'); dot >= 0 {
+			table, col := t.text[:dot], t.text[dot+1:]
+			if table == "" || col == "" || strings.Contains(col, ".") {
+				return nil, fmt.Errorf("expr: bad column reference %q", t.text)
+			}
+			return TC(table, col), nil
+		}
+		return C(t.text), nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptOp(")") {
+				return nil, fmt.Errorf("expr: missing ')' at offset %d", p.peek().pos)
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q at offset %d", t.text, t.pos)
+}

@@ -1,0 +1,194 @@
+package histogram
+
+import (
+	"math"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+)
+
+// Estimate returns the selectivity a conventional optimizer would assign
+// to pred over the (foreign-key) join of tables, combining per-column
+// histogram estimates under the attribute value independence assumption
+// and falling back to magic numbers for predicate shapes histograms
+// cannot model (multi-column comparisons, arithmetic, substring matches).
+//
+// It never fails: unresolvable inputs degrade to magic constants, exactly
+// as Section 3.5 describes real systems behaving. A nil predicate has
+// selectivity 1.
+func Estimate(c *Collection, cat *catalog.Catalog, tables []string, pred expr.Expr) float64 {
+	e := &aviEstimator{c: c, cat: cat, tables: tables}
+	sel := e.sel(pred)
+	if sel < 0 {
+		return 0
+	}
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+type aviEstimator struct {
+	c      *Collection
+	cat    *catalog.Catalog
+	tables []string
+}
+
+func (e *aviEstimator) sel(p expr.Expr) float64 {
+	switch n := p.(type) {
+	case nil:
+		return 1
+	case expr.And:
+		// The AVI assumption: multiply the marginals.
+		s := 1.0
+		for _, t := range n.Terms {
+			s *= e.sel(t)
+		}
+		return s
+	case expr.Or:
+		// Independence again: P(a or b) = 1 - prod(1 - P).
+		s := 1.0
+		for _, t := range n.Terms {
+			s *= 1 - e.sel(t)
+		}
+		return 1 - s
+	case expr.Not:
+		return 1 - e.sel(n.E)
+	case expr.Between:
+		col, ok := n.E.(expr.Col)
+		lo, okLo := litValue(n.Lo)
+		hi, okHi := litValue(n.Hi)
+		if !ok || !okLo || !okHi {
+			return MagicRange
+		}
+		h, found := e.histFor(col.Ref)
+		if !found {
+			return MagicRange
+		}
+		return h.SelRange(lo, hi)
+	case expr.Cmp:
+		return e.selCmp(n)
+	case expr.In:
+		col, ok := n.E.(expr.Col)
+		if !ok {
+			return MagicOther
+		}
+		h, found := e.histFor(col.Ref)
+		if !found {
+			// One magic-equality contribution per listed value, capped.
+			s := MagicEq * float64(len(n.Vals))
+			if s > 1 {
+				s = 1
+			}
+			return s
+		}
+		s := 0.0
+		for _, v := range n.Vals {
+			if !v.Numeric() {
+				continue
+			}
+			s += h.SelEq(v.AsFloat())
+		}
+		if s > 1 {
+			s = 1
+		}
+		return s
+	case expr.Contains:
+		return MagicOther
+	default:
+		return MagicOther
+	}
+}
+
+func (e *aviEstimator) selCmp(n expr.Cmp) float64 {
+	col, okCol := n.L.(expr.Col)
+	lit, okLit := litValue(n.R)
+	op := n.Op
+	if !okCol || !okLit {
+		// Try the flipped orientation lit op col.
+		if c2, ok2 := n.R.(expr.Col); ok2 {
+			if v2, okv := litValue(n.L); okv {
+				col, lit, okCol, okLit = c2, v2, true, true
+				op = flipCmp(op)
+			}
+		}
+	}
+	if !okCol || !okLit {
+		// Column-to-column or arithmetic comparison: magic numbers.
+		if op == expr.EQ {
+			return MagicEq
+		}
+		return MagicRange
+	}
+	h, found := e.histFor(col.Ref)
+	if !found {
+		if op == expr.EQ {
+			return MagicEq
+		}
+		return MagicRange
+	}
+	const inf = math.MaxFloat64
+	switch op {
+	case expr.EQ:
+		return h.SelEq(lit)
+	case expr.NE:
+		return 1 - h.SelEq(lit)
+	case expr.LT:
+		return h.SelRange(-inf, lit) - h.SelEq(lit)
+	case expr.LE:
+		return h.SelRange(-inf, lit)
+	case expr.GT:
+		return h.SelRange(lit, inf) - h.SelEq(lit)
+	default: // GE
+		return h.SelRange(lit, inf)
+	}
+}
+
+func (e *aviEstimator) histFor(ref expr.ColumnRef) (*Histogram, bool) {
+	if ref.Table != "" {
+		return e.c.Lookup(ref.Table, ref.Column)
+	}
+	// Unqualified: unique match across the query's tables.
+	var found *Histogram
+	matches := 0
+	for _, t := range e.tables {
+		s, ok := e.cat.Table(t)
+		if !ok {
+			continue
+		}
+		if s.ColumnIndex(ref.Column) < 0 {
+			continue
+		}
+		matches++
+		if h, ok := e.c.Lookup(t, ref.Column); ok {
+			found = h
+		}
+	}
+	if matches != 1 || found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+func litValue(p expr.Expr) (float64, bool) {
+	l, ok := p.(expr.Lit)
+	if !ok || !l.Val.Numeric() {
+		return 0, false
+	}
+	return l.Val.AsFloat(), true
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}

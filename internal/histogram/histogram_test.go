@@ -1,0 +1,417 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	h, err := Build(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 0 || h.NumBuckets() != 0 {
+		t.Errorf("empty histogram = %d total, %d buckets", h.Total(), h.NumBuckets())
+	}
+	if h.SelRange(0, 1) != 0 || h.SelEq(0) != 0 {
+		t.Error("empty histogram selectivities not 0")
+	}
+}
+
+func TestEquiDepthBucketSizes(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h, err := Build(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 10 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	for _, b := range h.buckets {
+		if b.Count != 100 {
+			t.Errorf("bucket count = %d", b.Count)
+		}
+		if b.Distinct != 100 {
+			t.Errorf("bucket distinct = %d", b.Distinct)
+		}
+	}
+}
+
+func TestSelRangeUniform(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h, _ := Build(vals, 100)
+	cases := []struct {
+		lo, hi, want float64
+	}{
+		{0, 9999, 1.0},
+		{0, 4999.5, 0.5},
+		{2500, 7499, 0.5},
+		{-100, -1, 0},
+		{10000, 20000, 0},
+		{5, 4, 0}, // inverted
+	}
+	for _, c := range cases {
+		if got := h.SelRange(c.lo, c.hi); math.Abs(got-c.want) > 0.02 {
+			t.Errorf("SelRange(%g, %g) = %g, want ~%g", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSelEq(t *testing.T) {
+	// 100 copies each of values 0..9.
+	var vals []float64
+	for v := 0; v < 10; v++ {
+		for i := 0; i < 100; i++ {
+			vals = append(vals, float64(v))
+		}
+	}
+	h, _ := Build(vals, 10)
+	for v := 0; v < 10; v++ {
+		if got := h.SelEq(float64(v)); math.Abs(got-0.1) > 0.05 {
+			t.Errorf("SelEq(%d) = %g, want ~0.1", v, got)
+		}
+	}
+	if got := h.SelEq(42); got != 0 {
+		t.Errorf("SelEq(42) = %g", got)
+	}
+}
+
+func TestEqualValuesDoNotStraddleBuckets(t *testing.T) {
+	// 1000 copies of one value with a handful of others must not split the
+	// heavy value across buckets.
+	vals := make([]float64, 0, 1010)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, 5)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, float64(i))
+	}
+	h, _ := Build(vals, 8)
+	// Exactly one bucket contains the heavy value, and the bucket counts
+	// still sum to the total (the boundary extension stayed consistent).
+	containing, total := 0, 0
+	for _, b := range h.buckets {
+		total += b.Count
+		if 5 >= b.Lo && 5 <= b.Hi {
+			containing++
+		}
+	}
+	if containing != 1 {
+		t.Errorf("heavy value spans %d buckets", containing)
+	}
+	if total != 1010 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+	// The classical equi-depth estimate for the mixed bucket is
+	// count/distinct/total; the heavy run (values 0..5, count 1006,
+	// distinct 6) yields 1006/6/1010.
+	want := 1006.0 / 6 / 1010
+	if got := h.SelEq(5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SelEq(heavy) = %g, want %g", got, want)
+	}
+}
+
+func TestSelRangeBoundsProperty(t *testing.T) {
+	f := func(raw []uint16, loRaw, hiRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v % 1000)
+		}
+		lo, hi := float64(loRaw%1000), float64(hiRaw%1000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		h, err := Build(vals, 16)
+		if err != nil {
+			return false
+		}
+		s := h.SelRange(lo, hi)
+		if s < 0 || s > 1 {
+			return false
+		}
+		// Widening the range cannot reduce selectivity.
+		return h.SelRange(lo-1, hi+1) >= s-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelRangeExactOnFullCoverage(t *testing.T) {
+	// When [lo,hi] covers entire buckets, the estimate is exact.
+	rng := stats.NewRNG(5)
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(100))
+	}
+	h, _ := Build(vals, 25)
+	naive := 0
+	for _, v := range vals {
+		if v >= 0 && v <= 99 {
+			naive++
+		}
+	}
+	if got := h.SelRange(0, 99); math.Abs(got-float64(naive)/5000) > 1e-12 {
+		t.Errorf("full coverage = %g", got)
+	}
+}
+
+func buildTestDB(t *testing.T) *storage.Database {
+	t.Helper()
+	cat := catalog.NewCatalog()
+	db := storage.NewDatabase(cat)
+	dim, err := db.CreateTable(&catalog.TableSchema{
+		Name: "dim",
+		Columns: []catalog.Column{
+			{Name: "d_id", Type: catalog.Int},
+			{Name: "d_attr", Type: catalog.Int},
+		},
+		PrimaryKey: "d_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := db.CreateTable(&catalog.TableSchema{
+		Name: "fact",
+		Columns: []catalog.Column{
+			{Name: "f_id", Type: catalog.Int},
+			{Name: "f_dim", Type: catalog.Int},
+			{Name: "f_a", Type: catalog.Int},
+			{Name: "f_b", Type: catalog.Int},
+			{Name: "f_name", Type: catalog.String},
+		},
+		PrimaryKey: "f_id",
+		Foreign:    []catalog.ForeignKey{{Column: "f_dim", RefTable: "dim"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(42)
+	for d := 0; d < 100; d++ {
+		_ = dim.Append(value.Row{value.Int(int64(d)), value.Int(int64(d % 10))})
+	}
+	for i := 0; i < 10000; i++ {
+		a := int64(rng.Intn(100))
+		// f_b perfectly correlated with f_a: AVI will be badly wrong for
+		// the conjunction f_a < k AND f_b < k.
+		row := value.Row{
+			value.Int(int64(i)),
+			value.Int(int64(rng.Intn(100))),
+			value.Int(a),
+			value.Int(a),
+			value.Str("x"),
+		}
+		_ = fact.Append(row)
+	}
+	return db
+}
+
+func TestBuildAllSkipsStrings(t *testing.T) {
+	db := buildTestDB(t)
+	c, err := BuildAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup("fact", "f_a"); !ok {
+		t.Error("f_a histogram missing")
+	}
+	if _, ok := c.Lookup("fact", "f_name"); ok {
+		t.Error("string column got a histogram")
+	}
+	if n, ok := c.Rows("fact"); !ok || n != 10000 {
+		t.Errorf("Rows(fact) = %d, %v", n, ok)
+	}
+	if _, ok := c.Rows("ghost"); ok {
+		t.Error("Rows(ghost) found")
+	}
+}
+
+func TestBuildFromColumnErrors(t *testing.T) {
+	db := buildTestDB(t)
+	fact := db.MustTable("fact")
+	if _, err := BuildFromColumn(fact, "missing", 10); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := BuildFromColumn(fact, "f_name", 10); err == nil {
+		t.Error("string column accepted")
+	}
+}
+
+func TestEstimateMarginalsAccurate(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	// f_a < 50 is ~50% of rows; a single histogram gets this right.
+	got := Estimate(c, db.Catalog, []string{"fact"}, expr.MustParse("f_a < 50"))
+	if math.Abs(got-0.5) > 0.05 {
+		t.Errorf("marginal estimate = %g, want ~0.5", got)
+	}
+}
+
+func TestEstimateAVIFailsOnCorrelation(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	// True selectivity of (f_a < 50 AND f_b < 50) is ~0.5 because the
+	// columns are identical; AVI predicts 0.25. This failure is the
+	// premise of the whole paper.
+	got := Estimate(c, db.Catalog, []string{"fact"}, expr.MustParse("f_a < 50 AND f_b < 50"))
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("AVI estimate = %g, want ~0.25 (the systematically wrong answer)", got)
+	}
+}
+
+func TestEstimateConnectivesAndNegation(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	tables := []string{"fact"}
+	or := Estimate(c, db.Catalog, tables, expr.MustParse("f_a < 50 OR f_b < 50"))
+	if math.Abs(or-0.75) > 0.05 { // 1 - 0.5*0.5 under independence
+		t.Errorf("OR estimate = %g", or)
+	}
+	not := Estimate(c, db.Catalog, tables, expr.MustParse("NOT f_a < 50"))
+	if math.Abs(not-0.5) > 0.05 {
+		t.Errorf("NOT estimate = %g", not)
+	}
+	nilSel := Estimate(c, db.Catalog, tables, nil)
+	if nilSel != 1 {
+		t.Errorf("nil predicate = %g", nilSel)
+	}
+}
+
+func TestEstimateComparisonOperators(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	tables := []string{"fact"}
+	eq := Estimate(c, db.Catalog, tables, expr.MustParse("f_a = 10"))
+	if math.Abs(eq-0.01) > 0.01 {
+		t.Errorf("EQ estimate = %g, want ~0.01", eq)
+	}
+	ne := Estimate(c, db.Catalog, tables, expr.MustParse("f_a <> 10"))
+	if math.Abs(ne-0.99) > 0.01 {
+		t.Errorf("NE estimate = %g", ne)
+	}
+	ge := Estimate(c, db.Catalog, tables, expr.MustParse("f_a >= 90"))
+	if math.Abs(ge-0.1) > 0.05 {
+		t.Errorf("GE estimate = %g", ge)
+	}
+	lt := Estimate(c, db.Catalog, tables, expr.MustParse("f_a < 10"))
+	if math.Abs(lt-0.1) > 0.05 {
+		t.Errorf("LT estimate = %g", lt)
+	}
+	flipped := Estimate(c, db.Catalog, tables, expr.MustParse("50 > f_a"))
+	if math.Abs(flipped-0.5) > 0.05 {
+		t.Errorf("flipped comparison = %g", flipped)
+	}
+	between := Estimate(c, db.Catalog, tables, expr.MustParse("f_a BETWEEN 25 AND 74"))
+	if math.Abs(between-0.5) > 0.05 {
+		t.Errorf("BETWEEN estimate = %g", between)
+	}
+}
+
+func TestEstimateMagicFallbacks(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	tables := []string{"fact"}
+	// Column-to-column comparison: magic range.
+	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a < f_b")); got != MagicRange {
+		t.Errorf("col-col = %g, want %g", got, MagicRange)
+	}
+	// Column-to-column equality: magic eq.
+	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a = f_b")); got != MagicEq {
+		t.Errorf("col-col eq = %g, want %g", got, MagicEq)
+	}
+	// Substring predicate.
+	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_name CONTAINS 'x'")); got != MagicOther {
+		t.Errorf("contains = %g, want %g", got, MagicOther)
+	}
+	// Unknown column.
+	if got := Estimate(c, db.Catalog, tables, expr.MustParse("ghost = 1")); got != MagicEq {
+		t.Errorf("unknown eq = %g, want %g", got, MagicEq)
+	}
+	// Arithmetic comparand.
+	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a + 1 < 10")); got != MagicRange {
+		t.Errorf("arith = %g, want %g", got, MagicRange)
+	}
+	// BETWEEN with non-literal bound.
+	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a BETWEEN f_b AND 10")); got != MagicRange {
+		t.Errorf("between-nonlit = %g, want %g", got, MagicRange)
+	}
+}
+
+func TestEstimateQualifiedAndAmbiguous(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	tables := []string{"fact", "dim"}
+	got := Estimate(c, db.Catalog, tables, expr.MustParse("fact.f_a < 50"))
+	if math.Abs(got-0.5) > 0.05 {
+		t.Errorf("qualified = %g", got)
+	}
+	// d_attr exists only in dim: unqualified resolution works.
+	got = Estimate(c, db.Catalog, tables, expr.MustParse("d_attr < 5"))
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("dim attr = %g", got)
+	}
+}
+
+func TestEstimateClamped(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	// Huge OR of many terms stays within [0, 1].
+	terms := make([]expr.Expr, 20)
+	for i := range terms {
+		terms[i] = expr.MustParse("f_a >= 0")
+	}
+	got := Estimate(c, db.Catalog, []string{"fact"}, expr.Or{Terms: terms})
+	if got < 0 || got > 1 {
+		t.Errorf("clamp failed: %g", got)
+	}
+}
+
+func TestEstimateIn(t *testing.T) {
+	db := buildTestDB(t)
+	c, _ := BuildAll(db)
+	tables := []string{"fact"}
+	// f_a uniform over 0..99: three listed values ~ 3%.
+	got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a IN (1, 2, 3)"))
+	if math.Abs(got-0.03) > 0.02 {
+		t.Errorf("IN estimate = %g, want ~0.03", got)
+	}
+	// Unknown column: magic equality per value.
+	got = Estimate(c, db.Catalog, tables, expr.MustParse("ghost IN (1, 2)"))
+	if math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("unknown IN = %g, want 0.2", got)
+	}
+	// Non-column subject: magic other.
+	got = Estimate(c, db.Catalog, tables, expr.MustParse("f_a + 1 IN (1)"))
+	if got != MagicOther {
+		t.Errorf("arith IN = %g", got)
+	}
+	// Huge unknown-column lists clamp at 1.
+	got = Estimate(c, db.Catalog, tables, expr.MustParse("ghost IN (1,2,3,4,5,6,7,8,9,10,11,12)"))
+	if got != 1 {
+		t.Errorf("clamped IN = %g", got)
+	}
+	// String values against a numeric histogram contribute nothing.
+	got = Estimate(c, db.Catalog, tables, expr.MustParse("f_a IN ('x')"))
+	if got != 0 {
+		t.Errorf("string-in-numeric = %g", got)
+	}
+}

@@ -1,0 +1,84 @@
+package histogram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// savedHistogram is the gob wire form of one column's histogram.
+type savedHistogram struct {
+	Table   string
+	Column  string
+	Total   int
+	Buckets []Bucket
+}
+
+// savedCollection is the gob wire form of a Collection.
+type savedCollection struct {
+	Version    int
+	Rows       map[string]int
+	Histograms []savedHistogram
+}
+
+// collectionWireVersion guards against incompatible formats.
+const collectionWireVersion = 1
+
+// Save serializes the collection.
+func (c *Collection) Save(w io.Writer) error {
+	out := savedCollection{Version: collectionWireVersion, Rows: c.rows}
+	keys := make([]string, 0, len(c.hists))
+	for k := range c.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		table, column, ok := strings.Cut(k, "\x00")
+		if !ok {
+			return fmt.Errorf("histogram: malformed key %q", k)
+		}
+		h := c.hists[k]
+		out.Histograms = append(out.Histograms, savedHistogram{
+			Table: table, Column: column, Total: h.total, Buckets: h.buckets,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("histogram: encoding: %v", err)
+	}
+	return nil
+}
+
+// LoadCollection deserializes a collection saved with Save.
+func LoadCollection(r io.Reader) (*Collection, error) {
+	var in savedCollection
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("histogram: decoding: %v", err)
+	}
+	if in.Version != collectionWireVersion {
+		return nil, fmt.Errorf("histogram: unsupported statistics format version %d", in.Version)
+	}
+	c := &Collection{hists: make(map[string]*Histogram, len(in.Histograms)), rows: in.Rows}
+	if c.rows == nil {
+		c.rows = make(map[string]int)
+	}
+	for _, sh := range in.Histograms {
+		if sh.Total < 0 {
+			return nil, fmt.Errorf("histogram: %s.%s has negative total", sh.Table, sh.Column)
+		}
+		count := 0
+		for _, b := range sh.Buckets {
+			if b.Count < 0 || b.Distinct < 0 || b.Hi < b.Lo {
+				return nil, fmt.Errorf("histogram: %s.%s has malformed bucket %+v", sh.Table, sh.Column, b)
+			}
+			count += b.Count
+		}
+		if count != sh.Total {
+			return nil, fmt.Errorf("histogram: %s.%s bucket counts sum to %d, total %d",
+				sh.Table, sh.Column, count, sh.Total)
+		}
+		c.hists[sh.Table+"\x00"+sh.Column] = &Histogram{buckets: sh.Buckets, total: sh.Total}
+	}
+	return c, nil
+}

@@ -1,0 +1,104 @@
+package histogram
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+func TestCollectionSaveLoadRoundTrip(t *testing.T) {
+	db := buildTestDB(t)
+	c, err := BuildAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row counts and every histogram's estimates must survive.
+	for _, table := range []string{"fact", "dim"} {
+		n1, ok1 := c.Rows(table)
+		n2, ok2 := loaded.Rows(table)
+		if !ok1 || !ok2 || n1 != n2 {
+			t.Fatalf("%s rows: %d/%v vs %d/%v", table, n1, ok1, n2, ok2)
+		}
+	}
+	h1, _ := c.Lookup("fact", "f_a")
+	h2, ok := loaded.Lookup("fact", "f_a")
+	if !ok {
+		t.Fatal("f_a histogram missing after load")
+	}
+	for _, probe := range []struct{ lo, hi float64 }{{0, 49}, {25, 74}, {90, 99}} {
+		if h1.SelRange(probe.lo, probe.hi) != h2.SelRange(probe.lo, probe.hi) {
+			t.Fatalf("SelRange(%g, %g) differs", probe.lo, probe.hi)
+		}
+	}
+	if h1.SelEq(10) != h2.SelEq(10) || h1.DistinctTotal() != h2.DistinctTotal() {
+		t.Error("point estimates differ after load")
+	}
+}
+
+func TestLoadCollectionRejectsGarbage(t *testing.T) {
+	if _, err := LoadCollection(strings.NewReader("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadCollectionValidatesBuckets(t *testing.T) {
+	encode := func(sc savedCollection) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(sc); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	// Wrong version.
+	if _, err := LoadCollection(encode(savedCollection{Version: 99})); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Bucket counts not summing to total.
+	bad := savedCollection{
+		Version: collectionWireVersion,
+		Histograms: []savedHistogram{{
+			Table: "t", Column: "c", Total: 10,
+			Buckets: []Bucket{{Lo: 0, Hi: 1, Count: 3, Distinct: 2}},
+		}},
+	}
+	if _, err := LoadCollection(encode(bad)); err == nil {
+		t.Error("inconsistent totals accepted")
+	}
+	// Inverted bucket bounds.
+	bad2 := savedCollection{
+		Version: collectionWireVersion,
+		Histograms: []savedHistogram{{
+			Table: "t", Column: "c", Total: 3,
+			Buckets: []Bucket{{Lo: 5, Hi: 1, Count: 3, Distinct: 2}},
+		}},
+	}
+	if _, err := LoadCollection(encode(bad2)); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	// Negative total.
+	bad3 := savedCollection{
+		Version:    collectionWireVersion,
+		Histograms: []savedHistogram{{Table: "t", Column: "c", Total: -1}},
+	}
+	if _, err := LoadCollection(encode(bad3)); err == nil {
+		t.Error("negative total accepted")
+	}
+	// Valid empty collection round-trips.
+	ok := savedCollection{Version: collectionWireVersion}
+	c, err := LoadCollection(encode(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := c.Rows("anything"); found {
+		t.Error("empty collection has rows")
+	}
+}

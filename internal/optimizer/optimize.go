@@ -1,0 +1,283 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"robustqo/internal/core"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+)
+
+// keepPerSubset bounds how many candidate plans survive pruning for each
+// table subset during dynamic programming. Candidates with distinct
+// physical orderings are retained in addition to the cheapest ones.
+const keepPerSubset = 4
+
+// Plan is the optimizer's output: an executable physical plan with the
+// cost and cardinality the optimizer believed at planning time.
+type Plan struct {
+	Root      engine.Node
+	EstCost   float64 // estimated execution seconds under the cost model
+	EstRows   float64 // estimated final result cardinality
+	Estimator string  // name of the cardinality estimator used
+}
+
+// Explain renders the chosen plan tree.
+func (p *Plan) Explain() string { return engine.Explain(p.Root) }
+
+// Optimizer searches the plan space of a query using the engine's cost
+// model and a pluggable cardinality estimator.
+type Optimizer struct {
+	Ctx *engine.Context
+	Est core.Estimator
+}
+
+// New returns an optimizer over the execution context using the given
+// cardinality estimation module.
+func New(ctx *engine.Context, est core.Estimator) (*Optimizer, error) {
+	if ctx == nil || est == nil {
+		return nil, fmt.Errorf("optimizer: need an execution context and an estimator")
+	}
+	return &Optimizer{Ctx: ctx, Est: est}, nil
+}
+
+// candidate is one physical alternative for a table subset.
+type candidate struct {
+	node    engine.Node
+	cost    float64
+	rows    float64
+	ordered []expr.ColumnRef // columns the output is known to be ordered by
+}
+
+func (c candidate) orderedBy(ref expr.ColumnRef) bool {
+	for _, o := range c.ordered {
+		if o == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// planner carries per-query optimization state.
+type planner struct {
+	opt      *Optimizer
+	a        *analysis
+	selCache map[string]float64
+	rowCache map[uint32]float64
+}
+
+// Optimize selects the cheapest plan for the query under the estimator.
+func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
+	a, err := analyze(o.Ctx.DB.Catalog, q)
+	if err != nil {
+		return nil, err
+	}
+	p := &planner{opt: o, a: a, selCache: make(map[string]float64), rowCache: make(map[uint32]float64)}
+	full := uint32(1<<len(a.tables)) - 1
+
+	best := make(map[uint32][]candidate)
+	// Seed single tables with their access paths.
+	for i := range a.tables {
+		cands, err := p.accessPaths(i)
+		if err != nil {
+			return nil, err
+		}
+		best[1<<uint(i)] = prune(cands)
+	}
+	// Grow subsets by size.
+	for size := 2; size <= len(a.tables); size++ {
+		for mask := uint32(1); mask <= full; mask++ {
+			if popcount(mask) != size || !a.connected(mask) {
+				continue
+			}
+			var cands []candidate
+			// Left-deep extensions: mask = rest ∪ {t}.
+			for i := range a.tables {
+				bit := uint32(1) << uint(i)
+				if mask&bit == 0 {
+					continue
+				}
+				rest := mask &^ bit
+				if rest == 0 || !a.connected(rest) {
+					continue
+				}
+				joins, err := p.joinCandidates(rest, i, best)
+				if err != nil {
+					return nil, err
+				}
+				cands = append(cands, joins...)
+			}
+			// Star strategies for this subset, when applicable.
+			stars, err := p.starCandidates(mask, best)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, stars...)
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("optimizer: no plan for table subset %v", a.tablesOf(mask))
+			}
+			best[mask] = prune(cands)
+		}
+	}
+	winner := best[full][0]
+	for _, c := range best[full][1:] {
+		if c.cost < winner.cost {
+			winner = c
+		}
+	}
+	root, finalCost, finalRows, err := p.finish(winner)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, EstCost: finalCost, EstRows: finalRows, Estimator: o.Est.Name()}, nil
+}
+
+// finish layers aggregation, ordering, limiting, and projection on top of
+// the join winner, following SQL evaluation order. It returns the plan
+// root, its estimated total cost, and the estimated final row count.
+func (p *planner) finish(c candidate) (engine.Node, float64, float64, error) {
+	q := p.a.q
+	m := p.opt.Ctx.Model
+	node := c.node
+	total := c.cost
+	rows := c.rows
+	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		node = &engine.Aggregate{Input: node, GroupBy: q.GroupBy, Aggs: q.Aggs}
+		total += rows * (m.HashBuild + m.Tuple)
+		rows = p.estimateGroups(rows)
+	}
+	if len(q.OrderBy) > 0 {
+		// Skip the sort when the winner is already ordered by the first
+		// (ascending) key and no aggregation reshaped the rows.
+		first := q.OrderBy[0]
+		alreadyOrdered := len(q.Aggs) == 0 && len(q.GroupBy) == 0 &&
+			len(q.OrderBy) == 1 && !first.Desc && c.orderedBy(first.Col)
+		if !alreadyOrdered {
+			node = &engine.Sort{Input: node, By: q.OrderBy}
+			total += rows * m.SortTuple
+		}
+	}
+	if q.Limit > 0 {
+		node = &engine.Limit{Input: node, N: q.Limit}
+		if float64(q.Limit) < rows {
+			rows = float64(q.Limit)
+		}
+	}
+	if len(q.Project) > 0 && len(q.Aggs) == 0 && len(q.GroupBy) == 0 {
+		node = &engine.Project{Input: node, Cols: q.Project}
+		total += rows * m.Tuple
+	}
+	total += rows * m.Output
+	return node, total, rows, nil
+}
+
+// estimateGroups predicts the aggregate output cardinality: one row for a
+// grand total, otherwise the estimator's distinct-combination prediction
+// when it offers one (Section 3.5), capped by the input rows.
+func (p *planner) estimateGroups(inRows float64) float64 {
+	q := p.a.q
+	if len(q.GroupBy) == 0 {
+		return 1
+	}
+	if ge, ok := p.opt.Est.(core.GroupsEstimator); ok {
+		if groups, err := ge.EstimateGroups(p.a.tables, q.GroupBy); err == nil {
+			if groups < 1 {
+				groups = 1
+			}
+			if groups > inRows {
+				groups = inRows
+			}
+			return groups
+		}
+	}
+	// No estimator support: the traditional guess of a tenth of the rows.
+	g := inRows / 10
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// prune keeps the cheapest candidates, always retaining the cheapest
+// representative of each distinct ordering property.
+func prune(cands []candidate) []candidate {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+	var kept []candidate
+	seenOrder := make(map[string]bool)
+	for _, c := range cands {
+		key := orderKey(c.ordered)
+		if len(kept) < keepPerSubset || !seenOrder[key] {
+			if !seenOrder[key] || len(kept) < keepPerSubset {
+				kept = append(kept, c)
+				seenOrder[key] = true
+			}
+		}
+	}
+	if len(kept) == 0 {
+		return cands
+	}
+	return kept
+}
+
+func orderKey(ordered []expr.ColumnRef) string {
+	key := ""
+	for _, o := range ordered {
+		key += o.String() + ";"
+	}
+	return key
+}
+
+// selOf estimates the selectivity of pred over the FK join of the masked
+// tables, memoized.
+func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
+	key := fmt.Sprintf("%d|%v", mask, pred)
+	if s, ok := p.selCache[key]; ok {
+		return s, nil
+	}
+	est, err := p.opt.Est.Estimate(core.Request{Tables: p.a.tablesOf(mask), Pred: pred})
+	if err != nil {
+		return 0, err
+	}
+	s := est.Selectivity
+	if math.IsNaN(s) || s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	p.selCache[key] = s
+	return s, nil
+}
+
+// rowsOf estimates the result cardinality of the masked subexpression with
+// all applicable conjuncts, memoized. For FK joins this is root rows times
+// joint selectivity.
+func (p *planner) rowsOf(mask uint32) (float64, error) {
+	if r, ok := p.rowCache[mask]; ok {
+		return r, nil
+	}
+	tables := p.a.tablesOf(mask)
+	root, err := p.opt.Ctx.DB.Catalog.RootOf(tables)
+	if err != nil {
+		return 0, err
+	}
+	rootTab, ok := p.opt.Ctx.DB.Table(root)
+	if !ok {
+		return 0, fmt.Errorf("optimizer: unknown table %q", root)
+	}
+	sel, err := p.selOf(mask, p.a.predFor(mask))
+	if err != nil {
+		return 0, err
+	}
+	r := sel * float64(rootTab.NumRows())
+	p.rowCache[mask] = r
+	return r, nil
+}
+
+// tableRowsPages returns physical statistics of a base table.
+func (p *planner) tableRowsPages(i int) (rows, pages float64) {
+	t := p.opt.Ctx.DB.MustTable(p.a.tables[i])
+	return float64(t.NumRows()), float64(t.NumPages())
+}

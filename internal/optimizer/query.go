@@ -1,0 +1,297 @@
+// Package optimizer implements a cost-based query optimizer for
+// select-project-join queries over foreign-key joins, the optimizer
+// architecture the paper's estimation procedure plugs into.
+//
+// Plan enumeration (access-path selection, dynamic programming over join
+// orders, a semijoin-based star strategy) and cost estimation are entirely
+// conventional; every data-dependent quantity flows through a single
+// core.Estimator, so swapping the robust sampling-based estimator for the
+// histogram baseline changes nothing but the cardinality answers — the
+// paper's "changes are isolated within the cardinality estimation module"
+// claim (Section 3.1.1).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+)
+
+// Query is a logical SPJ query: the named tables joined along their
+// foreign keys, filtered by Pred, optionally grouped/aggregated, ordered,
+// limited, and projected. Evaluation order follows SQL: joins and Pred,
+// then GroupBy/Aggs, then OrderBy, then Limit, then Project (so OrderBy
+// may reference columns the projection drops).
+type Query struct {
+	Tables  []string
+	Pred    expr.Expr // conjunction of non-join predicates; may be nil
+	GroupBy []expr.ColumnRef
+	Aggs    []engine.AggSpec
+	OrderBy []engine.SortKey
+	Limit   int              // 0 means no limit
+	Project []expr.ColumnRef // ignored when Aggs is non-empty
+}
+
+// joinEdge is one foreign-key join between two query tables: child.FKCol
+// references parent's primary key.
+type joinEdge struct {
+	child  int // table index within Query.Tables
+	parent int
+	fkCol  string // column of child
+	pkCol  string // primary key of parent
+}
+
+// conjunct is one top-level AND term of the predicate together with the
+// set of query tables it references (as a bitmask).
+type conjunct struct {
+	pred expr.Expr
+	mask uint32
+}
+
+// analysis is the prepared form of a query.
+type analysis struct {
+	q         *Query
+	tables    []string
+	edges     []joinEdge
+	conjuncts []conjunct
+}
+
+// analyze validates the query against the catalog and decomposes the
+// predicate.
+func analyze(cat *catalog.Catalog, q *Query) (*analysis, error) {
+	if q == nil || len(q.Tables) == 0 {
+		return nil, fmt.Errorf("optimizer: query must name at least one table")
+	}
+	if len(q.Tables) > 16 {
+		return nil, fmt.Errorf("optimizer: %d tables exceeds the supported maximum of 16", len(q.Tables))
+	}
+	seen := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		if _, ok := cat.Table(t); !ok {
+			return nil, fmt.Errorf("optimizer: unknown table %q", t)
+		}
+		if _, dup := seen[t]; dup {
+			return nil, fmt.Errorf("optimizer: table %q listed twice (self joins are unsupported)", t)
+		}
+		seen[t] = i
+	}
+	a := &analysis{q: q, tables: q.Tables}
+	for i, t := range q.Tables {
+		s, _ := cat.Table(t)
+		for _, fk := range s.Foreign {
+			j, ok := seen[fk.RefTable]
+			if !ok {
+				continue
+			}
+			parent, _ := cat.Table(fk.RefTable)
+			a.edges = append(a.edges, joinEdge{child: i, parent: j, fkCol: fk.Column, pkCol: parent.PrimaryKey})
+		}
+	}
+	if len(q.Tables) > 1 {
+		if _, err := cat.RootOf(q.Tables); err != nil {
+			return nil, err
+		}
+		if !a.connected(uint32(1<<len(q.Tables)) - 1) {
+			return nil, fmt.Errorf("optimizer: tables %v are not connected by foreign keys", q.Tables)
+		}
+	}
+	for _, term := range expr.SplitConjuncts(q.Pred) {
+		mask, err := a.maskOf(cat, term)
+		if err != nil {
+			return nil, err
+		}
+		a.conjuncts = append(a.conjuncts, conjunct{pred: term, mask: mask})
+	}
+	return a, nil
+}
+
+// maskOf computes which query tables a predicate term references.
+func (a *analysis) maskOf(cat *catalog.Catalog, term expr.Expr) (uint32, error) {
+	var mask uint32
+	for _, ref := range expr.Columns(term) {
+		idx := -1
+		if ref.Table != "" {
+			for i, t := range a.tables {
+				if t == ref.Table {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return 0, fmt.Errorf("optimizer: predicate references table %q not in query", ref.Table)
+			}
+			s, _ := cat.Table(ref.Table)
+			if s.ColumnIndex(ref.Column) < 0 {
+				return 0, fmt.Errorf("optimizer: table %q has no column %q", ref.Table, ref.Column)
+			}
+		} else {
+			matches := 0
+			for i, t := range a.tables {
+				s, _ := cat.Table(t)
+				if s.ColumnIndex(ref.Column) >= 0 {
+					idx = i
+					matches++
+				}
+			}
+			if matches == 0 {
+				return 0, fmt.Errorf("optimizer: unknown column %q", ref.Column)
+			}
+			if matches > 1 {
+				return 0, fmt.Errorf("optimizer: ambiguous column %q; qualify it with a table name", ref.Column)
+			}
+		}
+		mask |= 1 << uint(idx)
+	}
+	return mask, nil
+}
+
+// predFor returns the conjunction of conjuncts fully contained in mask.
+func (a *analysis) predFor(mask uint32) expr.Expr {
+	var terms []expr.Expr
+	for _, c := range a.conjuncts {
+		if c.mask != 0 && c.mask&^mask == 0 {
+			terms = append(terms, c.pred)
+		}
+	}
+	return expr.Conj(terms...)
+}
+
+// predOnly returns the conjunction of conjuncts whose mask exactly covers
+// only the single table t (used for access paths).
+func (a *analysis) predOnly(t int) expr.Expr {
+	return a.predFor(1 << uint(t))
+}
+
+// tablesOf lists the table names in a mask.
+func (a *analysis) tablesOf(mask uint32) []string {
+	var out []string
+	for i, t := range a.tables {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// connected reports whether the tables in mask form a connected subgraph
+// of the join graph.
+func (a *analysis) connected(mask uint32) bool {
+	if mask == 0 {
+		return false
+	}
+	start := uint32(mask & -mask) // lowest set bit
+	reached := start
+	for {
+		prev := reached
+		for _, e := range a.edges {
+			cb := uint32(1) << uint(e.child)
+			pb := uint32(1) << uint(e.parent)
+			if cb&mask == 0 || pb&mask == 0 {
+				continue
+			}
+			if reached&cb != 0 || reached&pb != 0 {
+				reached |= cb | pb
+			}
+		}
+		if reached == prev {
+			break
+		}
+	}
+	return reached&mask == mask
+}
+
+// popcount returns the number of set bits.
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// intRangeFromConjunct recognizes sargable single-column integer range
+// conditions: col BETWEEN lit AND lit, or col cmp lit (and the flipped
+// orientation). It returns the equivalent closed integer interval.
+func intRangeFromConjunct(term expr.Expr) (col expr.ColumnRef, lo, hi int64, ok bool) {
+	const (
+		minKey = math.MinInt64 / 4
+		maxKey = math.MaxInt64 / 4
+	)
+	intLit := func(e expr.Expr) (int64, bool) {
+		l, isLit := e.(expr.Lit)
+		if !isLit || !l.Val.Numeric() {
+			return 0, false
+		}
+		if l.Val.Kind == catalog.Float {
+			// Only exactly integral floats convert losslessly.
+			f := l.Val.F
+			if f != math.Trunc(f) || math.Abs(f) > float64(maxKey) {
+				return 0, false
+			}
+			return int64(f), true
+		}
+		return l.Val.I, true
+	}
+	switch n := term.(type) {
+	case expr.Between:
+		c, isCol := n.E.(expr.Col)
+		if !isCol {
+			return col, 0, 0, false
+		}
+		l, okL := intLit(n.Lo)
+		h, okH := intLit(n.Hi)
+		if !okL || !okH {
+			return col, 0, 0, false
+		}
+		return c.Ref, l, h, true
+	case expr.Cmp:
+		c, isCol := n.L.(expr.Col)
+		lit, okLit := intLit(n.R)
+		op := n.Op
+		if !isCol || !okLit {
+			if c2, ok2 := n.R.(expr.Col); ok2 {
+				if v2, okv := intLit(n.L); okv {
+					c, lit, op = c2, v2, flip(n.Op)
+					isCol, okLit = true, true
+				}
+			}
+		}
+		if !isCol || !okLit {
+			return col, 0, 0, false
+		}
+		switch op {
+		case expr.EQ:
+			return c.Ref, lit, lit, true
+		case expr.LT:
+			return c.Ref, minKey, lit - 1, true
+		case expr.LE:
+			return c.Ref, minKey, lit, true
+		case expr.GT:
+			return c.Ref, lit + 1, maxKey, true
+		case expr.GE:
+			return c.Ref, lit, maxKey, true
+		default:
+			return col, 0, 0, false
+		}
+	}
+	return col, 0, 0, false
+}
+
+func flip(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}

@@ -1,0 +1,132 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+func TestExactFractionSingleTable(t *testing.T) {
+	db := chainDB(t, 20, 2, 3) // 120 lineitems
+	sel, err := ExactFraction(db, []string{"lineitem"}, expr.MustParse("l_qty < 25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check by hand.
+	li := db.MustTable("lineitem")
+	matches := 0
+	for _, q := range li.Ints(2) {
+		if q < 25 {
+			matches++
+		}
+	}
+	want := float64(matches) / float64(li.NumRows())
+	if math.Abs(sel-want) > 1e-12 {
+		t.Errorf("sel = %g, want %g", sel, want)
+	}
+}
+
+func TestExactFractionJoinMatchesSynopsisLimit(t *testing.T) {
+	db := chainDB(t, 40, 3, 4)
+	pred := expr.MustParse("l_qty < 25 AND o_priority = 1")
+	exact, err := ExactFraction(db, []string{"lineitem", "orders"}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A very large synopsis converges to the exact fraction.
+	syn, err := BuildSynopsis(db, "lineitem", 20000, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := syn.Count(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := float64(k) / float64(syn.Size())
+	if math.Abs(exact-approx) > 0.02 {
+		t.Errorf("exact %g vs large-sample %g", exact, approx)
+	}
+}
+
+func TestExactFractionNilPredicateIsOne(t *testing.T) {
+	db := chainDB(t, 5, 2, 2)
+	sel, err := ExactFraction(db, []string{"lineitem", "orders", "customer"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 1 {
+		t.Errorf("nil predicate = %g", sel)
+	}
+}
+
+func TestExactFractionErrors(t *testing.T) {
+	db := chainDB(t, 5, 2, 2)
+	if _, err := ExactFraction(db, []string{"ghost"}, nil); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := ExactFraction(db, []string{"orders", "lineitem", "ghost"}, nil); err == nil {
+		t.Error("unknown member accepted")
+	}
+	if _, err := ExactFraction(db, []string{"customer", "lineitem"}, nil); err == nil {
+		t.Error("disconnected set accepted")
+	}
+	if _, err := ExactFraction(db, []string{"lineitem"}, expr.MustParse("ghost = 1")); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Empty root table.
+	cat := catalog.NewCatalog()
+	db2 := storage.NewDatabase(cat)
+	if _, err := db2.CreateTable(&catalog.TableSchema{
+		Name: "empty", Columns: []catalog.Column{{Name: "a", Type: catalog.Int}}, PrimaryKey: "a",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactFraction(db2, []string{"empty"}, nil); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestExactFractionDanglingFKAndDiamond(t *testing.T) {
+	// Dangling FK errors out mid-expansion.
+	cat := catalog.NewCatalog()
+	db := storage.NewDatabase(cat)
+	dim, _ := db.CreateTable(&catalog.TableSchema{
+		Name: "dim", Columns: []catalog.Column{{Name: "d_id", Type: catalog.Int}}, PrimaryKey: "d_id"})
+	fact, _ := db.CreateTable(&catalog.TableSchema{
+		Name: "fact", Columns: []catalog.Column{
+			{Name: "f_id", Type: catalog.Int}, {Name: "f_d", Type: catalog.Int}},
+		PrimaryKey: "f_id", Foreign: []catalog.ForeignKey{{Column: "f_d", RefTable: "dim"}}})
+	_ = dim.Append(value.Row{value.Int(1)})
+	_ = fact.Append(value.Row{value.Int(1), value.Int(77)})
+	if _, err := ExactFraction(db, []string{"fact", "dim"}, nil); err == nil {
+		t.Error("dangling FK accepted")
+	}
+	// Diamonds are rejected at planning.
+	cat2 := catalog.NewCatalog()
+	db2 := storage.NewDatabase(cat2)
+	d, _ := db2.CreateTable(&catalog.TableSchema{
+		Name: "d", Columns: []catalog.Column{{Name: "d_id", Type: catalog.Int}}, PrimaryKey: "d_id"})
+	b, _ := db2.CreateTable(&catalog.TableSchema{
+		Name: "b", Columns: []catalog.Column{{Name: "b_id", Type: catalog.Int}, {Name: "b_d", Type: catalog.Int}},
+		PrimaryKey: "b_id", Foreign: []catalog.ForeignKey{{Column: "b_d", RefTable: "d"}}})
+	c, _ := db2.CreateTable(&catalog.TableSchema{
+		Name: "c", Columns: []catalog.Column{{Name: "c_id", Type: catalog.Int}, {Name: "c_d", Type: catalog.Int}},
+		PrimaryKey: "c_id", Foreign: []catalog.ForeignKey{{Column: "c_d", RefTable: "d"}}})
+	a, _ := db2.CreateTable(&catalog.TableSchema{
+		Name: "a", Columns: []catalog.Column{
+			{Name: "a_id", Type: catalog.Int}, {Name: "a_b", Type: catalog.Int}, {Name: "a_c", Type: catalog.Int}},
+		PrimaryKey: "a_id", Foreign: []catalog.ForeignKey{
+			{Column: "a_b", RefTable: "b"}, {Column: "a_c", RefTable: "c"}}})
+	_ = d.Append(value.Row{value.Int(1)})
+	_ = b.Append(value.Row{value.Int(1), value.Int(1)})
+	_ = c.Append(value.Row{value.Int(1), value.Int(1)})
+	_ = a.Append(value.Row{value.Int(1), value.Int(1), value.Int(1)})
+	if _, err := ExactFraction(db2, []string{"a", "b", "c"}, nil); err == nil {
+		t.Error("diamond accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package sample
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/value"
+)
+
+// Statistics are expensive to recompute (a scan per table) relative to
+// their size (a few hundred tuples per table), so the set supports
+// serialization: build once at UPDATE STATISTICS time, persist, reload in
+// any process using the same catalog.
+
+// savedSynopsis is the gob wire form of a Synopsis.
+type savedSynopsis struct {
+	Root   string
+	Tables []string
+	Fields []expr.Field
+	Rows   []value.Row
+	N      int
+}
+
+// savedSet is the gob wire form of a Set.
+type savedSet struct {
+	Version  int
+	Synopses []savedSynopsis
+}
+
+// setWireVersion guards against decoding incompatible formats.
+const setWireVersion = 1
+
+// Save serializes the set.
+func (s *Set) Save(w io.Writer) error {
+	out := savedSet{Version: setWireVersion}
+	// Deterministic order: catalog table order.
+	for _, name := range s.cat.TableNames() {
+		syn, ok := s.synopses[name]
+		if !ok {
+			continue
+		}
+		out.Synopses = append(out.Synopses, savedSynopsis{
+			Root:   syn.Root,
+			Tables: syn.Tables,
+			Fields: syn.Schema.Fields,
+			Rows:   syn.Rows,
+			N:      syn.N,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("sample: encoding synopses: %v", err)
+	}
+	return nil
+}
+
+// LoadSet deserializes a set saved with Save. The catalog must describe
+// the same schema the statistics were built against; each synopsis is
+// validated structurally against it.
+func LoadSet(r io.Reader, cat *catalog.Catalog) (*Set, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("sample: LoadSet requires a catalog")
+	}
+	var in savedSet
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sample: decoding synopses: %v", err)
+	}
+	if in.Version != setWireVersion {
+		return nil, fmt.Errorf("sample: unsupported statistics format version %d", in.Version)
+	}
+	s := &Set{cat: cat, synopses: make(map[string]*Synopsis, len(in.Synopses))}
+	for _, saved := range in.Synopses {
+		syn := &Synopsis{
+			Root:   saved.Root,
+			Tables: saved.Tables,
+			Schema: expr.RelSchema{Fields: saved.Fields},
+			Rows:   saved.Rows,
+			N:      saved.N,
+		}
+		if err := validateAgainstCatalog(syn, cat); err != nil {
+			return nil, err
+		}
+		s.synopses[syn.Root] = syn
+	}
+	return s, nil
+}
+
+func validateAgainstCatalog(syn *Synopsis, cat *catalog.Catalog) error {
+	if len(syn.Tables) == 0 || syn.Tables[0] != syn.Root {
+		return fmt.Errorf("sample: synopsis %q has malformed table list %v", syn.Root, syn.Tables)
+	}
+	width := 0
+	for _, t := range syn.Tables {
+		s, ok := cat.Table(t)
+		if !ok {
+			return fmt.Errorf("sample: synopsis %q covers unknown table %q", syn.Root, t)
+		}
+		for _, col := range s.Columns {
+			if width >= len(syn.Schema.Fields) {
+				return fmt.Errorf("sample: synopsis %q schema narrower than catalog", syn.Root)
+			}
+			f := syn.Schema.Fields[width]
+			if f.Table != t || f.Column != col.Name || f.Type != col.Type {
+				return fmt.Errorf("sample: synopsis %q field %d is %s.%s %s, catalog has %s.%s %s",
+					syn.Root, width, f.Table, f.Column, f.Type, t, col.Name, col.Type)
+			}
+			width++
+		}
+	}
+	if width != len(syn.Schema.Fields) {
+		return fmt.Errorf("sample: synopsis %q schema wider than catalog", syn.Root)
+	}
+	for i, row := range syn.Rows {
+		if len(row) != width {
+			return fmt.Errorf("sample: synopsis %q row %d has %d values, want %d", syn.Root, i, len(row), width)
+		}
+	}
+	if syn.N < 0 {
+		return fmt.Errorf("sample: synopsis %q has negative population", syn.Root)
+	}
+	return nil
+}

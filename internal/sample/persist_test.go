@@ -1,0 +1,109 @@
+package sample
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+func TestSetSaveLoadRoundTrip(t *testing.T) {
+	db := chainDB(t, 20, 2, 3)
+	set, err := BuildAll(db, 100, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSet(&buf, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every synopsis must round-trip: same root, coverage, population,
+	// and exactly the same predicate counts.
+	pred := expr.MustParse("l_qty < 25 AND c_region = 2")
+	for _, name := range db.Catalog.TableNames() {
+		orig, ok1 := set.Synopsis(name)
+		back, ok2 := loaded.Synopsis(name)
+		if ok1 != ok2 {
+			t.Fatalf("%s: presence mismatch", name)
+		}
+		if !ok1 {
+			continue
+		}
+		if orig.N != back.N || orig.Size() != back.Size() || len(orig.Tables) != len(back.Tables) {
+			t.Fatalf("%s: shape mismatch", name)
+		}
+		if name == "lineitem" {
+			k1, err := orig.Count(pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k2, err := back.Count(pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k1 != k2 {
+				t.Fatalf("count mismatch: %d vs %d", k1, k2)
+			}
+		}
+	}
+	// The loaded set serves For requests.
+	if _, err := loaded.For([]string{"lineitem", "orders"}); err != nil {
+		t.Errorf("For on loaded set: %v", err)
+	}
+}
+
+func TestLoadSetValidatesCatalog(t *testing.T) {
+	db := chainDB(t, 5, 2, 2)
+	set, _ := BuildAll(db, 20, stats.NewRNG(1))
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Loading against a different catalog must fail loudly.
+	other := catalog.NewCatalog()
+	otherDB := storage.NewDatabase(other)
+	if _, err := otherDB.CreateTable(&catalog.TableSchema{
+		Name:       "lineitem",
+		Columns:    []catalog.Column{{Name: "different", Type: catalog.Int}},
+		PrimaryKey: "different",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSet(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("mismatched catalog accepted")
+	}
+	if _, err := LoadSet(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := LoadSet(strings.NewReader("junk"), db.Catalog); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if _, err := LoadSet(bytes.NewReader(nil), db.Catalog); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadSetRejectsCorruptRows(t *testing.T) {
+	db := chainDB(t, 5, 2, 2)
+	set, _ := BuildAll(db, 20, stats.NewRNG(1))
+	// Corrupt a synopsis in memory, save, and confirm load rejects it.
+	syn, _ := set.Synopsis("customer")
+	syn.Rows[0] = value.Row{value.Int(1)} // wrong width? customer width is 2
+	syn.Rows[0] = syn.Rows[0][:1]
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSet(&buf, db.Catalog); err == nil {
+		t.Error("corrupt row width accepted")
+	}
+}

@@ -1,0 +1,350 @@
+// Package sample implements the precomputed-statistics side of the paper's
+// estimation procedure: uniform random samples of base tables and join
+// synopses (Acharya et al. [1]) — samples of each relation pre-joined with
+// every relation reachable through its foreign keys — so that the
+// selectivity of any foreign-key SPJ expression can be measured directly
+// on a single sample.
+package sample
+
+import (
+	"fmt"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/expr"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// DefaultSize is the sample size used throughout the paper's experiments.
+const DefaultSize = 500
+
+// Synopsis is a precomputed uniform random sample of a root table, each
+// sample tuple widened with the matching rows of every table reachable via
+// foreign keys. For a plain table sample (no expansion), the schema covers
+// only the root's columns.
+type Synopsis struct {
+	Root   string
+	Tables []string // all tables folded in, root first, expansion order
+	Schema expr.RelSchema
+	Rows   []value.Row
+	N      int // root table population size the sample represents
+}
+
+// Size returns the number of sample tuples n.
+func (s *Synopsis) Size() int { return len(s.Rows) }
+
+// Count evaluates a predicate over the sample and returns the number of
+// matching tuples k. The fraction k/Size is the maximum-likelihood
+// selectivity; the Bayesian treatment lives in package core.
+func (s *Synopsis) Count(pred expr.Expr) (int, error) {
+	bound, err := expr.Bind(pred, s.Schema)
+	if err != nil {
+		return 0, fmt.Errorf("sample: synopsis %q: %v", s.Root, err)
+	}
+	k := 0
+	for _, row := range s.Rows {
+		ok, err := bound.Eval(row)
+		if err != nil {
+			return 0, fmt.Errorf("sample: synopsis %q: %v", s.Root, err)
+		}
+		if ok {
+			k++
+		}
+	}
+	return k, nil
+}
+
+// BuildTableSample draws a uniform with-replacement sample of n rows from
+// the table, with no foreign-key expansion.
+func BuildTableSample(t *storage.Table, n int, rng *stats.RNG) (*Synopsis, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sample: sample size %d must be positive", n)
+	}
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("sample: table %q is empty", t.Name())
+	}
+	schema := expr.SchemaForTable(t.Schema())
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = t.Row(rng.Intn(t.NumRows()))
+	}
+	return &Synopsis{
+		Root:   t.Name(),
+		Tables: []string{t.Name()},
+		Schema: schema,
+		Rows:   rows,
+		N:      t.NumRows(),
+	}, nil
+}
+
+// BuildSynopsis constructs the join synopsis of root: a uniform
+// with-replacement sample of root, each tuple joined (via primary-key
+// lookups) with the full contents of every foreign-key-reachable table.
+//
+// The foreign-key graph must be acyclic and free of diamonds (no table
+// reachable along two paths), and every foreign key must resolve —
+// referential integrity is required for the synopsis rows to be a uniform
+// sample of the full join (the paper's correctness argument).
+func BuildSynopsis(db *storage.Database, root string, n int, rng *stats.RNG) (*Synopsis, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sample: sample size %d must be positive", n)
+	}
+	rootTab, ok := db.Table(root)
+	if !ok {
+		return nil, fmt.Errorf("sample: unknown table %q", root)
+	}
+	if rootTab.NumRows() == 0 {
+		return nil, fmt.Errorf("sample: table %q is empty", root)
+	}
+	// Plan the expansion: depth-first over foreign keys, recording the
+	// visit order and detecting diamonds.
+	var tables []string
+	var schema expr.RelSchema
+	seen := make(map[string]bool)
+	var plan func(name string) error
+	plan = func(name string) error {
+		if seen[name] {
+			return fmt.Errorf("sample: table %q reachable along multiple foreign-key paths from %q; join synopsis is ambiguous", name, root)
+		}
+		seen[name] = true
+		t, ok := db.Table(name)
+		if !ok {
+			return fmt.Errorf("sample: unknown table %q", name)
+		}
+		tables = append(tables, name)
+		schema = schema.Concat(expr.SchemaForTable(t.Schema()))
+		for _, fk := range t.Schema().Foreign {
+			if err := plan(fk.RefTable); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := plan(root); err != nil {
+		return nil, err
+	}
+
+	rows := make([]value.Row, n)
+	for i := range rows {
+		row := make(value.Row, 0, len(schema.Fields))
+		var expand func(name string, rid int) error
+		expand = func(name string, rid int) error {
+			t := db.MustTable(name)
+			base := t.Row(rid)
+			row = append(row, base...)
+			for _, fk := range t.Schema().Foreign {
+				fkIdx := t.Schema().ColumnIndex(fk.Column)
+				ref := db.MustTable(fk.RefTable)
+				refRID, ok := ref.LookupPK(base[fkIdx].I)
+				if !ok {
+					return fmt.Errorf("sample: dangling foreign key %s.%s = %d into %q",
+						name, fk.Column, base[fkIdx].I, fk.RefTable)
+				}
+				if err := expand(fk.RefTable, refRID); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := expand(root, rng.Intn(rootTab.NumRows())); err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return &Synopsis{
+		Root:   root,
+		Tables: tables,
+		Schema: schema,
+		Rows:   rows,
+		N:      rootTab.NumRows(),
+	}, nil
+}
+
+// Reservoir draws a uniform without-replacement sample of up to n row ids
+// from a population of size total using Vitter's Algorithm R. It is
+// exported for callers that prefer distinct tuples (the Bayesian posterior
+// in package core assumes with-replacement draws, but for n << N the
+// difference is negligible).
+func Reservoir(total, n int, rng *stats.RNG) []int {
+	if n <= 0 || total <= 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = i
+	}
+	for i := n; i < total; i++ {
+		j := rng.Intn(i + 1)
+		if j < n {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+// Set holds one join synopsis per table of a database — the full
+// precomputed statistics the robust estimator runs on.
+type Set struct {
+	cat      *catalog.Catalog
+	synopses map[string]*Synopsis
+}
+
+// BuildAll constructs an n-tuple join synopsis for every table. For
+// tables whose foreign-key closure contains a diamond (where the join
+// synopsis is ill-defined), it degrades to a plain single-table sample,
+// so that multi-table estimates rooted there fall back to the
+// independence-combination technique while single-table estimates keep
+// working — the paper's "error confined to the subexpressions for which
+// adequate samples are not available" (Section 3.5).
+func BuildAll(db *storage.Database, n int, rng *stats.RNG) (*Set, error) {
+	if err := db.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Set{cat: db.Catalog, synopses: make(map[string]*Synopsis)}
+	for _, name := range db.Catalog.TableNames() {
+		t, ok := db.Table(name)
+		if !ok || t.NumRows() == 0 {
+			continue
+		}
+		syn, err := BuildSynopsis(db, name, n, rng.Split())
+		if err != nil {
+			syn, err = BuildTableSample(t, n, rng.Split())
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.synopses[name] = syn
+	}
+	return s, nil
+}
+
+// Synopsis returns the synopsis rooted at the named table.
+func (s *Set) Synopsis(table string) (*Synopsis, bool) {
+	syn, ok := s.synopses[table]
+	return syn, ok
+}
+
+// Add registers (or replaces) a synopsis, keyed by its root.
+func (s *Set) Add(syn *Synopsis) { s.synopses[syn.Root] = syn }
+
+// Catalog returns the catalog the set was built against.
+func (s *Set) Catalog() *catalog.Catalog { return s.cat }
+
+// For returns the synopsis appropriate for an SPJ expression over the
+// given tables: the synopsis rooted at the expression's root relation
+// (the table whose primary key is not joined away). The synopsis must
+// cover every requested table.
+func (s *Set) For(tables []string) (*Synopsis, error) {
+	root, err := s.cat.RootOf(tables)
+	if err != nil {
+		return nil, err
+	}
+	syn, ok := s.synopses[root]
+	if !ok {
+		return nil, fmt.Errorf("sample: no synopsis for root table %q", root)
+	}
+	covered := make(map[string]bool, len(syn.Tables))
+	for _, t := range syn.Tables {
+		covered[t] = true
+	}
+	for _, t := range tables {
+		if !covered[t] {
+			return nil, fmt.Errorf("sample: synopsis for %q does not cover table %q", root, t)
+		}
+	}
+	return syn, nil
+}
+
+// ExactFraction computes the true selectivity of pred over the foreign-key
+// join rooted at the root of tables, by exhaustively expanding every root
+// row. It is the ground-truth oracle used by tests and by the experiment
+// harness to position queries at target selectivities; real systems cannot
+// afford it, which is the point of sampling.
+func ExactFraction(db *storage.Database, tables []string, pred expr.Expr) (float64, error) {
+	root, err := db.Catalog.RootOf(tables)
+	if err != nil {
+		return 0, err
+	}
+	rootTab, ok := db.Table(root)
+	if !ok {
+		return 0, fmt.Errorf("sample: unknown table %q", root)
+	}
+	if rootTab.NumRows() == 0 {
+		return 0, fmt.Errorf("sample: table %q is empty", root)
+	}
+	// Reuse the synopsis expansion plan for the schema.
+	var schema expr.RelSchema
+	var order []string
+	seen := make(map[string]bool)
+	var plan func(name string) error
+	plan = func(name string) error {
+		if seen[name] {
+			return fmt.Errorf("sample: table %q reachable along multiple foreign-key paths from %q", name, root)
+		}
+		seen[name] = true
+		t, ok := db.Table(name)
+		if !ok {
+			return fmt.Errorf("sample: unknown table %q", name)
+		}
+		order = append(order, name)
+		schema = schema.Concat(expr.SchemaForTable(t.Schema()))
+		for _, fk := range t.Schema().Foreign {
+			if err := plan(fk.RefTable); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := plan(root); err != nil {
+		return 0, err
+	}
+	for _, t := range tables {
+		if !seen[t] {
+			return 0, fmt.Errorf("sample: table %q not in the foreign-key closure of %q", t, root)
+		}
+	}
+	bound, err := expr.Bind(pred, schema)
+	if err != nil {
+		return 0, err
+	}
+	row := make(value.Row, 0, len(schema.Fields))
+	var expand func(name string, rid int) error
+	expand = func(name string, rid int) error {
+		t := db.MustTable(name)
+		start := len(row)
+		row = row[:start+len(t.Schema().Columns)]
+		t.ReadRow(rid, row[start:])
+		for _, fk := range t.Schema().Foreign {
+			fkIdx := t.Schema().ColumnIndex(fk.Column)
+			ref := db.MustTable(fk.RefTable)
+			refRID, ok := ref.LookupPK(row[start+fkIdx].I)
+			if !ok {
+				return fmt.Errorf("sample: dangling foreign key %s.%s", name, fk.Column)
+			}
+			if err := expand(fk.RefTable, refRID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	matches := 0
+	full := make(value.Row, len(schema.Fields))
+	for r := 0; r < rootTab.NumRows(); r++ {
+		row = full[:0]
+		if err := expand(root, r); err != nil {
+			return 0, err
+		}
+		ok, err := bound.Eval(full)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			matches++
+		}
+	}
+	return float64(matches) / float64(rootTab.NumRows()), nil
+}

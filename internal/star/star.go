@@ -1,0 +1,199 @@
+// Package star generates the synthetic data warehouse of Experiment 3:
+// a fact table with foreign keys to three small dimension tables, with
+// the joint join fraction "handcrafted" so that any percentage of fact
+// rows between 0% and 10% joins the selected 10% of each dimension —
+// while every marginal stays exactly 10%, which pins histogram-based
+// estimates at 0.1% regardless of the truth.
+package star
+
+import (
+	"fmt"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// MarginalFraction is the per-dimension selected fraction (the paper's
+// "each filter selected 10% of the rows of its dimension table").
+const MarginalFraction = 0.10
+
+// Config controls generation.
+type Config struct {
+	// FactRows is the fact table size (the paper used 10,000,000).
+	FactRows int
+	// DimRows is the size of each dimension table (paper: 1,000).
+	DimRows int
+	// Dims is the number of dimension tables (paper: 3).
+	Dims int
+	// JoinFraction is the fraction of fact rows whose foreign keys all
+	// land in the selected 10% of their dimensions. In [0, 0.1].
+	JoinFraction float64
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.FactRows <= 0 || c.DimRows <= 0 {
+		return fmt.Errorf("star: FactRows and DimRows must be positive")
+	}
+	if c.Dims < 1 {
+		return fmt.Errorf("star: need at least one dimension, got %d", c.Dims)
+	}
+	if c.JoinFraction < 0 || c.JoinFraction > MarginalFraction {
+		return fmt.Errorf("star: JoinFraction %g outside [0, %g]", c.JoinFraction, MarginalFraction)
+	}
+	if c.DimRows < 20 {
+		return fmt.Errorf("star: DimRows %d too small for a 10%% selected set", c.DimRows)
+	}
+	return nil
+}
+
+// DimName returns the name of dimension i (0-based): "dim1", "dim2", ...
+func DimName(i int) string { return fmt.Sprintf("dim%d", i+1) }
+
+// FactFK returns the fact column referencing dimension i.
+func FactFK(i int) string { return fmt.Sprintf("f_dim%d", i+1) }
+
+// Generate builds the star schema database.
+//
+// The joint distribution is the exact mixture construction: with
+// probability JoinFraction a fact row draws all FKs from the selected key
+// sets; with probability (MarginalFraction - JoinFraction) per dimension
+// exactly that one FK is selected; otherwise none are. Every marginal is
+// exactly MarginalFraction and the joint is exactly JoinFraction, for any
+// JoinFraction in [0, MarginalFraction].
+func Generate(cfg Config) (*storage.Database, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cat := catalog.NewCatalog()
+	db := storage.NewDatabase(cat)
+
+	selCount := int(float64(cfg.DimRows) * MarginalFraction)
+	dims := make([]*storage.Table, cfg.Dims)
+	for i := 0; i < cfg.Dims; i++ {
+		t, err := db.CreateTable(&catalog.TableSchema{
+			Name: DimName(i),
+			Columns: []catalog.Column{
+				{Name: "d_id", Type: catalog.Int},
+				{Name: "d_attr", Type: catalog.Int},
+				{Name: "d_payload", Type: catalog.Int},
+			},
+			PrimaryKey: "d_id",
+			Ordered:    []string{"d_id"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = t
+	}
+	factCols := []catalog.Column{{Name: "f_id", Type: catalog.Int}}
+	var fks []catalog.ForeignKey
+	var ixs []catalog.Index
+	for i := 0; i < cfg.Dims; i++ {
+		factCols = append(factCols, catalog.Column{Name: FactFK(i), Type: catalog.Int})
+		fks = append(fks, catalog.ForeignKey{Column: FactFK(i), RefTable: DimName(i)})
+		ixs = append(ixs, catalog.Index{Name: "ix_" + FactFK(i), Column: FactFK(i), Kind: catalog.NonClustered})
+	}
+	factCols = append(factCols,
+		catalog.Column{Name: "f_measure1", Type: catalog.Float},
+		catalog.Column{Name: "f_measure2", Type: catalog.Float},
+	)
+	fact, err := db.CreateTable(&catalog.TableSchema{
+		Name:       "fact",
+		Columns:    factCols,
+		PrimaryKey: "f_id",
+		Foreign:    fks,
+		Indexes:    ixs,
+		Ordered:    []string{"f_id"},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	dimRNG := rng.Split()
+	for i := 0; i < cfg.Dims; i++ {
+		for d := 0; d < cfg.DimRows; d++ {
+			attr := int64(1) // unselected
+			if d < selCount {
+				attr = 0 // d_attr = 0 marks the selected 10%
+			}
+			row := value.Row{
+				value.Int(int64(d)),
+				value.Int(attr),
+				value.Int(int64(dimRNG.Intn(1000))),
+			}
+			if err := dims[i].Append(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	factRNG := rng.Split()
+	perDim := MarginalFraction - cfg.JoinFraction // probability of "only dim i selected"
+	for f := 0; f < cfg.FactRows; f++ {
+		u := factRNG.Float64()
+		// Mode: -2 = all selected, i in [0,Dims) = only dim i, -1 = none.
+		mode := -1
+		switch {
+		case u < cfg.JoinFraction:
+			mode = -2
+		case u < cfg.JoinFraction+float64(cfg.Dims)*perDim:
+			mode = int((u - cfg.JoinFraction) / perDim)
+			if mode >= cfg.Dims {
+				mode = cfg.Dims - 1
+			}
+		}
+		row := make(value.Row, 0, len(factCols))
+		row = append(row, value.Int(int64(f)))
+		for i := 0; i < cfg.Dims; i++ {
+			inSelected := mode == -2 || mode == i
+			var key int64
+			if inSelected {
+				key = int64(factRNG.Intn(selCount))
+			} else {
+				key = int64(selCount + factRNG.Intn(cfg.DimRows-selCount))
+			}
+			row = append(row, value.Int(key))
+		}
+		row = append(row,
+			value.Float(factRNG.Float64()*100),
+			value.Float(factRNG.Float64()*1000),
+		)
+		if err := fact.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Query builds the Section 6.2.3 template: the star join of fact with all
+// dimensions, a 10% filter on each dimension, and aggregates over the
+// fact measures.
+func Query(dims int) *optimizer.Query {
+	tables := []string{"fact"}
+	var terms []expr.Expr
+	for i := 0; i < dims; i++ {
+		tables = append(tables, DimName(i))
+		terms = append(terms, expr.Cmp{
+			Op: expr.EQ,
+			L:  expr.TC(DimName(i), "d_attr"),
+			R:  expr.IntLit(0),
+		})
+	}
+	return &optimizer.Query{
+		Tables: tables,
+		Pred:   expr.Conj(terms...),
+		Aggs: []engine.AggSpec{
+			{Func: engine.Sum, Arg: expr.TC("fact", "f_measure1"), As: "m1"},
+			{Func: engine.Avg, Arg: expr.TC("fact", "f_measure2"), As: "m2"},
+			{Func: engine.Count, As: "n"},
+		},
+	}
+}

@@ -1,0 +1,126 @@
+package star
+
+import (
+	"math"
+	"testing"
+
+	"robustqo/internal/expr"
+	"robustqo/internal/sample"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{FactRows: 100, DimRows: 100, Dims: 0},
+		{FactRows: 100, DimRows: 100, Dims: 3, JoinFraction: 0.2},
+		{FactRows: 100, DimRows: 100, Dims: 3, JoinFraction: -0.1},
+		{FactRows: 100, DimRows: 10, Dims: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateIntegrityAndNames(t *testing.T) {
+	db, err := Generate(Config{FactRows: 2000, DimRows: 100, Dims: 3, JoinFraction: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := db.Table(DimName(i)); !ok {
+			t.Errorf("missing %s", DimName(i))
+		}
+	}
+	fact := db.MustTable("fact")
+	for i := 0; i < 3; i++ {
+		if fact.Schema().ColumnIndex(FactFK(i)) < 0 {
+			t.Errorf("missing %s", FactFK(i))
+		}
+		if _, ok := fact.Schema().IndexOn(FactFK(i)); !ok {
+			t.Errorf("no index on %s", FactFK(i))
+		}
+	}
+}
+
+func selectedFraction(t *testing.T, cfg Config, pred expr.Expr) float64 {
+	t.Helper()
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := []string{"fact"}
+	for i := 0; i < cfg.Dims; i++ {
+		tables = append(tables, DimName(i))
+	}
+	sel, err := sample.ExactFraction(db, tables, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestJointFractionControlled(t *testing.T) {
+	for _, j := range []float64{0, 0.001, 0.02, 0.05, 0.1} {
+		cfg := Config{FactRows: 40000, DimRows: 1000, Dims: 3, JoinFraction: j, Seed: 11}
+		got := selectedFraction(t, cfg, Query(3).Pred)
+		tol := 0.004 + j*0.15
+		if math.Abs(got-j) > tol {
+			t.Errorf("join fraction %g: measured %g", j, got)
+		}
+	}
+}
+
+func TestMarginalsStayAtTenPercent(t *testing.T) {
+	// Regardless of the joint, each single-dimension semijoin fraction
+	// stays at 10% — the property that pins histogram estimates at 0.1%.
+	for _, j := range []float64{0, 0.05, 0.1} {
+		cfg := Config{FactRows: 40000, DimRows: 1000, Dims: 3, JoinFraction: j, Seed: 13}
+		db, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			pred := expr.Cmp{Op: expr.EQ, L: expr.TC(DimName(i), "d_attr"), R: expr.IntLit(0)}
+			sel, err := sample.ExactFraction(db, []string{"fact", DimName(i)}, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sel-MarginalFraction) > 0.01 {
+				t.Errorf("joint %g dim %d: marginal = %g", j, i, sel)
+			}
+		}
+	}
+}
+
+func TestDimFilterSelectsTenPercent(t *testing.T) {
+	db, err := Generate(Config{FactRows: 500, DimRows: 1000, Dims: 2, JoinFraction: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := expr.Cmp{Op: expr.EQ, L: expr.TC("dim1", "d_attr"), R: expr.IntLit(0)}
+	sel, err := sample.ExactFraction(db, []string{"dim1"}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 0.1 {
+		t.Errorf("dim filter selects %g", sel)
+	}
+}
+
+func TestQueryShape(t *testing.T) {
+	q := Query(3)
+	if len(q.Tables) != 4 || q.Tables[0] != "fact" {
+		t.Errorf("tables = %v", q.Tables)
+	}
+	if len(q.Aggs) != 3 {
+		t.Errorf("aggs = %v", q.Aggs)
+	}
+	if len(expr.SplitConjuncts(q.Pred)) != 3 {
+		t.Errorf("pred = %v", q.Pred)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial is the Binomial(N, P) distribution: the number of successes in N
+// independent trials each succeeding with probability P.
+//
+// In the analytical model of Section 5, the number of sample tuples that
+// satisfy a predicate of true selectivity p is Binomial(n, p).
+type Binomial struct {
+	N int     // number of trials, >= 0
+	P float64 // per-trial success probability in [0, 1]
+}
+
+// NewBinomial returns a Binomial distribution, validating parameters.
+func NewBinomial(n int, p float64) (Binomial, error) {
+	if n < 0 {
+		return Binomial{}, fmt.Errorf("stats: negative binomial trial count %d", n)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return Binomial{}, fmt.Errorf("stats: binomial probability %g outside [0, 1]", p)
+	}
+	return Binomial{N: n, P: p}, nil
+}
+
+// Mean returns N * P.
+func (d Binomial) Mean() float64 { return float64(d.N) * d.P }
+
+// Variance returns N * P * (1 - P).
+func (d Binomial) Variance() float64 { return float64(d.N) * d.P * (1 - d.P) }
+
+// LogPMF returns the natural log of P[X = k].
+func (d Binomial) LogPMF(k int) float64 {
+	if k < 0 || k > d.N {
+		return math.Inf(-1)
+	}
+	switch d.P {
+	case 0:
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	case 1:
+		if k == d.N {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return logChoose(d.N, k) + float64(k)*math.Log(d.P) + float64(d.N-k)*math.Log1p(-d.P)
+}
+
+// PMF returns P[X = k].
+func (d Binomial) PMF(k int) float64 { return math.Exp(d.LogPMF(k)) }
+
+// CDF returns P[X <= k], computed via the incomplete-beta identity
+// P[X <= k] = I_{1-p}(n-k, k+1), which is numerically stable for large N.
+func (d Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= d.N {
+		return 1
+	}
+	if d.P == 0 {
+		return 1
+	}
+	if d.P == 1 {
+		return 0 // k < N here
+	}
+	return regIncBeta(float64(d.N-k), float64(k+1), 1-d.P)
+}
+
+// logChoose returns ln C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBinomialValidation(t *testing.T) {
+	if _, err := NewBinomial(-1, 0.5); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewBinomial(10, -0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewBinomial(10, 1.1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := NewBinomial(10, math.NaN()); err == nil {
+		t.Error("NaN p accepted")
+	}
+	if _, err := NewBinomial(0, 0.5); err != nil {
+		t.Error("n = 0 rejected")
+	}
+}
+
+func TestBinomialPMFSmallExact(t *testing.T) {
+	// Binomial(4, 0.5): pmf = {1,4,6,4,1}/16.
+	d := Binomial{N: 4, P: 0.5}
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if got := d.PMF(k); !almostEqual(got, w, 1e-12) {
+			t.Errorf("PMF(%d) = %g, want %g", k, got, w)
+		}
+	}
+	if got := d.PMF(-1); got != 0 {
+		t.Errorf("PMF(-1) = %g", got)
+	}
+	if got := d.PMF(5); got != 0 {
+		t.Errorf("PMF(5) = %g", got)
+	}
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	d0 := Binomial{N: 5, P: 0}
+	if got := d0.PMF(0); got != 1 {
+		t.Errorf("P=0: PMF(0) = %g", got)
+	}
+	if got := d0.PMF(1); got != 0 {
+		t.Errorf("P=0: PMF(1) = %g", got)
+	}
+	if got := d0.CDF(0); got != 1 {
+		t.Errorf("P=0: CDF(0) = %g", got)
+	}
+	d1 := Binomial{N: 5, P: 1}
+	if got := d1.PMF(5); got != 1 {
+		t.Errorf("P=1: PMF(5) = %g", got)
+	}
+	if got := d1.CDF(4); got != 0 {
+		t.Errorf("P=1: CDF(4) = %g", got)
+	}
+	if got := d1.CDF(5); got != 1 {
+		t.Errorf("P=1: CDF(5) = %g", got)
+	}
+}
+
+func TestBinomialCDFMatchesPMFSum(t *testing.T) {
+	d := Binomial{N: 100, P: 0.13}
+	sum := 0.0
+	for k := 0; k <= 100; k++ {
+		sum += d.PMF(k)
+		if got := d.CDF(k); !almostEqual(got, sum, 1e-10) {
+			t.Fatalf("CDF(%d) = %g, pmf sum %g", k, got, sum)
+		}
+	}
+	if !almostEqual(sum, 1, 1e-10) {
+		t.Errorf("pmf sums to %g", sum)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	d := Binomial{N: 1000, P: 0.0014}
+	if got, want := d.Mean(), 1.4; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	if got, want := d.Variance(), 1000*0.0014*0.9986; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, want)
+	}
+}
+
+func TestBinomialLargeNStable(t *testing.T) {
+	// The paper's analytical model uses n up to 5000; check no overflow or
+	// NaN appears and the pmf still sums to 1.
+	d := Binomial{N: 5000, P: 0.0005}
+	sum := 0.0
+	for k := 0; k <= 5000; k++ {
+		p := d.PMF(k)
+		if math.IsNaN(p) || p < 0 {
+			t.Fatalf("PMF(%d) = %g", k, p)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("pmf sums to %g", sum)
+	}
+}
+
+func TestBinomialCDFMonotoneProperty(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint32, k1Raw, k2Raw uint16) bool {
+		n := int(nRaw%2000) + 1
+		p := float64(pRaw) / float64(math.MaxUint32)
+		k1 := int(k1Raw) % (n + 1)
+		k2 := int(k2Raw) % (n + 1)
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		d := Binomial{N: n, P: p}
+		return d.CDF(k1) <= d.CDF(k2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// C(10, 3) = 120.
+	if got := math.Exp(logChoose(10, 3)); !almostEqual(got, 120, 1e-9) {
+		t.Errorf("C(10,3) = %g", got)
+	}
+	if got := logChoose(5, 6); !math.IsInf(got, -1) {
+		t.Errorf("logChoose(5,6) = %g, want -Inf", got)
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	// Chi-square goodness of fit over 20 bins; threshold is the 99.9th
+	// percentile of chi-square with 19 degrees of freedom (~43.8).
+	r := NewRNG(7)
+	const n, bins = 200000, 20
+	counts := make([]int, bins)
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*bins)]++
+	}
+	expected := float64(n) / bins
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 43.8 {
+		t.Errorf("chi-square = %g, uniformity rejected", chi2)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("bad permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(9)
+	s1 := r.Split()
+	s2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams matched %d/100 draws", same)
+	}
+}
+
+func TestRNGInt63NonNegative(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative value")
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	// (2^64-1)^2 = 2^128 - 2^65 + 1.
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Errorf("mul64 max*max = (%d, %d)", hi, lo)
+	}
+	hi, lo = mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul64 2^32*2^32 = (%d, %d)", hi, lo)
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Summary holds the first two moments of a set of observations. It is used
+// throughout the experiment harness to report the paper's two metrics:
+// average query execution time and its standard deviation (the
+// predictability metric of Section 5.2).
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // population variance (divide by N), as in the paper's
+	// "variance in query execution times over a set of similar queries"
+	Min float64
+	Max float64
+}
+
+// StdDev returns the population standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// Summarize computes the summary of xs. An empty slice yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return SummarizeWeighted(xs, nil)
+}
+
+// SummarizeWeighted computes a weighted summary; nil weights mean uniform.
+// Weights are normalized internally, so only their ratios matter.
+//
+// Weighted summaries implement the paper's "assume any of the selectivities
+// is equally likely" aggregation (Figure 6) and its generalizations.
+func SummarizeWeighted(xs, ws []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var wSum, mean float64
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i, x := range xs {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		wSum += w
+		mean += w * x
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if wSum == 0 {
+		return Summary{N: len(xs), Min: minV, Max: maxV}
+	}
+	mean /= wSum
+	var variance float64
+	for i, x := range xs {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		d := x - mean
+		variance += w * d * d
+	}
+	variance /= wSum
+	return Summary{N: len(xs), Mean: mean, Variance: variance, Min: minV, Max: maxV}
+}
+
+// MeanStd is a convenience returning the mean and population standard
+// deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	s := Summarize(xs)
+	return s.Mean, s.StdDev()
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 2.5, 1e-12) {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	if !almostEqual(s.Variance, 1.25, 1e-12) {
+		t.Errorf("Variance = %g", s.Variance)
+	}
+	if !almostEqual(s.StdDev(), math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %g", s.StdDev())
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("Min, Max = %g, %g", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Variance != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Variance != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeWeighted(t *testing.T) {
+	// Weighting {1,3} as {3,1} equals unweighted {1,1,1,3}.
+	got := SummarizeWeighted([]float64{1, 3}, []float64{3, 1})
+	want := Summarize([]float64{1, 1, 1, 3})
+	if !almostEqual(got.Mean, want.Mean, 1e-12) {
+		t.Errorf("weighted mean %g, want %g", got.Mean, want.Mean)
+	}
+	if !almostEqual(got.Variance, want.Variance, 1e-12) {
+		t.Errorf("weighted variance %g, want %g", got.Variance, want.Variance)
+	}
+}
+
+func TestSummarizeWeightedZeroWeights(t *testing.T) {
+	s := SummarizeWeighted([]float64{1, 2}, []float64{0, 0})
+	if s.Mean != 0 || s.Variance != 0 || s.N != 2 {
+		t.Errorf("zero-weight summary = %+v", s)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(mean, 5, 1e-12) || !almostEqual(std, 2, 1e-12) {
+		t.Errorf("MeanStd = %g, %g", mean, std)
+	}
+}
+
+func TestSummarizeScaleInvarianceProperty(t *testing.T) {
+	// Property: scaling data by c scales mean by c and variance by c^2.
+	f := func(raw []uint16, cRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := 1 + float64(cRaw%50)
+		xs := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			scaled[i] = c * xs[i]
+		}
+		a, b := Summarize(xs), Summarize(scaled)
+		return almostEqual(b.Mean, c*a.Mean, 1e-6*(1+math.Abs(c*a.Mean))) &&
+			almostEqual(b.Variance, c*c*a.Variance, 1e-6*(1+c*c*a.Variance))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return Summarize(xs).Variance >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package storage implements the in-memory columnar table store that plays
+// the role of the disk-resident heap files in the paper's experiments.
+//
+// Tables are stored column-wise in typed slices. A simulated page layout
+// (TuplesPerPage) lets the cost model translate row counts into sequential
+// and random page accesses, which is what differentiates the sequential
+// scan and index-intersection plans at the center of the paper.
+package storage
+
+import (
+	"fmt"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/value"
+)
+
+// TuplesPerPage is the simulated number of tuples stored per disk page.
+// With ~100-byte tuples and 8 KB pages this matches the paper's era.
+const TuplesPerPage = 80
+
+// Table is a columnar in-memory table instance for a catalog schema.
+type Table struct {
+	schema *catalog.TableSchema
+	cols   []columnData
+	rows   int
+	// pkIndex maps primary-key value to row id for O(1) FK lookups during
+	// join-synopsis construction and indexed nested-loop joins on PKs.
+	pkIndex map[int64]int
+	pkCol   int // ordinal of PK column, -1 if none
+}
+
+type columnData struct {
+	kind   catalog.Type
+	ints   []int64 // Int and Date payloads
+	floats []float64
+	strs   []string
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(schema *catalog.TableSchema) (*Table, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("storage: nil schema")
+	}
+	t := &Table{
+		schema: schema,
+		cols:   make([]columnData, len(schema.Columns)),
+		pkCol:  -1,
+	}
+	for i, c := range schema.Columns {
+		t.cols[i].kind = c.Type
+	}
+	if schema.PrimaryKey != "" {
+		t.pkCol = schema.ColumnIndex(schema.PrimaryKey)
+		t.pkIndex = make(map[int64]int)
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *catalog.TableSchema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// NumRows returns the number of rows stored.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumPages returns the simulated page count of the heap.
+func (t *Table) NumPages() int {
+	return (t.rows + TuplesPerPage - 1) / TuplesPerPage
+}
+
+// Append adds a row. The row must have one value per column with matching
+// types; Int values are accepted for Date columns and vice versa.
+func (t *Table) Append(row value.Row) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("storage: table %q: row has %d values, schema has %d columns", t.Name(), len(row), len(t.cols))
+	}
+	for i, v := range row {
+		if !typeCompatible(t.cols[i].kind, v.Kind) {
+			return fmt.Errorf("storage: table %q column %q: cannot store %s in %s column",
+				t.Name(), t.schema.Columns[i].Name, v.Kind, t.cols[i].kind)
+		}
+	}
+	for i, v := range row {
+		c := &t.cols[i]
+		switch c.kind {
+		case catalog.Int, catalog.Date:
+			c.ints = append(c.ints, v.I)
+		case catalog.Float:
+			c.floats = append(c.floats, v.F)
+		case catalog.String:
+			c.strs = append(c.strs, v.S)
+		}
+	}
+	if t.pkCol >= 0 {
+		pk := row[t.pkCol].I
+		if _, dup := t.pkIndex[pk]; dup {
+			// Roll back the partial append to keep columns consistent.
+			for i := range t.cols {
+				c := &t.cols[i]
+				switch c.kind {
+				case catalog.Int, catalog.Date:
+					c.ints = c.ints[:len(c.ints)-1]
+				case catalog.Float:
+					c.floats = c.floats[:len(c.floats)-1]
+				case catalog.String:
+					c.strs = c.strs[:len(c.strs)-1]
+				}
+			}
+			return fmt.Errorf("storage: table %q: duplicate primary key %d", t.Name(), pk)
+		}
+		t.pkIndex[pk] = t.rows
+	}
+	t.rows++
+	return nil
+}
+
+func typeCompatible(col, val catalog.Type) bool {
+	if col == val {
+		return true
+	}
+	// Date and Int are interchangeable payloads.
+	return (col == catalog.Date && val == catalog.Int) || (col == catalog.Int && val == catalog.Date)
+}
+
+// Value returns the value at (row, col).
+func (t *Table) Value(row, col int) value.Value {
+	c := &t.cols[col]
+	switch c.kind {
+	case catalog.Int:
+		return value.Int(c.ints[row])
+	case catalog.Date:
+		return value.Date(c.ints[row])
+	case catalog.Float:
+		return value.Float(c.floats[row])
+	default:
+		return value.Str(c.strs[row])
+	}
+}
+
+// ReadRow fills dst (which must have len == number of columns) with the
+// values of the given row, avoiding allocation in scan loops.
+func (t *Table) ReadRow(row int, dst value.Row) {
+	for i := range t.cols {
+		dst[i] = t.Value(row, i)
+	}
+}
+
+// Row returns a freshly allocated copy of the given row.
+func (t *Table) Row(row int) value.Row {
+	out := make(value.Row, len(t.cols))
+	t.ReadRow(row, out)
+	return out
+}
+
+// Ints returns the raw payload slice of an Int or Date column. The caller
+// must not modify it. Returns nil for other column types.
+func (t *Table) Ints(col int) []int64 {
+	c := &t.cols[col]
+	if c.kind == catalog.Int || c.kind == catalog.Date {
+		return c.ints
+	}
+	return nil
+}
+
+// Floats returns the raw payload slice of a Float column, or nil.
+func (t *Table) Floats(col int) []float64 {
+	c := &t.cols[col]
+	if c.kind == catalog.Float {
+		return c.floats
+	}
+	return nil
+}
+
+// Strings returns the raw payload slice of a String column, or nil.
+func (t *Table) Strings(col int) []string {
+	c := &t.cols[col]
+	if c.kind == catalog.String {
+		return c.strs
+	}
+	return nil
+}
+
+// LookupPK returns the row id holding the given primary-key value.
+func (t *Table) LookupPK(pk int64) (int, bool) {
+	if t.pkIndex == nil {
+		return 0, false
+	}
+	r, ok := t.pkIndex[pk]
+	return r, ok
+}
+
+// Database is a set of named tables governed by a catalog.
+type Database struct {
+	Catalog *catalog.Catalog
+	tables  map[string]*Table
+}
+
+// NewDatabase returns an empty database over the catalog.
+func NewDatabase(cat *catalog.Catalog) *Database {
+	return &Database{Catalog: cat, tables: make(map[string]*Table)}
+}
+
+// CreateTable registers the schema in the catalog and creates the empty
+// table instance.
+func (db *Database) CreateTable(schema *catalog.TableSchema) (*Table, error) {
+	if err := db.Catalog.AddTable(schema); err != nil {
+		return nil, err
+	}
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table instance.
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// MustTable returns the named table, panicking if absent. Intended for
+// internal callers operating on tables known to exist from the catalog.
+func (db *Database) MustTable(name string) *Table {
+	t, ok := db.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown table %q", name))
+	}
+	return t
+}
+
+// Validate checks catalog-level integrity (FK targets exist, graph is
+// acyclic) and referential integrity of the stored data: every non-null
+// foreign-key value must resolve in the referenced table.
+func (db *Database) Validate() error {
+	if err := db.Catalog.Validate(); err != nil {
+		return err
+	}
+	for name, t := range db.tables {
+		for _, fk := range t.schema.Foreign {
+			ref := db.tables[fk.RefTable]
+			if ref == nil {
+				return fmt.Errorf("storage: table %q references table %q with no data instance", name, fk.RefTable)
+			}
+			col := t.schema.ColumnIndex(fk.Column)
+			for _, v := range t.Ints(col) {
+				if _, ok := ref.LookupPK(v); !ok {
+					return fmt.Errorf("storage: table %q column %q: dangling foreign key %d into %q", name, fk.Column, v, fk.RefTable)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/value"
+)
+
+func testSchema() *catalog.TableSchema {
+	return &catalog.TableSchema{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Type: catalog.Int},
+			{Name: "x", Type: catalog.Float},
+			{Name: "s", Type: catalog.String},
+			{Name: "d", Type: catalog.Date},
+		},
+		PrimaryKey: "id",
+	}
+}
+
+func TestNewTableNilSchema(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	tab, err := NewTable(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Row{
+		{value.Int(1), value.Float(1.5), value.Str("a"), value.Date(10)},
+		{value.Int(2), value.Float(2.5), value.Str("b"), value.Date(20)},
+	}
+	for _, r := range rows {
+		if err := tab.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	if got := tab.Value(1, 2); got.S != "b" {
+		t.Errorf("Value(1,2) = %v", got)
+	}
+	if got := tab.Value(0, 3); got.Kind != catalog.Date || got.I != 10 {
+		t.Errorf("Value(0,3) = %v", got)
+	}
+	r := tab.Row(1)
+	if r[0].I != 2 || r[1].F != 2.5 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	buf := make(value.Row, 4)
+	tab.ReadRow(0, buf)
+	if buf[0].I != 1 || buf[2].S != "a" {
+		t.Errorf("ReadRow = %v", buf)
+	}
+}
+
+func TestAppendArityAndTypeErrors(t *testing.T) {
+	tab, _ := NewTable(testSchema())
+	if err := tab.Append(value.Row{value.Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tab.Append(value.Row{value.Int(1), value.Str("bad"), value.Str("a"), value.Date(1)}); err == nil {
+		t.Error("type-mismatched row accepted")
+	}
+	if tab.NumRows() != 0 {
+		t.Errorf("failed appends changed row count to %d", tab.NumRows())
+	}
+}
+
+func TestIntDateInterchange(t *testing.T) {
+	tab, _ := NewTable(testSchema())
+	// Int payload into Date column and Date payload into Int column.
+	err := tab.Append(value.Row{value.Date(5), value.Float(0), value.Str(""), value.Int(7)})
+	if err != nil {
+		t.Fatalf("interchange append: %v", err)
+	}
+	if got := tab.Value(0, 0); got.Kind != catalog.Int || got.I != 5 {
+		t.Errorf("Int column = %v", got)
+	}
+	if got := tab.Value(0, 3); got.Kind != catalog.Date || got.I != 7 {
+		t.Errorf("Date column = %v", got)
+	}
+}
+
+func TestDuplicatePKRollsBack(t *testing.T) {
+	tab, _ := NewTable(testSchema())
+	row := value.Row{value.Int(1), value.Float(0), value.Str("x"), value.Date(0)}
+	if err := tab.Append(row); err != nil {
+		t.Fatal(err)
+	}
+	err := tab.Append(value.Row{value.Int(1), value.Float(9), value.Str("y"), value.Date(9)})
+	if err == nil || !strings.Contains(err.Error(), "duplicate primary key") {
+		t.Fatalf("dup pk err = %v", err)
+	}
+	if tab.NumRows() != 1 {
+		t.Errorf("NumRows after rollback = %d", tab.NumRows())
+	}
+	// The columnar slices must have been rolled back in lockstep.
+	if got := tab.Value(0, 2); got.S != "x" {
+		t.Errorf("row 0 corrupted: %v", got)
+	}
+	if err := tab.Append(value.Row{value.Int(2), value.Float(1), value.Str("z"), value.Date(1)}); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if got := tab.Value(1, 2); got.S != "z" {
+		t.Errorf("row 1 = %v", got)
+	}
+}
+
+func TestLookupPK(t *testing.T) {
+	tab, _ := NewTable(testSchema())
+	for i := int64(0); i < 10; i++ {
+		if err := tab.Append(value.Row{value.Int(i * 3), value.Float(0), value.Str(""), value.Date(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, ok := tab.LookupPK(9)
+	if !ok || r != 3 {
+		t.Errorf("LookupPK(9) = %d, %v", r, ok)
+	}
+	if _, ok := tab.LookupPK(10); ok {
+		t.Error("LookupPK(10) found")
+	}
+	noPK := &catalog.TableSchema{Name: "n", Columns: []catalog.Column{{Name: "a", Type: catalog.Int}}}
+	tab2, _ := NewTable(noPK)
+	if _, ok := tab2.LookupPK(0); ok {
+		t.Error("LookupPK on PK-less table found")
+	}
+}
+
+func TestTypedSliceAccessors(t *testing.T) {
+	tab, _ := NewTable(testSchema())
+	_ = tab.Append(value.Row{value.Int(1), value.Float(1.5), value.Str("a"), value.Date(10)})
+	if ints := tab.Ints(0); len(ints) != 1 || ints[0] != 1 {
+		t.Errorf("Ints(0) = %v", ints)
+	}
+	if ints := tab.Ints(3); len(ints) != 1 || ints[0] != 10 {
+		t.Errorf("Ints(3) = %v", ints)
+	}
+	if tab.Ints(1) != nil {
+		t.Error("Ints on float column non-nil")
+	}
+	if fs := tab.Floats(1); len(fs) != 1 || fs[0] != 1.5 {
+		t.Errorf("Floats(1) = %v", fs)
+	}
+	if tab.Floats(0) != nil {
+		t.Error("Floats on int column non-nil")
+	}
+	if ss := tab.Strings(2); len(ss) != 1 || ss[0] != "a" {
+		t.Errorf("Strings(2) = %v", ss)
+	}
+	if tab.Strings(0) != nil {
+		t.Error("Strings on int column non-nil")
+	}
+}
+
+func TestNumPages(t *testing.T) {
+	tab, _ := NewTable(&catalog.TableSchema{Name: "p", Columns: []catalog.Column{{Name: "a", Type: catalog.Int}}})
+	if tab.NumPages() != 0 {
+		t.Errorf("empty NumPages = %d", tab.NumPages())
+	}
+	for i := 0; i < TuplesPerPage+1; i++ {
+		_ = tab.Append(value.Row{value.Int(int64(i))})
+	}
+	if tab.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", tab.NumPages())
+	}
+}
+
+func TestDatabaseCreateAndValidate(t *testing.T) {
+	cat := catalog.NewCatalog()
+	db := NewDatabase(cat)
+	dim, err := db.CreateTable(&catalog.TableSchema{
+		Name:       "dim",
+		Columns:    []catalog.Column{{Name: "d_id", Type: catalog.Int}},
+		PrimaryKey: "d_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := db.CreateTable(&catalog.TableSchema{
+		Name:       "fact",
+		Columns:    []catalog.Column{{Name: "f_id", Type: catalog.Int}, {Name: "f_dim", Type: catalog.Int}},
+		PrimaryKey: "f_id",
+		Foreign:    []catalog.ForeignKey{{Column: "f_dim", RefTable: "dim"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dim.Append(value.Row{value.Int(1)})
+	_ = fact.Append(value.Row{value.Int(100), value.Int(1)})
+	if err := db.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Dangling FK.
+	_ = fact.Append(value.Row{value.Int(101), value.Int(99)})
+	if err := db.Validate(); err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Errorf("Validate dangling = %v", err)
+	}
+	if _, ok := db.Table("fact"); !ok {
+		t.Error("Table(fact) missing")
+	}
+	if _, ok := db.Table("ghost"); ok {
+		t.Error("Table(ghost) found")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	db := NewDatabase(catalog.NewCatalog())
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable(ghost) did not panic")
+		}
+	}()
+	db.MustTable("ghost")
+}
+
+func TestCreateTableBadSchema(t *testing.T) {
+	db := NewDatabase(catalog.NewCatalog())
+	if _, err := db.CreateTable(&catalog.TableSchema{Name: ""}); err == nil {
+		t.Error("bad schema accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"robustqo/internal/expr"
+	"robustqo/internal/sample"
+	"robustqo/internal/value"
+)
+
+// splitSecond extracts the second top-level conjunct of a predicate.
+func splitSecond(pred expr.Expr) expr.Expr {
+	return expr.SplitConjuncts(pred)[1]
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero Lines accepted")
+	}
+	if _, err := Generate(Config{Lines: 100, PartCorrelation: 1.5}); err == nil {
+		t.Error("correlation > 1 accepted")
+	}
+}
+
+func TestGenerateIntegrity(t *testing.T) {
+	db, err := Generate(Config{Lines: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("referential integrity: %v", err)
+	}
+	li := db.MustTable("lineitem")
+	if li.NumRows() != 5000 {
+		t.Errorf("lineitem rows = %d", li.NumRows())
+	}
+	if db.MustTable("orders").NumRows() != 1250 {
+		t.Errorf("orders rows = %d", db.MustTable("orders").NumRows())
+	}
+	// Every receipt date trails its ship date by 1..MaxReceiptDelay days.
+	shipIdx := li.Schema().ColumnIndex("l_shipdate")
+	rcptIdx := li.Schema().ColumnIndex("l_receiptdate")
+	ships := li.Ints(shipIdx)
+	rcpts := li.Ints(rcptIdx)
+	for i := range ships {
+		d := rcpts[i] - ships[i]
+		if d < 1 || d > MaxReceiptDelay {
+			t.Fatalf("row %d: receipt delay %d", i, d)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Lines: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Lines: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.MustTable("lineitem"), b.MustTable("lineitem")
+	for r := 0; r < la.NumRows(); r++ {
+		for c := range la.Schema().Columns {
+			if !value.Equal(la.Value(r, c), lb.Value(r, c)) {
+				t.Fatalf("row %d col %d differs", r, c)
+			}
+		}
+	}
+	c, _ := Generate(Config{Lines: 500, Seed: 8})
+	diff := 0
+	lc := c.MustTable("lineitem")
+	for r := 0; r < 100; r++ {
+		if !value.Equal(la.Value(r, 3), lc.Value(r, 3)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical ship dates")
+	}
+}
+
+func TestExperiment1SelectivityDecreasesWithShift(t *testing.T) {
+	db, err := Generate(Config{Lines: 30000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joint selectivity peaks near the mean receipt delay (~15 days)
+	// and decays monotonically for larger shifts, reaching zero once the
+	// windows cannot overlap.
+	prev := 1.0
+	var at15, at200 float64
+	for _, shift := range []int64{15, 40, 80, 122, 200} {
+		sel, err := sample.ExactFraction(db, []string{"lineitem"}, Experiment1Predicate(shift))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel > prev+1e-9 {
+			t.Errorf("shift %d: selectivity %g rose above %g", shift, sel, prev)
+		}
+		prev = sel
+		switch shift {
+		case 15:
+			at15 = sel
+		case 200:
+			at200 = sel
+		}
+	}
+	// Near the delay mode the joint approaches the ~3.8% marginal.
+	if at15 < 0.02 || at15 > 0.05 {
+		t.Errorf("joint at shift 15 = %g", at15)
+	}
+	// Far shifts have zero overlap.
+	if at200 != 0 {
+		t.Errorf("joint at shift 200 = %g", at200)
+	}
+}
+
+func TestExperiment1MarginalsConstant(t *testing.T) {
+	// The receipt-window marginal must not depend on the shift (this is
+	// what blinds histograms to the parameter).
+	db, err := Generate(Config{Lines: 30000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginal := func(shift int64) float64 {
+		q := Experiment1Query(shift)
+		terms := q.Pred.(interface{ String() string })
+		_ = terms
+		// Rebuild just the receipt-date term.
+		pred := Experiment1Query(shift).Pred
+		// The second conjunct is the receipt window.
+		sel, err := sample.ExactFraction(db, []string{"lineitem"}, splitSecond(pred))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	m0 := marginal(0)
+	m60 := marginal(60)
+	m120 := marginal(120)
+	if math.Abs(m0-m60) > 0.005 || math.Abs(m0-m120) > 0.005 {
+		t.Errorf("marginals vary: %g, %g, %g", m0, m60, m120)
+	}
+}
+
+func TestExperiment2JointSweepsWhileMarginalsFixed(t *testing.T) {
+	db, err := Generate(Config{Lines: 2000, Parts: 20000, PartCorrelation: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := func(x int64) float64 {
+		sel, err := sample.ExactFraction(db, []string{"part"}, Experiment2Query(x).Pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	aligned := joint(0)
+	disjoint := joint(500)
+	// Aligned: ~phi*2% + (1-phi)*0.04% ≈ 1.02%. Disjoint: ≈ 0.02%.
+	if aligned < 0.006 || aligned > 0.016 {
+		t.Errorf("aligned joint = %g", aligned)
+	}
+	if disjoint > 0.002 {
+		t.Errorf("disjoint joint = %g", disjoint)
+	}
+	if aligned <= disjoint {
+		t.Error("correlation sweep has no effect")
+	}
+	// Marginal of the sliding window is constant.
+	m1, _ := sample.ExactFraction(db, []string{"part"}, splitSecond(Experiment2Query(0).Pred))
+	m2, _ := sample.ExactFraction(db, []string{"part"}, splitSecond(Experiment2Query(500).Pred))
+	if math.Abs(m1-0.02) > 0.01 || math.Abs(m2-0.02) > 0.01 {
+		t.Errorf("window marginals = %g, %g, want ~0.02", m1, m2)
+	}
+}
+
+func TestQueriesAreWellFormed(t *testing.T) {
+	q1 := Experiment1Query(30)
+	if len(q1.Tables) != 1 || q1.Tables[0] != "lineitem" || len(q1.Aggs) != 1 {
+		t.Errorf("Experiment1Query = %+v", q1)
+	}
+	q2 := Experiment2Query(10)
+	if len(q2.Tables) != 3 || len(q2.Aggs) != 2 {
+		t.Errorf("Experiment2Query = %+v", q2)
+	}
+}

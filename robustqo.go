@@ -1,0 +1,200 @@
+// Package robustqo is a query engine with a robust, predictability-aware
+// query optimizer, reproducing Babcock & Chaudhuri, "Towards a Robust
+// Query Optimizer: A Principled and Practical Approach" (SIGMOD 2005).
+//
+// Cardinality estimates come from Bayesian inference over precomputed
+// join synopses: evaluating a predicate on an n-tuple sample with k
+// matches yields a Beta(k+½, n-k+½) posterior over the true selectivity
+// (Jeffreys prior), and the estimate handed to the cost-based optimizer
+// is the posterior's quantile at a user-chosen confidence threshold.
+// Low thresholds optimize for expected speed and accept risk; high
+// thresholds buy predictable execution times. A conventional
+// histogram+independence estimator is included as the baseline the paper
+// measures against.
+//
+// Basic use:
+//
+//	db := robustqo.NewDatabase()
+//	_, err := db.CreateTable(&robustqo.TableSchema{ ... })
+//	...
+//	err = db.Insert("orders", rows...)
+//	err = db.UpdateStatistics(robustqo.StatsOptions{})
+//	sess, err := db.Session(robustqo.Moderate)
+//	res, err := sess.Query(&robustqo.Query{
+//	    Tables: []string{"orders"},
+//	    Pred:   robustqo.MustParsePredicate("o_total > 100"),
+//	})
+package robustqo
+
+import (
+	"robustqo/internal/catalog"
+	"robustqo/internal/core"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sqlparse"
+	"robustqo/internal/value"
+)
+
+// Schema and value types, re-exported from the internal layers so that
+// users of the module never import internal packages directly.
+type (
+	// TableSchema declares a table: columns, primary key, foreign keys,
+	// secondary indexes, and known physical orderings.
+	TableSchema = catalog.TableSchema
+	// Column is one column declaration.
+	Column = catalog.Column
+	// ColumnType enumerates column types (Int, Float, String, Date).
+	ColumnType = catalog.Type
+	// ForeignKey declares a single-column reference to another table's
+	// primary key.
+	ForeignKey = catalog.ForeignKey
+	// Index declares a secondary index over an Int or Date column.
+	Index = catalog.Index
+	// IndexKind distinguishes clustered from non-clustered indexes.
+	IndexKind = catalog.IndexKind
+
+	// Value is one typed scalar; Row is one tuple.
+	Value = value.Value
+	// Row is a tuple of values.
+	Row = value.Row
+
+	// Expr is a predicate or scalar expression tree; build with the
+	// expression constructors or ParsePredicate.
+	Expr = expr.Expr
+	// ColumnRef names a (possibly table-qualified) column.
+	ColumnRef = expr.ColumnRef
+
+	// Query is a select-project-join query over foreign-key joins.
+	Query = optimizer.Query
+	// AggSpec is one aggregate output column of a Query.
+	AggSpec = engine.AggSpec
+	// AggFunc enumerates aggregate functions (Sum, Count, Min, Max, Avg).
+	AggFunc = engine.AggFunc
+	// SortKey is one ORDER BY term of a Query.
+	SortKey = engine.SortKey
+
+	// ConfidenceThreshold is the robustness knob: the percentile of the
+	// posterior selectivity distribution used as the estimate.
+	ConfidenceThreshold = core.ConfidenceThreshold
+	// Prior is the Beta prior over selectivity.
+	Prior = core.Prior
+)
+
+// Column types.
+const (
+	Int    = catalog.Int
+	Float  = catalog.Float
+	String = catalog.String
+	Date   = catalog.Date
+)
+
+// Index kinds.
+const (
+	Clustered    = catalog.Clustered
+	NonClustered = catalog.NonClustered
+)
+
+// Aggregate functions.
+const (
+	Sum   = engine.Sum
+	Count = engine.Count
+	Min   = engine.Min
+	Max   = engine.Max
+	Avg   = engine.Avg
+)
+
+// Named confidence thresholds, matching the paper's recommended system
+// settings (Section 6.2.5): Aggressive = 50%, Moderate = 80% (the
+// general-purpose default), Conservative = 95%.
+const (
+	Aggressive   = core.Aggressive
+	Moderate     = core.Moderate
+	Conservative = core.Conservative
+)
+
+// Priors over selectivity. Jeffreys is the default; Figure 4 of the
+// paper shows the choice has little effect.
+var (
+	Jeffreys = core.Jeffreys
+	Uniform  = core.Uniform
+)
+
+// Expression constructors, re-exported for programmatic query building.
+var (
+	// NewInt wraps an int64 as a Value; similarly NewFloat, NewString,
+	// NewDate (days since 1970-01-01).
+	NewInt    = value.Int
+	NewFloat  = value.Float
+	NewString = value.Str
+	NewDate   = value.Date
+
+	// ParseDate converts "YYYY-MM-DD" into the Date day number.
+	ParseDate = value.ParseDate
+	// MustParseDate is ParseDate panicking on malformed input.
+	MustParseDate = value.MustParseDate
+	// FormatDate renders a Date day number as "YYYY-MM-DD".
+	FormatDate = value.FormatDate
+
+	// ParsePredicate parses a SQL-like predicate string such as
+	// "l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'".
+	ParsePredicate = expr.Parse
+	// MustParsePredicate is ParsePredicate panicking on syntax errors.
+	MustParsePredicate = expr.MustParse
+
+	// ParseQuery parses a full SQL SELECT statement
+	// ("SELECT ... FROM ... [WHERE] [GROUP BY] [ORDER BY] [LIMIT]")
+	// into a Query; see Session.QuerySQL for one-call execution.
+	ParseQuery = sqlparse.Parse
+	// MustParseQuery is ParseQuery panicking on syntax errors.
+	MustParseQuery = sqlparse.MustParse
+
+	// Col references an unqualified column in an expression; TableCol a
+	// table-qualified one.
+	Col      = expr.C
+	TableCol = expr.TC
+)
+
+// RobustSelectivity computes the paper's point-estimation rule directly:
+// the t-quantile of the Beta posterior after observing k matches in an
+// n-tuple sample under the prior.
+func RobustSelectivity(k, n int, prior Prior, t ConfidenceThreshold) (float64, error) {
+	return core.RobustSelectivity(k, n, prior, t)
+}
+
+// Posterior returns the full posterior selectivity distribution after
+// observing k of n sample matches: Beta(k+a, n-k+b).
+func Posterior(k, n int, prior Prior) (Dist, error) {
+	d, err := prior.Posterior(k, n)
+	if err != nil {
+		return Dist{}, err
+	}
+	return Dist{beta: d}, nil
+}
+
+// Dist is a selectivity distribution exposing the probability calculus a
+// caller needs to reason about estimation uncertainty.
+type Dist struct {
+	beta interface {
+		PDF(float64) float64
+		CDF(float64) float64
+		Quantile(float64) (float64, error)
+		Mean() float64
+		StdDev() float64
+	}
+}
+
+// PDF returns the probability density at selectivity x.
+func (d Dist) PDF(x float64) float64 { return d.beta.PDF(x) }
+
+// CDF returns P[selectivity <= x].
+func (d Dist) CDF(x float64) float64 { return d.beta.CDF(x) }
+
+// Quantile inverts the CDF.
+func (d Dist) Quantile(p float64) (float64, error) { return d.beta.Quantile(p) }
+
+// Mean returns the expected selectivity.
+func (d Dist) Mean() float64 { return d.beta.Mean() }
+
+// StdDev returns the selectivity standard deviation.
+func (d Dist) StdDev() float64 { return d.beta.StdDev() }
