@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race lint vet fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint: vet
+	$(GO) run ./cmd/qolint ./...
+
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/
+
+ci: build lint race fuzz-smoke

@@ -18,6 +18,7 @@ import (
 	"robustqo/internal/histogram"
 	"robustqo/internal/sample"
 	"robustqo/internal/stats"
+	"robustqo/internal/testkit"
 	"robustqo/internal/tpch"
 )
 
@@ -200,7 +201,7 @@ func overheadFixture(b *testing.B, kind EstimatorKind) (*Database, *Session) {
 		if err := db.CreateTable(&cp); err != nil {
 			b.Fatal(err)
 		}
-		t := store.MustTable(name)
+		t := testkit.Table(store, name)
 		for r := 0; r < t.NumRows(); r++ {
 			if err := db.Insert(name, t.Row(r)); err != nil {
 				b.Fatal(err)

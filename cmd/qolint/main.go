@@ -1,0 +1,49 @@
+// Command qolint runs the project's static-analysis suite (package
+// robustqo/internal/lint) over the repository:
+//
+//	go run ./cmd/qolint ./...
+//
+// It prints one line per finding and exits nonzero when any invariant
+// is violated. Use -analyzers to run a subset and -list to see the
+// suite. Findings are suppressed in source with //qolint:allow-<name>
+// comments; see DESIGN.md ("Machine-checked invariants").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustqo/internal/lint"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(analyzers, ".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"robustqo/internal/sample"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -49,10 +50,10 @@ func corrDB(t *testing.T, nFact, nDim int) *storage.Database {
 		_ = dim.Append(value.Row{value.Int(int64(d)), value.Int(int64(d % 10))})
 	}
 	for i := 0; i < nFact; i++ {
-		a := int64(rng.Intn(100))
+		a := int64(testkit.Intn(rng, 100))
 		_ = fact.Append(value.Row{
 			value.Int(int64(i)),
-			value.Int(int64(rng.Intn(nDim))),
+			value.Int(int64(testkit.Intn(rng, nDim))),
 			value.Int(a),
 			value.Int(a), // perfectly correlated with f_a
 		})
@@ -126,7 +127,7 @@ func TestBayesSeesCorrelationHistogramDoesNot(t *testing.T) {
 	bayes, hist := buildEstimators(t, db, 0.5)
 	req := Request{
 		Tables: []string{"fact"},
-		Pred:   expr.MustParse("f_a < 50 AND f_b < 50"),
+		Pred:   testkit.Expr("f_a < 50 AND f_b < 50"),
 	}
 	// Truth is ~0.5 (columns identical).
 	bEst, err := bayes.Estimate(req)
@@ -159,7 +160,7 @@ func TestBayesJoinEstimateUsesRootSynopsis(t *testing.T) {
 	bayes, _ := buildEstimators(t, db, 0.5)
 	req := Request{
 		Tables: []string{"fact", "dim"},
-		Pred:   expr.MustParse("d_attr = 3 AND f_a < 50"),
+		Pred:   testkit.Expr("d_attr = 3 AND f_a < 50"),
 	}
 	est, err := bayes.Estimate(req)
 	if err != nil {
@@ -189,7 +190,7 @@ func TestBayesJoinEstimateUsesRootSynopsis(t *testing.T) {
 func TestBayesThresholdShiftsEstimate(t *testing.T) {
 	db := corrDB(t, 5000, 50)
 	bayes, _ := buildEstimators(t, db, 0.05)
-	req := Request{Tables: []string{"fact"}, Pred: expr.MustParse("f_a < 10")}
+	req := Request{Tables: []string{"fact"}, Pred: testkit.Expr("f_a < 10")}
 	low, err := bayes.Estimate(req)
 	if err != nil {
 		t.Fatal(err)
@@ -216,7 +217,7 @@ func TestBayesEstimateErrors(t *testing.T) {
 	if _, err := bayes.Estimate(Request{Tables: []string{"ghost"}}); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if _, err := bayes.Estimate(Request{Tables: []string{"fact"}, Pred: expr.MustParse("nope = 1")}); err == nil {
+	if _, err := bayes.Estimate(Request{Tables: []string{"fact"}, Pred: testkit.Expr("nope = 1")}); err == nil {
 		t.Error("unknown column accepted")
 	}
 	bad := &BayesEstimator{Synopses: bayes.Synopses, Prior: Jeffreys, Threshold: 0}
@@ -231,7 +232,7 @@ func TestHistogramEstimatorBasics(t *testing.T) {
 	if hist.Name() == "" {
 		t.Error("empty name")
 	}
-	est, err := hist.Estimate(Request{Tables: []string{"fact"}, Pred: expr.MustParse("f_a < 50")})
+	est, err := hist.Estimate(Request{Tables: []string{"fact"}, Pred: testkit.Expr("f_a < 50")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestMagicDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := d.MustQuantile(0.8)
+	want := testkit.Quantile(d, 0.8)
 	if math.Abs(est.Selectivity-want) > 1e-9 {
 		t.Errorf("magic distribution = %g, want %g", est.Selectivity, want)
 	}
@@ -302,7 +303,7 @@ func TestChainFallsBack(t *testing.T) {
 	bayes, hist := buildEstimators(t, db, 0.5)
 	chain := &Chain{Estimators: []Estimator{bayes, hist, &MagicEstimator{Selectivity: 0.1}}}
 	// A request the Bayes estimator can answer.
-	est, err := chain.Estimate(Request{Tables: []string{"fact"}, Pred: expr.MustParse("f_a < 50")})
+	est, err := chain.Estimate(Request{Tables: []string{"fact"}, Pred: testkit.Expr("f_a < 50")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestChainFallsBack(t *testing.T) {
 	}
 	// A request only the magic estimator survives (unknown column for
 	// sampling and histograms alike — histograms magic-fallback first).
-	est, err = chain.Estimate(Request{Tables: []string{"fact"}, Pred: expr.MustParse("mystery_column = 1")})
+	est, err = chain.Estimate(Request{Tables: []string{"fact"}, Pred: testkit.Expr("mystery_column = 1")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +360,7 @@ func TestEstimationRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := Request{Tables: []string{"fact"}, Pred: expr.MustParse("f_a < 10")}
+	req := Request{Tables: []string{"fact"}, Pred: testkit.Expr("f_a < 10")}
 	base, err := NewBayesEstimator(syn, 0.8)
 	if err != nil {
 		t.Fatal(err)

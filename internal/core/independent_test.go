@@ -11,6 +11,7 @@ import (
 	"robustqo/internal/sample"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -71,15 +72,15 @@ func diamondDB(t *testing.T, nRoot int) *storage.Database {
 		_ = d.Append(value.Row{value.Int(i)})
 	}
 	for i := int64(0); i < nMid; i++ {
-		_ = b.Append(value.Row{value.Int(i), value.Int(int64(rng.Intn(100))), value.Int(int64(rng.Intn(10)))})
-		_ = c.Append(value.Row{value.Int(i), value.Int(int64(rng.Intn(100))), value.Int(int64(rng.Intn(10)))})
+		_ = b.Append(value.Row{value.Int(i), value.Int(int64(testkit.Intn(rng, 100))), value.Int(int64(testkit.Intn(rng, 10)))})
+		_ = c.Append(value.Row{value.Int(i), value.Int(int64(testkit.Intn(rng, 100))), value.Int(int64(testkit.Intn(rng, 10)))})
 	}
 	for i := int64(0); i < int64(nRoot); i++ {
 		_ = a.Append(value.Row{
 			value.Int(i),
-			value.Int(int64(rng.Intn(100))),
-			value.Int(int64(rng.Intn(nMid))),
-			value.Int(int64(rng.Intn(nMid))),
+			value.Int(int64(testkit.Intn(rng, 100))),
+			value.Int(int64(testkit.Intn(rng, nMid))),
+			value.Int(int64(testkit.Intn(rng, nMid))),
 		})
 	}
 	if err := db.Validate(); err != nil {
@@ -103,7 +104,7 @@ func TestIndependentSamplesOnDiamond(t *testing.T) {
 	}
 	req := Request{
 		Tables: []string{"a", "b", "c"},
-		Pred:   expr.MustParse("a_attr < 50 AND b_attr < 50 AND c_attr < 50"),
+		Pred:   testkit.Expr("a_attr < 50 AND b_attr < 50 AND c_attr < 50"),
 	}
 	// The join synopsis path fails on the diamond.
 	if _, err := bayes.Estimate(req); err == nil {
@@ -141,7 +142,7 @@ func TestIndependentSamplesSingleTableStillRobust(t *testing.T) {
 	}
 	lo := &IndependentSamplesEstimator{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.05}
 	hi := &IndependentSamplesEstimator{Samples: set, Catalog: db.Catalog, Prior: Jeffreys, Threshold: 0.95}
-	req := Request{Tables: []string{"a"}, Pred: expr.MustParse("a_attr = 7")}
+	req := Request{Tables: []string{"a"}, Pred: testkit.Expr("a_attr = 7")}
 	eLo, err := lo.Estimate(req)
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +167,7 @@ func TestIndependentSamplesMagicContributions(t *testing.T) {
 	// contributes the magic range constant.
 	est, err := e.Estimate(Request{
 		Tables: []string{"a", "b"},
-		Pred:   expr.MustParse("a_attr < b_attr"),
+		Pred:   testkit.Expr("a_attr < b_attr"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +176,7 @@ func TestIndependentSamplesMagicContributions(t *testing.T) {
 		t.Errorf("cross-table magic = %g, want 1/3", est.Selectivity)
 	}
 	// Equality and other shapes use their own constants.
-	est, err = e.Estimate(Request{Tables: []string{"a", "b"}, Pred: expr.MustParse("a_attr = b_attr")})
+	est, err = e.Estimate(Request{Tables: []string{"a", "b"}, Pred: testkit.Expr("a_attr = b_attr")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestIndependentSamplesMagicContributions(t *testing.T) {
 	}
 	est, err = e.Estimate(Request{
 		Tables: []string{"a", "b"},
-		Pred:   expr.MustParse("a_attr < 10 OR b_attr < 10"),
+		Pred:   testkit.Expr("a_attr < 10 OR b_attr < 10"),
 	})
 	if err != nil {
 		t.Fatal(err)

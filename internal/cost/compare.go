@@ -1,0 +1,38 @@
+package cost
+
+import "math"
+
+// Epsilon is the relative tolerance below which two plan costs (or
+// selectivities) are indistinguishable. Costs are sums of many small
+// model terms, so two algebraically equal plans can differ by a few
+// ulps depending on association order; ranking them with raw < would
+// make plan choice depend on floating-point noise. One part per billion
+// is far below any real cost difference the model can produce and far
+// above accumulated rounding error.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether a and b are equal within Epsilon,
+// relative to their magnitudes (absolute near zero). It is the approved
+// way to compare float64 costs and selectivities for equality; the
+// floatcmp analyzer flags raw == and != elsewhere.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true // fast path; also handles equal infinities
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an unequal infinity is never close to anything
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale > 1 {
+		return math.Abs(a-b) <= Epsilon*scale
+	}
+	return math.Abs(a-b) <= Epsilon
+}
+
+// Less reports whether a is smaller than b by more than the tolerance:
+// the approved way to rank plans by cost. Plans within Epsilon of each
+// other compare equal, so enumeration order (kept deterministic by the
+// maporder analyzer) breaks the tie, not rounding noise.
+func Less(a, b float64) bool {
+	return a < b && !ApproxEqual(a, b)
+}

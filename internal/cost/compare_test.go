@@ -1,0 +1,66 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{35.0, 35.0 + 1e-12, true},            // rounding noise on a seconds-scale cost
+		{35.0, 35.0001, false},                // a real cost difference
+		{1e6, 1e6 * (1 + 1e-12), true},        // relative tolerance at large magnitude
+		{1e6, 1e6 + 1, false},                 // one simulated second apart
+		{0, 1e-12, true},                      // absolute tolerance near zero
+		{0, 1e-6, false},                      // a real selectivity difference
+		{math.Inf(1), math.Inf(1), true},      // equal infinities
+		{math.Inf(1), math.MaxFloat64, false}, // infinity vs finite
+		{math.NaN(), math.NaN(), false},       // NaN equals nothing
+		{-0.5, 0.5, false},                    // sign matters
+		{1e-10, 2e-10, true},                  // both below absolute tolerance
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := ApproxEqual(c.b, c.a); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestLess(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{1, 1, false},
+		{35.0, 35.0 + 1e-12, false}, // within tolerance: a tie, not a win
+		{35.0, 35.0001, true},
+		{-1, 0, true},
+		{math.Inf(-1), 0, true},
+		{0, math.Inf(1), true},
+		{math.NaN(), 1, false}, // NaN never ranks below anything
+		{1, math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Less must be asymmetric: a plan cannot beat and lose to the same rival.
+	for _, a := range []float64{0, 1, 35, 1e6} {
+		for _, b := range []float64{0, 1, 35, 1e6} {
+			if Less(a, b) && Less(b, a) {
+				t.Errorf("Less(%g, %g) and Less(%g, %g) both true", a, b, b, a)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"robustqo/internal/expr"
+	"robustqo/internal/testkit"
 )
 
 // TestSchemasAndDescriptions exercises Schema and Describe on every node
@@ -21,25 +22,25 @@ func TestSchemasAndDescriptions(t *testing.T) {
 		schemaLen int
 	}{
 		{&SeqScan{Table: "orders"}, "SeqScan(orders)", 2},
-		{&SeqScan{Table: "orders", Filter: expr.MustParse("o_total > 1")}, "filter=", 2},
+		{&SeqScan{Table: "orders", Filter: testkit.Expr("o_total > 1")}, "filter=", 2},
 		{&IndexRangeScan{Table: "lineitem", Range: KeyRange{Column: "l_ship", Lo: 1, Hi: 2}},
 			"IndexRangeScan(lineitem, l_ship in [1, 2])", 6},
 		{&IndexRangeScan{Table: "lineitem", Range: KeyRange{Column: "l_ship", Lo: 1, Hi: 2},
-			Residual: expr.MustParse("l_price > 0")}, "residual=", 6},
+			Residual: testkit.Expr("l_price > 0")}, "residual=", 6},
 		{&IndexIntersect{Table: "lineitem", Ranges: []KeyRange{
 			{Column: "l_ship", Lo: 1, Hi: 2}, {Column: "l_receipt", Lo: 3, Hi: 4}},
-			Residual: expr.MustParse("l_price > 0")}, "l_ship in [1, 2] & l_receipt in [3, 4]", 6},
+			Residual: testkit.Expr("l_price > 0")}, "l_ship in [1, 2] & l_receipt in [3, 4]", 6},
 		{&HashJoin{Build: &SeqScan{Table: "orders"}, Probe: &SeqScan{Table: "lineitem"},
 			BuildCol: okey, ProbeCol: lkey}, "HashJoin(orders.o_orderkey = lineitem.l_orderkey)", 8},
 		{&MergeJoin{Left: &SeqScan{Table: "orders"}, Right: &SeqScan{Table: "lineitem"},
 			LeftCol: okey, RightCol: lkey}, "MergeJoin(orders.o_orderkey = lineitem.l_orderkey)", 8},
 		{&INLJoin{Outer: &SeqScan{Table: "lineitem"}, OuterCol: lkey,
 			InnerTable: "orders", InnerCol: "o_orderkey",
-			Residual: expr.MustParse("o_total > 5")}, "INLJoin(lineitem.l_orderkey = orders.o_orderkey)", 8},
+			Residual: testkit.Expr("o_total > 5")}, "INLJoin(lineitem.l_orderkey = orders.o_orderkey)", 8},
 		{&StarSemiJoin{Fact: "lineitem", Dims: []StarDim{{
 			Scan: &SeqScan{Table: "part"}, DimPK: pkey, FactFK: "l_partkey"}}},
 			"StarSemiJoin(lineitem, 1 dims)", 8},
-		{&Filter{Input: &SeqScan{Table: "orders"}, Pred: expr.MustParse("o_total > 1")},
+		{&Filter{Input: &SeqScan{Table: "orders"}, Pred: testkit.Expr("o_total > 1")},
 			"Filter(", 2},
 		{&Project{Input: &SeqScan{Table: "orders"}, Cols: []expr.ColumnRef{okey}},
 			"Project(orders.o_orderkey)", 1},
@@ -103,7 +104,7 @@ func TestExplainCoversAllChildren(t *testing.T) {
 	plan := &Limit{N: 1, Input: &Sort{
 		By: []SortKey{{Col: okey}},
 		Input: &Project{Cols: []expr.ColumnRef{okey}, Input: &Filter{
-			Pred: expr.MustParse("o_total > 0"),
+			Pred: testkit.Expr("o_total > 0"),
 			Input: &MergeJoin{
 				LeftCol: okey, RightCol: lkey,
 				Left: &SeqScan{Table: "orders"},

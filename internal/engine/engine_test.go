@@ -9,6 +9,7 @@ import (
 	"robustqo/internal/expr"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -70,7 +71,7 @@ func testDB(t *testing.T, nOrders, linesPerOrder, nParts int) (*storage.Database
 	}
 	rng := stats.NewRNG(123)
 	for p := 0; p < nParts; p++ {
-		if err := part.Append(value.Row{value.Int(int64(p)), value.Int(int64(rng.Intn(50)))}); err != nil {
+		if err := part.Append(value.Row{value.Int(int64(p)), value.Int(int64(testkit.Intn(rng, 50)))}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -80,15 +81,15 @@ func testDB(t *testing.T, nOrders, linesPerOrder, nParts int) (*storage.Database
 			t.Fatal(err)
 		}
 		for l := 0; l < linesPerOrder; l++ {
-			ship := int64(rng.Intn(100))
-			receipt := ship + int64(rng.Intn(10))
+			ship := int64(testkit.Intn(rng, 100))
+			receipt := ship + int64(testkit.Intn(rng, 10))
 			row := value.Row{
 				value.Int(id),
 				value.Int(int64(o)),
-				value.Int(int64(rng.Intn(nParts))),
+				value.Int(int64(testkit.Intn(rng, nParts))),
 				value.Date(ship),
 				value.Date(receipt),
-				value.Float(float64(rng.Intn(10000)) / 100),
+				value.Float(float64(testkit.Intn(rng, 10000)) / 100),
 			}
 			if err := lineitem.Append(row); err != nil {
 				t.Fatal(err)
@@ -110,7 +111,7 @@ func testDB(t *testing.T, nOrders, linesPerOrder, nParts int) (*storage.Database
 // the ground truth for operator tests.
 func naiveSelect(t *testing.T, db *storage.Database, table string, pred expr.Expr) []value.Row {
 	t.Helper()
-	tab := db.MustTable(table)
+	tab := testkit.Table(db, table)
 	schema := expr.SchemaForTable(tab.Schema())
 	b, err := expr.Bind(pred, schema)
 	if err != nil {
@@ -160,14 +161,14 @@ func sameRowMultiset(t *testing.T, got, want []value.Row, label string) {
 
 func TestSeqScanMatchesNaive(t *testing.T) {
 	db, ctx := testDB(t, 50, 4, 20)
-	pred := expr.MustParse("l_ship BETWEEN 10 AND 30 AND l_receipt <= l_ship + 3")
+	pred := testkit.Expr("l_ship BETWEEN 10 AND 30 AND l_receipt <= l_ship + 3")
 	res, counters, secs, err := Run(ctx, &SeqScan{Table: "lineitem", Filter: pred})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := naiveSelect(t, db, "lineitem", pred)
 	sameRowMultiset(t, res.Rows, want, "seqscan")
-	lt := db.MustTable("lineitem")
+	lt := testkit.Table(db, "lineitem")
 	if counters.SeqPages != int64(lt.NumPages()) {
 		t.Errorf("SeqPages = %d, want %d", counters.SeqPages, lt.NumPages())
 	}
@@ -185,7 +186,7 @@ func TestSeqScanNilFilterReturnsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != db.MustTable("orders").NumRows() {
+	if len(res.Rows) != testkit.Table(db, "orders").NumRows() {
 		t.Errorf("rows = %d", len(res.Rows))
 	}
 }
@@ -195,7 +196,7 @@ func TestSeqScanErrors(t *testing.T) {
 	if _, _, _, err := Run(ctx, &SeqScan{Table: "ghost"}); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if _, _, _, err := Run(ctx, &SeqScan{Table: "orders", Filter: expr.MustParse("nope = 1")}); err == nil {
+	if _, _, _, err := Run(ctx, &SeqScan{Table: "orders", Filter: testkit.Expr("nope = 1")}); err == nil {
 		t.Error("unknown column accepted")
 	}
 }
@@ -205,19 +206,19 @@ func TestIndexRangeScanMatchesNaive(t *testing.T) {
 	node := &IndexRangeScan{
 		Table:    "lineitem",
 		Range:    KeyRange{Column: "l_ship", Lo: 20, Hi: 40},
-		Residual: expr.MustParse("l_price > 20"),
+		Residual: testkit.Expr("l_price > 20"),
 	}
 	res, counters, _, err := Run(ctx, node)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := naiveSelect(t, db, "lineitem", expr.MustParse("l_ship BETWEEN 20 AND 40 AND l_price > 20"))
+	want := naiveSelect(t, db, "lineitem", testkit.Expr("l_ship BETWEEN 20 AND 40 AND l_price > 20"))
 	sameRowMultiset(t, res.Rows, want, "indexrange")
 	if counters.IndexSeeks != 1 {
 		t.Errorf("IndexSeeks = %d", counters.IndexSeeks)
 	}
 	// One random page per index match (before the residual).
-	matches := naiveSelect(t, db, "lineitem", expr.MustParse("l_ship BETWEEN 20 AND 40"))
+	matches := naiveSelect(t, db, "lineitem", testkit.Expr("l_ship BETWEEN 20 AND 40"))
 	if counters.RandPages != int64(len(matches)) {
 		t.Errorf("RandPages = %d, want %d", counters.RandPages, len(matches))
 	}
@@ -240,7 +241,7 @@ func TestIndexIntersectMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := naiveSelect(t, db, "lineitem",
-		expr.MustParse("l_ship BETWEEN 10 AND 50 AND l_receipt BETWEEN 15 AND 55"))
+		testkit.Expr("l_ship BETWEEN 10 AND 50 AND l_receipt BETWEEN 15 AND 55"))
 	sameRowMultiset(t, res.Rows, want, "intersect")
 	if counters.IndexSeeks != 2 {
 		t.Errorf("IndexSeeks = %d", counters.IndexSeeks)
@@ -315,13 +316,13 @@ func TestHashJoinMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every lineitem matches exactly one order.
-	if want := db.MustTable("lineitem").NumRows(); len(res.Rows) != want {
+	if want := testkit.Table(db, "lineitem").NumRows(); len(res.Rows) != want {
 		t.Errorf("join rows = %d, want %d", len(res.Rows), want)
 	}
-	if counters.HashBuilds != int64(db.MustTable("orders").NumRows()) {
+	if counters.HashBuilds != int64(testkit.Table(db, "orders").NumRows()) {
 		t.Errorf("HashBuilds = %d", counters.HashBuilds)
 	}
-	if counters.HashProbes != int64(db.MustTable("lineitem").NumRows()) {
+	if counters.HashProbes != int64(testkit.Table(db, "lineitem").NumRows()) {
 		t.Errorf("HashProbes = %d", counters.HashProbes)
 	}
 	// Verify key equality holds on every output row.
@@ -386,7 +387,7 @@ func TestINLJoinViaPKAndViaSecondaryIndex(t *testing.T) {
 	_, ctx := testDB(t, 30, 3, 12)
 	// Outer lineitem probing orders PK.
 	viaPK := &INLJoin{
-		Outer:      &SeqScan{Table: "lineitem", Filter: expr.MustParse("l_ship < 20")},
+		Outer:      &SeqScan{Table: "lineitem", Filter: testkit.Expr("l_ship < 20")},
 		OuterCol:   expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
 		InnerTable: "orders",
 		InnerCol:   "o_orderkey",
@@ -397,7 +398,7 @@ func TestINLJoinViaPKAndViaSecondaryIndex(t *testing.T) {
 	}
 	// Equivalent hash join.
 	hj := &HashJoin{
-		Build:    &SeqScan{Table: "lineitem", Filter: expr.MustParse("l_ship < 20")},
+		Build:    &SeqScan{Table: "lineitem", Filter: testkit.Expr("l_ship < 20")},
 		Probe:    &SeqScan{Table: "orders"},
 		BuildCol: expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
 		ProbeCol: expr.ColumnRef{Table: "orders", Column: "o_orderkey"},
@@ -413,7 +414,7 @@ func TestINLJoinViaPKAndViaSecondaryIndex(t *testing.T) {
 
 	// Outer part probing lineitem's secondary FK index.
 	viaIx := &INLJoin{
-		Outer:      &SeqScan{Table: "part", Filter: expr.MustParse("p_size < 10")},
+		Outer:      &SeqScan{Table: "part", Filter: testkit.Expr("p_size < 10")},
 		OuterCol:   expr.ColumnRef{Table: "part", Column: "p_partkey"},
 		InnerTable: "lineitem",
 		InnerCol:   "l_partkey",
@@ -423,7 +424,7 @@ func TestINLJoinViaPKAndViaSecondaryIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	hj2 := &HashJoin{
-		Build:    &SeqScan{Table: "part", Filter: expr.MustParse("p_size < 10")},
+		Build:    &SeqScan{Table: "part", Filter: testkit.Expr("p_size < 10")},
 		Probe:    &SeqScan{Table: "lineitem"},
 		BuildCol: expr.ColumnRef{Table: "part", Column: "p_partkey"},
 		ProbeCol: expr.ColumnRef{Table: "lineitem", Column: "l_partkey"},
@@ -445,7 +446,7 @@ func TestINLJoinResidual(t *testing.T) {
 		OuterCol:   expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
 		InnerTable: "orders",
 		InnerCol:   "o_orderkey",
-		Residual:   expr.MustParse("o_total > 500"),
+		Residual:   testkit.Expr("o_total > 500"),
 	}
 	res, _, _, err := Run(ctx, join)
 	if err != nil {
@@ -466,7 +467,7 @@ func TestFilterProjectAggregate(t *testing.T) {
 		Input: &Project{
 			Input: &Filter{
 				Input: &SeqScan{Table: "lineitem"},
-				Pred:  expr.MustParse("l_ship < 50"),
+				Pred:  testkit.Expr("l_ship < 50"),
 			},
 			Cols: []expr.ColumnRef{
 				{Table: "lineitem", Column: "l_partkey"},
@@ -493,7 +494,7 @@ func TestFilterProjectAggregate(t *testing.T) {
 		lo  float64
 		hi  float64
 	})
-	for _, r := range naiveSelect(t, db, "lineitem", expr.MustParse("l_ship < 50")) {
+	for _, r := range naiveSelect(t, db, "lineitem", testkit.Expr("l_ship < 50")) {
 		pk, price := r[2].I, r[5].F
 		e := want[pk]
 		if e.n == 0 {
@@ -543,7 +544,7 @@ func abs(x float64) float64 {
 func TestGlobalAggregateOverEmptyInput(t *testing.T) {
 	_, ctx := testDB(t, 5, 1, 3)
 	plan := &Aggregate{
-		Input: &SeqScan{Table: "orders", Filter: expr.MustParse("o_total < -1")},
+		Input: &SeqScan{Table: "orders", Filter: testkit.Expr("o_total < -1")},
 		Aggs: []AggSpec{
 			{Func: Count, As: "n"},
 			{Func: Sum, Arg: expr.C("o_total"), As: "s"},
@@ -579,7 +580,7 @@ func TestStarSemiJoinAgreesWithHashCascade(t *testing.T) {
 		Fact: "lineitem",
 		Dims: []StarDim{
 			{
-				Scan:   &SeqScan{Table: "part", Filter: expr.MustParse("p_size < 25")},
+				Scan:   &SeqScan{Table: "part", Filter: testkit.Expr("p_size < 25")},
 				DimPK:  expr.ColumnRef{Table: "part", Column: "p_partkey"},
 				FactFK: "l_partkey",
 			},
@@ -591,7 +592,7 @@ func TestStarSemiJoinAgreesWithHashCascade(t *testing.T) {
 	}
 	hj := &HashJoin{
 		Build:    &SeqScan{Table: "lineitem"},
-		Probe:    &SeqScan{Table: "part", Filter: expr.MustParse("p_size < 25")},
+		Probe:    &SeqScan{Table: "part", Filter: testkit.Expr("p_size < 25")},
 		BuildCol: expr.ColumnRef{Table: "lineitem", Column: "l_partkey"},
 		ProbeCol: expr.ColumnRef{Table: "part", Column: "p_partkey"},
 	}
@@ -638,7 +639,7 @@ func TestExplainRendersTree(t *testing.T) {
 	plan := &Aggregate{
 		Input: &HashJoin{
 			Build:    &SeqScan{Table: "orders"},
-			Probe:    &SeqScan{Table: "lineitem", Filter: expr.MustParse("l_ship < 10")},
+			Probe:    &SeqScan{Table: "lineitem", Filter: testkit.Expr("l_ship < 10")},
 			BuildCol: expr.ColumnRef{Table: "orders", Column: "o_orderkey"},
 			ProbeCol: expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
 		},
@@ -661,7 +662,7 @@ func TestRunChargesOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if counters.Output != int64(db.MustTable("lineitem").NumRows()) {
+	if counters.Output != int64(testkit.Table(db, "lineitem").NumRows()) {
 		t.Errorf("Output = %d", counters.Output)
 	}
 }

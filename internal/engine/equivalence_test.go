@@ -6,6 +6,7 @@ import (
 
 	"robustqo/internal/expr"
 	"robustqo/internal/stats"
+	"robustqo/internal/testkit"
 )
 
 // TestAccessPathEquivalenceProperty checks, over many random range
@@ -20,8 +21,8 @@ func TestAccessPathEquivalenceProperty(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		// Random (possibly empty, possibly inverted-then-fixed) windows.
 		mk := func() (int64, int64) {
-			lo := int64(rng.Intn(120)) - 10
-			hi := lo + int64(rng.Intn(60))
+			lo := int64(testkit.Intn(rng, 120)) - 10
+			hi := lo + int64(testkit.Intn(rng, 60))
 			return lo, hi
 		}
 		sLo, sHi := mk()

@@ -74,7 +74,9 @@ func (s *Sort) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
 	counters.SortTuples += int64(len(rows))
 	sort.SliceStable(rows, func(a, b int) bool {
 		for ki, idx := range idxs {
-			c := value.MustCompare(rows[a][idx], rows[b][idx])
+			// Comparability was validated above, so the error is
+			// impossible here (incomparable pairs sort as equal).
+			c, _ := value.Compare(rows[a][idx], rows[b][idx])
 			if c == 0 {
 				continue
 			}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"robustqo/internal/expr"
+	"robustqo/internal/testkit"
 )
 
 func TestSortAscendingAndDescending(t *testing.T) {
@@ -97,7 +98,7 @@ func TestLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != db.MustTable("lineitem").NumRows() {
+	if len(res.Rows) != testkit.Table(db, "lineitem").NumRows() {
 		t.Errorf("oversize limit rows = %d", len(res.Rows))
 	}
 	// Zero keeps nothing; negative errors.

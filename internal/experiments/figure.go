@@ -71,7 +71,7 @@ func (f *Figure) Render(w io.Writer) error {
 		for _, s := range f.Series {
 			cell := "-"
 			for _, p := range s.Points {
-				if p.X == x {
+				if p.X == x { //qolint:allow-floatcmp — x comes verbatim from the same points
 					cell = formatNum(p.Y)
 					break
 				}

@@ -231,7 +231,7 @@ func TestTypeMismatchAtEval(t *testing.T) {
 }
 
 func TestColumnsCollection(t *testing.T) {
-	e := MustParse("t.a = 1 AND (b + d > 5 OR NOT s CONTAINS 'x')")
+	e := mustParse("t.a = 1 AND (b + d > 5 OR NOT s CONTAINS 'x')")
 	cols := Columns(e)
 	if len(cols) != 4 {
 		t.Fatalf("Columns = %v", cols)
@@ -280,21 +280,21 @@ func TestEvalShortRow(t *testing.T) {
 
 func TestInEvaluation(t *testing.T) {
 	row := sampleRow() // t.a=10, b=2.5, s="hello world", d=100, u.a=7
-	if !evalPred(t, MustParse("t.a IN (5, 10, 15)"), row) {
+	if !evalPred(t, mustParse("t.a IN (5, 10, 15)"), row) {
 		t.Error("member not found")
 	}
-	if evalPred(t, MustParse("t.a IN (5, 15)"), row) {
+	if evalPred(t, mustParse("t.a IN (5, 15)"), row) {
 		t.Error("non-member found")
 	}
-	if !evalPred(t, MustParse("s IN ('x', 'hello world')"), row) {
+	if !evalPred(t, mustParse("s IN ('x', 'hello world')"), row) {
 		t.Error("string member not found")
 	}
 	// Numeric cross-kind membership: d (Date 100) matches integer 100.
-	if !evalPred(t, MustParse("d IN (100)"), row) {
+	if !evalPred(t, mustParse("d IN (100)"), row) {
 		t.Error("date/int member not found")
 	}
 	// Type mismatch inside the list is an error.
-	b, err := Bind(MustParse("t.a IN ('text')"), testRelSchema())
+	b, err := Bind(mustParse("t.a IN ('text')"), testRelSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,11 +306,11 @@ func TestInEvaluation(t *testing.T) {
 		t.Error("empty IN accepted")
 	}
 	// IN as scalar rejected.
-	if _, err := BindScalar(MustParse("t.a IN (1)"), testRelSchema()); err == nil {
+	if _, err := BindScalar(mustParse("t.a IN (1)"), testRelSchema()); err == nil {
 		t.Error("IN as scalar accepted")
 	}
 	// Columns are collected through IN.
-	if cols := Columns(MustParse("t.a IN (1, 2)")); len(cols) != 1 || cols[0].Column != "a" {
+	if cols := Columns(mustParse("t.a IN (1, 2)")); len(cols) != 1 || cols[0].Column != "a" {
 		t.Errorf("Columns = %v", cols)
 	}
 }

@@ -39,16 +39,6 @@ func Parse(input string) (Expr, error) {
 	return e, nil
 }
 
-// MustParse is Parse for compile-time-constant predicates; it panics on
-// syntax errors.
-func MustParse(input string) Expr {
-	e, err := Parse(input)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 type tokKind int
 
 const (

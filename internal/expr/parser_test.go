@@ -29,35 +29,35 @@ func TestParseComparisons(t *testing.T) {
 }
 
 func TestParseLiterals(t *testing.T) {
-	e := MustParse("a = 42")
+	e := mustParse("a = 42")
 	if lit := e.(Cmp).R.(Lit); lit.Val.Kind != catalog.Int || lit.Val.I != 42 {
 		t.Errorf("int literal = %v", lit)
 	}
-	e = MustParse("a = 2.5")
+	e = mustParse("a = 2.5")
 	if lit := e.(Cmp).R.(Lit); lit.Val.Kind != catalog.Float || lit.Val.F != 2.5 {
 		t.Errorf("float literal = %v", lit)
 	}
-	e = MustParse("a = 'it''s'")
+	e = mustParse("a = 'it''s'")
 	if lit := e.(Cmp).R.(Lit); lit.Val.S != "it's" {
 		t.Errorf("string literal = %v", lit)
 	}
-	e = MustParse("a = DATE '1997-07-01'")
-	want := value.MustParseDate("1997-07-01")
+	e = mustParse("a = DATE '1997-07-01'")
+	want := mustDate("1997-07-01")
 	if lit := e.(Cmp).R.(Lit); lit.Val.Kind != catalog.Date || lit.Val.I != want {
 		t.Errorf("date literal = %v, want %d", lit, want)
 	}
-	e = MustParse("a = -7")
+	e = mustParse("a = -7")
 	if lit := e.(Cmp).R.(Lit); lit.Val.I != -7 {
 		t.Errorf("negative literal = %v", lit)
 	}
-	e = MustParse("a = -2.5")
+	e = mustParse("a = -2.5")
 	if lit := e.(Cmp).R.(Lit); lit.Val.F != -2.5 {
 		t.Errorf("negative float literal = %v", lit)
 	}
 }
 
 func TestParseBetween(t *testing.T) {
-	e := MustParse("d BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'")
+	e := mustParse("d BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'")
 	b, ok := e.(Between)
 	if !ok {
 		t.Fatalf("not Between: %v", e)
@@ -69,7 +69,7 @@ func TestParseBetween(t *testing.T) {
 
 func TestParseBooleanPrecedence(t *testing.T) {
 	// AND binds tighter than OR.
-	e := MustParse("a = 1 OR b = 2 AND c = 3")
+	e := mustParse("a = 1 OR b = 2 AND c = 3")
 	or, ok := e.(Or)
 	if !ok || len(or.Terms) != 2 {
 		t.Fatalf("top = %v", e)
@@ -78,7 +78,7 @@ func TestParseBooleanPrecedence(t *testing.T) {
 		t.Errorf("right term = %v", or.Terms[1])
 	}
 	// NOT binds tighter than AND.
-	e = MustParse("NOT a = 1 AND b = 2")
+	e = mustParse("NOT a = 1 AND b = 2")
 	and, ok := e.(And)
 	if !ok {
 		t.Fatalf("top = %v", e)
@@ -89,7 +89,7 @@ func TestParseBooleanPrecedence(t *testing.T) {
 }
 
 func TestParseParenthesesOverride(t *testing.T) {
-	e := MustParse("(a = 1 OR b = 2) AND c = 3")
+	e := mustParse("(a = 1 OR b = 2) AND c = 3")
 	and, ok := e.(And)
 	if !ok {
 		t.Fatalf("top = %v", e)
@@ -100,7 +100,7 @@ func TestParseParenthesesOverride(t *testing.T) {
 }
 
 func TestParseArithmeticPrecedence(t *testing.T) {
-	e := MustParse("a + 2 * 3 = 7")
+	e := mustParse("a + 2 * 3 = 7")
 	add, ok := e.(Cmp).L.(Arith)
 	if !ok || add.Op != Add {
 		t.Fatalf("L = %v", e.(Cmp).L)
@@ -110,7 +110,7 @@ func TestParseArithmeticPrecedence(t *testing.T) {
 		t.Errorf("R = %v", add.R)
 	}
 	// Parenthesized arithmetic inside a comparison.
-	e = MustParse("(a + 2) * 3 >= 10")
+	e = mustParse("(a + 2) * 3 >= 10")
 	outer := e.(Cmp).L.(Arith)
 	if outer.Op != Mul {
 		t.Errorf("outer op = %v", outer.Op)
@@ -121,7 +121,7 @@ func TestParseArithmeticPrecedence(t *testing.T) {
 }
 
 func TestParseQualifiedColumns(t *testing.T) {
-	e := MustParse("lineitem.l_shipdate < orders.o_orderdate")
+	e := mustParse("lineitem.l_shipdate < orders.o_orderdate")
 	c := e.(Cmp)
 	l := c.L.(Col)
 	if l.Ref.Table != "lineitem" || l.Ref.Column != "l_shipdate" {
@@ -134,11 +134,11 @@ func TestParseQualifiedColumns(t *testing.T) {
 }
 
 func TestParseContainsAndLike(t *testing.T) {
-	e := MustParse("comment CONTAINS 'promo'")
+	e := mustParse("comment CONTAINS 'promo'")
 	if got := e.(Contains); got.Substr != "promo" {
 		t.Errorf("Contains = %v", got)
 	}
-	e = MustParse("comment LIKE '%promo%'")
+	e = mustParse("comment LIKE '%promo%'")
 	if got := e.(Contains); got.Substr != "promo" {
 		t.Errorf("LIKE = %v", got)
 	}
@@ -184,18 +184,33 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustParse(bad) did not panic")
-		}
-	}()
-	MustParse("((")
+// mustParse and mustDate are test-local conveniences for
+// compile-time-constant inputs; the library itself only returns errors.
+func mustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func mustDate(s string) int64 {
+	d, err := value.ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestParseUnbalancedParens(t *testing.T) {
+	if _, err := Parse("(("); err == nil {
+		t.Error("Parse(\"((\") succeeded")
+	}
 }
 
 func TestParseUnaryMinusExpression(t *testing.T) {
 	// Unary minus over a column becomes 0 - col.
-	e := MustParse("-a < 0")
+	e := mustParse("-a < 0")
 	sub, ok := e.(Cmp).L.(Arith)
 	if !ok || sub.Op != Sub {
 		t.Fatalf("L = %v", e.(Cmp).L)
@@ -211,12 +226,12 @@ func TestParseEndToEndEval(t *testing.T) {
 		{Table: "l", Column: "receipt", Type: catalog.Date},
 		{Table: "l", Column: "qty", Type: catalog.Float},
 	}}
-	e := MustParse("ship BETWEEN DATE '1997-07-01' AND DATE '1997-09-30' AND receipt >= ship + 2 AND qty * 2 > 5")
+	e := mustParse("ship BETWEEN DATE '1997-07-01' AND DATE '1997-09-30' AND receipt >= ship + 2 AND qty * 2 > 5")
 	b, err := Bind(e, schema)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ship := value.MustParseDate("1997-08-15")
+	ship := mustDate("1997-08-15")
 	row := value.Row{value.Date(ship), value.Date(ship + 3), value.Float(3)}
 	ok, err := b.Eval(row)
 	if err != nil || !ok {
@@ -238,7 +253,7 @@ func TestParseRoundTripThroughString(t *testing.T) {
 		"(a + 2) * 3 - 1 >= b / 4",
 	}
 	for _, in := range inputs {
-		e1 := MustParse(in)
+		e1 := mustParse(in)
 		s1 := e1.String()
 		e2, err := Parse(strings.ReplaceAll(s1, "\"", "'"))
 		if err != nil {
@@ -251,30 +266,30 @@ func TestParseRoundTripThroughString(t *testing.T) {
 }
 
 func TestParseIn(t *testing.T) {
-	e := MustParse("a IN (1, 2, 3)")
+	e := mustParse("a IN (1, 2, 3)")
 	in, ok := e.(In)
 	if !ok || len(in.Vals) != 3 || in.Vals[1].I != 2 {
 		t.Fatalf("parsed = %v", e)
 	}
 	// Mixed literal kinds and dates.
-	e = MustParse("d IN (DATE '1997-07-01', DATE '1997-07-02')")
+	e = mustParse("d IN (DATE '1997-07-01', DATE '1997-07-02')")
 	in = e.(In)
 	if len(in.Vals) != 2 || in.Vals[1].I-in.Vals[0].I != 1 {
 		t.Fatalf("date list = %v", in)
 	}
 	// Negative numbers via unary folding.
-	e = MustParse("a IN (-1, -2.5)")
+	e = mustParse("a IN (-1, -2.5)")
 	in = e.(In)
 	if in.Vals[0].I != -1 || in.Vals[1].F != -2.5 {
 		t.Fatalf("negative list = %v", in)
 	}
 	// NOT IN via NOT precedence.
-	e = MustParse("NOT a IN (1)")
+	e = mustParse("NOT a IN (1)")
 	if _, ok := e.(Not); !ok {
 		t.Fatalf("NOT IN = %v", e)
 	}
 	// String rendering re-parses.
-	if !strings.Contains(MustParse("a IN (1, 2)").String(), "IN (1, 2)") {
+	if !strings.Contains(mustParse("a IN (1, 2)").String(), "IN (1, 2)") {
 		t.Error("String rendering")
 	}
 	for _, bad := range []string{

@@ -62,13 +62,14 @@ func Build(values []float64, nBuckets int) (*Histogram, error) {
 		}
 		// Extend the bucket so equal values never straddle a boundary
 		// (required for SelEq to be well defined).
+		//qolint:allow-floatcmp — exact duplicate detection on sorted data
 		for end < len(sorted) && sorted[end] == sorted[end-1] {
 			end++
 		}
 		b := Bucket{Lo: sorted[start], Hi: sorted[end-1], Count: end - start}
 		d := 1
 		for i := start + 1; i < end; i++ {
-			if sorted[i] != sorted[i-1] {
+			if sorted[i] != sorted[i-1] { //qolint:allow-floatcmp — exact distinct count
 				d++
 			}
 		}
@@ -125,7 +126,7 @@ func (h *Histogram) SelRange(lo, hi float64) float64 {
 			continue
 		}
 		// Partial overlap: interpolate. Point buckets are all-or-nothing.
-		if b.Hi == b.Lo {
+		if b.Hi == b.Lo { //qolint:allow-floatcmp — point buckets have bitwise-equal bounds
 			matched += float64(b.Count)
 			continue
 		}

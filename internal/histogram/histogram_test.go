@@ -9,6 +9,7 @@ import (
 	"robustqo/internal/expr"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -161,7 +162,7 @@ func TestSelRangeExactOnFullCoverage(t *testing.T) {
 	rng := stats.NewRNG(5)
 	vals := make([]float64, 5000)
 	for i := range vals {
-		vals[i] = float64(rng.Intn(100))
+		vals[i] = float64(testkit.Intn(rng, 100))
 	}
 	h, _ := Build(vals, 25)
 	naive := 0
@@ -210,12 +211,12 @@ func buildTestDB(t *testing.T) *storage.Database {
 		_ = dim.Append(value.Row{value.Int(int64(d)), value.Int(int64(d % 10))})
 	}
 	for i := 0; i < 10000; i++ {
-		a := int64(rng.Intn(100))
+		a := int64(testkit.Intn(rng, 100))
 		// f_b perfectly correlated with f_a: AVI will be badly wrong for
 		// the conjunction f_a < k AND f_b < k.
 		row := value.Row{
 			value.Int(int64(i)),
-			value.Int(int64(rng.Intn(100))),
+			value.Int(int64(testkit.Intn(rng, 100))),
 			value.Int(a),
 			value.Int(a),
 			value.Str("x"),
@@ -247,7 +248,7 @@ func TestBuildAllSkipsStrings(t *testing.T) {
 
 func TestBuildFromColumnErrors(t *testing.T) {
 	db := buildTestDB(t)
-	fact := db.MustTable("fact")
+	fact := testkit.Table(db, "fact")
 	if _, err := BuildFromColumn(fact, "missing", 10); err == nil {
 		t.Error("missing column accepted")
 	}
@@ -260,7 +261,7 @@ func TestEstimateMarginalsAccurate(t *testing.T) {
 	db := buildTestDB(t)
 	c, _ := BuildAll(db)
 	// f_a < 50 is ~50% of rows; a single histogram gets this right.
-	got := Estimate(c, db.Catalog, []string{"fact"}, expr.MustParse("f_a < 50"))
+	got := Estimate(c, db.Catalog, []string{"fact"}, testkit.Expr("f_a < 50"))
 	if math.Abs(got-0.5) > 0.05 {
 		t.Errorf("marginal estimate = %g, want ~0.5", got)
 	}
@@ -272,7 +273,7 @@ func TestEstimateAVIFailsOnCorrelation(t *testing.T) {
 	// True selectivity of (f_a < 50 AND f_b < 50) is ~0.5 because the
 	// columns are identical; AVI predicts 0.25. This failure is the
 	// premise of the whole paper.
-	got := Estimate(c, db.Catalog, []string{"fact"}, expr.MustParse("f_a < 50 AND f_b < 50"))
+	got := Estimate(c, db.Catalog, []string{"fact"}, testkit.Expr("f_a < 50 AND f_b < 50"))
 	if math.Abs(got-0.25) > 0.05 {
 		t.Errorf("AVI estimate = %g, want ~0.25 (the systematically wrong answer)", got)
 	}
@@ -282,11 +283,11 @@ func TestEstimateConnectivesAndNegation(t *testing.T) {
 	db := buildTestDB(t)
 	c, _ := BuildAll(db)
 	tables := []string{"fact"}
-	or := Estimate(c, db.Catalog, tables, expr.MustParse("f_a < 50 OR f_b < 50"))
+	or := Estimate(c, db.Catalog, tables, testkit.Expr("f_a < 50 OR f_b < 50"))
 	if math.Abs(or-0.75) > 0.05 { // 1 - 0.5*0.5 under independence
 		t.Errorf("OR estimate = %g", or)
 	}
-	not := Estimate(c, db.Catalog, tables, expr.MustParse("NOT f_a < 50"))
+	not := Estimate(c, db.Catalog, tables, testkit.Expr("NOT f_a < 50"))
 	if math.Abs(not-0.5) > 0.05 {
 		t.Errorf("NOT estimate = %g", not)
 	}
@@ -300,27 +301,27 @@ func TestEstimateComparisonOperators(t *testing.T) {
 	db := buildTestDB(t)
 	c, _ := BuildAll(db)
 	tables := []string{"fact"}
-	eq := Estimate(c, db.Catalog, tables, expr.MustParse("f_a = 10"))
+	eq := Estimate(c, db.Catalog, tables, testkit.Expr("f_a = 10"))
 	if math.Abs(eq-0.01) > 0.01 {
 		t.Errorf("EQ estimate = %g, want ~0.01", eq)
 	}
-	ne := Estimate(c, db.Catalog, tables, expr.MustParse("f_a <> 10"))
+	ne := Estimate(c, db.Catalog, tables, testkit.Expr("f_a <> 10"))
 	if math.Abs(ne-0.99) > 0.01 {
 		t.Errorf("NE estimate = %g", ne)
 	}
-	ge := Estimate(c, db.Catalog, tables, expr.MustParse("f_a >= 90"))
+	ge := Estimate(c, db.Catalog, tables, testkit.Expr("f_a >= 90"))
 	if math.Abs(ge-0.1) > 0.05 {
 		t.Errorf("GE estimate = %g", ge)
 	}
-	lt := Estimate(c, db.Catalog, tables, expr.MustParse("f_a < 10"))
+	lt := Estimate(c, db.Catalog, tables, testkit.Expr("f_a < 10"))
 	if math.Abs(lt-0.1) > 0.05 {
 		t.Errorf("LT estimate = %g", lt)
 	}
-	flipped := Estimate(c, db.Catalog, tables, expr.MustParse("50 > f_a"))
+	flipped := Estimate(c, db.Catalog, tables, testkit.Expr("50 > f_a"))
 	if math.Abs(flipped-0.5) > 0.05 {
 		t.Errorf("flipped comparison = %g", flipped)
 	}
-	between := Estimate(c, db.Catalog, tables, expr.MustParse("f_a BETWEEN 25 AND 74"))
+	between := Estimate(c, db.Catalog, tables, testkit.Expr("f_a BETWEEN 25 AND 74"))
 	if math.Abs(between-0.5) > 0.05 {
 		t.Errorf("BETWEEN estimate = %g", between)
 	}
@@ -331,27 +332,27 @@ func TestEstimateMagicFallbacks(t *testing.T) {
 	c, _ := BuildAll(db)
 	tables := []string{"fact"}
 	// Column-to-column comparison: magic range.
-	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a < f_b")); got != MagicRange {
+	if got := Estimate(c, db.Catalog, tables, testkit.Expr("f_a < f_b")); got != MagicRange {
 		t.Errorf("col-col = %g, want %g", got, MagicRange)
 	}
 	// Column-to-column equality: magic eq.
-	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a = f_b")); got != MagicEq {
+	if got := Estimate(c, db.Catalog, tables, testkit.Expr("f_a = f_b")); got != MagicEq {
 		t.Errorf("col-col eq = %g, want %g", got, MagicEq)
 	}
 	// Substring predicate.
-	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_name CONTAINS 'x'")); got != MagicOther {
+	if got := Estimate(c, db.Catalog, tables, testkit.Expr("f_name CONTAINS 'x'")); got != MagicOther {
 		t.Errorf("contains = %g, want %g", got, MagicOther)
 	}
 	// Unknown column.
-	if got := Estimate(c, db.Catalog, tables, expr.MustParse("ghost = 1")); got != MagicEq {
+	if got := Estimate(c, db.Catalog, tables, testkit.Expr("ghost = 1")); got != MagicEq {
 		t.Errorf("unknown eq = %g, want %g", got, MagicEq)
 	}
 	// Arithmetic comparand.
-	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a + 1 < 10")); got != MagicRange {
+	if got := Estimate(c, db.Catalog, tables, testkit.Expr("f_a + 1 < 10")); got != MagicRange {
 		t.Errorf("arith = %g, want %g", got, MagicRange)
 	}
 	// BETWEEN with non-literal bound.
-	if got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a BETWEEN f_b AND 10")); got != MagicRange {
+	if got := Estimate(c, db.Catalog, tables, testkit.Expr("f_a BETWEEN f_b AND 10")); got != MagicRange {
 		t.Errorf("between-nonlit = %g, want %g", got, MagicRange)
 	}
 }
@@ -360,12 +361,12 @@ func TestEstimateQualifiedAndAmbiguous(t *testing.T) {
 	db := buildTestDB(t)
 	c, _ := BuildAll(db)
 	tables := []string{"fact", "dim"}
-	got := Estimate(c, db.Catalog, tables, expr.MustParse("fact.f_a < 50"))
+	got := Estimate(c, db.Catalog, tables, testkit.Expr("fact.f_a < 50"))
 	if math.Abs(got-0.5) > 0.05 {
 		t.Errorf("qualified = %g", got)
 	}
 	// d_attr exists only in dim: unqualified resolution works.
-	got = Estimate(c, db.Catalog, tables, expr.MustParse("d_attr < 5"))
+	got = Estimate(c, db.Catalog, tables, testkit.Expr("d_attr < 5"))
 	if math.Abs(got-0.5) > 0.1 {
 		t.Errorf("dim attr = %g", got)
 	}
@@ -377,7 +378,7 @@ func TestEstimateClamped(t *testing.T) {
 	// Huge OR of many terms stays within [0, 1].
 	terms := make([]expr.Expr, 20)
 	for i := range terms {
-		terms[i] = expr.MustParse("f_a >= 0")
+		terms[i] = testkit.Expr("f_a >= 0")
 	}
 	got := Estimate(c, db.Catalog, []string{"fact"}, expr.Or{Terms: terms})
 	if got < 0 || got > 1 {
@@ -390,27 +391,27 @@ func TestEstimateIn(t *testing.T) {
 	c, _ := BuildAll(db)
 	tables := []string{"fact"}
 	// f_a uniform over 0..99: three listed values ~ 3%.
-	got := Estimate(c, db.Catalog, tables, expr.MustParse("f_a IN (1, 2, 3)"))
+	got := Estimate(c, db.Catalog, tables, testkit.Expr("f_a IN (1, 2, 3)"))
 	if math.Abs(got-0.03) > 0.02 {
 		t.Errorf("IN estimate = %g, want ~0.03", got)
 	}
 	// Unknown column: magic equality per value.
-	got = Estimate(c, db.Catalog, tables, expr.MustParse("ghost IN (1, 2)"))
+	got = Estimate(c, db.Catalog, tables, testkit.Expr("ghost IN (1, 2)"))
 	if math.Abs(got-0.2) > 1e-9 {
 		t.Errorf("unknown IN = %g, want 0.2", got)
 	}
 	// Non-column subject: magic other.
-	got = Estimate(c, db.Catalog, tables, expr.MustParse("f_a + 1 IN (1)"))
+	got = Estimate(c, db.Catalog, tables, testkit.Expr("f_a + 1 IN (1)"))
 	if got != MagicOther {
 		t.Errorf("arith IN = %g", got)
 	}
 	// Huge unknown-column lists clamp at 1.
-	got = Estimate(c, db.Catalog, tables, expr.MustParse("ghost IN (1,2,3,4,5,6,7,8,9,10,11,12)"))
+	got = Estimate(c, db.Catalog, tables, testkit.Expr("ghost IN (1,2,3,4,5,6,7,8,9,10,11,12)"))
 	if got != 1 {
 		t.Errorf("clamped IN = %g", got)
 	}
 	// String values against a numeric histogram contribute nothing.
-	got = Estimate(c, db.Catalog, tables, expr.MustParse("f_a IN ('x')"))
+	got = Estimate(c, db.Catalog, tables, testkit.Expr("f_a IN ('x')"))
 	if got != 0 {
 		t.Errorf("string-in-numeric = %g", got)
 	}

@@ -7,6 +7,7 @@ import (
 	"robustqo/internal/catalog"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -203,10 +204,10 @@ func TestIntersectAgainstMapProperty(t *testing.T) {
 	rng := stats.NewRNG(77)
 	for trial := 0; trial < 100; trial++ {
 		mk := func() []int32 {
-			n := rng.Intn(30)
+			n := testkit.Intn(rng, 30)
 			set := make(map[int32]bool)
 			for i := 0; i < n; i++ {
-				set[int32(rng.Intn(40))] = true
+				set[int32(testkit.Intn(rng, 40))] = true
 			}
 			out := make([]int32, 0, len(set))
 			for k := int32(0); k < 40; k++ {

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isCountersPtr reports whether t is *cost.Counters: a pointer to a
+// named type Counters declared in a package named cost. Matching on the
+// package name (not the full import path) lets testdata fixtures define
+// a miniature cost package with the same shape.
+func isCountersPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isCountersNamed(p.Elem())
+}
+
+// isCountersNamed reports whether t is the named type cost.Counters.
+func isCountersNamed(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Counters" && obj.Pkg() != nil && obj.Pkg().Name() == "cost"
+}
+
+// countersParam returns the object and name of the first *cost.Counters
+// parameter of fn, or nil when it has none.
+func countersParam(pass *Pass, fn *ast.FuncDecl) (types.Object, string) {
+	if fn.Type.Params == nil {
+		return nil, ""
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isCountersPtr(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.Info.Defs[name]; obj != nil {
+				return obj, name.Name
+			}
+		}
+	}
+	return nil, ""
+}
+
+// CounterThread enforces that a function holding a *cost.Counters
+// parameter passes that same pointer to every child call that accepts
+// one. An operator that hands a child a fresh or foreign counter set
+// silently drops the child's work from the root total, corrupting the
+// simulated execution times every experiment is ranked by.
+var CounterThread = &Analyzer{
+	Name: "counterthread",
+	Doc: "flag child Execute-style calls that do not thread the enclosing " +
+		"function's *cost.Counters parameter, which silently undercounts cost",
+	Run: runCounterThread,
+}
+
+func runCounterThread(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			param, paramName := countersParam(pass, fn)
+			if param == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+				if !ok || sig.Params() == nil {
+					return true
+				}
+				for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+					if !isCountersPtr(sig.Params().At(i).Type()) {
+						continue
+					}
+					arg := call.Args[i]
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == param {
+						continue
+					}
+					pass.Reportf(arg.Pos(),
+						"call passes a *cost.Counters other than the enclosing parameter %q; "+
+							"child work would not reach the caller's totals", paramName)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// CtxCounters forbids operators from constructing fresh cost.Counters
+// values: a function that was handed a *cost.Counters must accumulate
+// into it, not into a private counter set that is then dropped or
+// double-charged.
+var CtxCounters = &Analyzer{
+	Name: "ctxcounters",
+	Doc: "flag construction of fresh cost.Counters inside functions that " +
+		"already receive a *cost.Counters parameter",
+	Run: runCtxCounters,
+}
+
+func runCtxCounters(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if param, _ := countersParam(pass, fn); param == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					if t := pass.TypeOf(n); t != nil && isCountersNamed(t) {
+						pass.Reportf(n.Pos(), "fresh cost.Counters constructed inside an operator; accumulate into the *cost.Counters parameter instead")
+					}
+				case *ast.ValueSpec:
+					if n.Type != nil {
+						if t := pass.TypeOf(n.Type); t != nil && isCountersNamed(t) {
+							pass.Reportf(n.Pos(), "fresh cost.Counters declared inside an operator; accumulate into the *cost.Counters parameter instead")
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+						if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && obj.Name() == "new" {
+							if t := pass.TypeOf(n.Args[0]); t != nil && isCountersNamed(t) {
+								pass.Reportf(n.Pos(), "fresh cost.Counters allocated inside an operator; accumulate into the *cost.Counters parameter instead")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

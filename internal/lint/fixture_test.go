@@ -1,0 +1,155 @@
+package lint
+
+// This file is a miniature analysistest: fixtures live under
+// testdata/src/<path>, import each other by that path, and annotate
+// expected findings with trailing comments of the form
+//
+//	expr // want "regexp"
+//
+// testFixture typechecks the fixture package, runs one analyzer, and
+// requires the findings and the annotations to match exactly.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	infos map[string]*types.Info
+}
+
+func newFixtureLoader(root string) *fixtureLoader {
+	return &fixtureLoader{
+		root:  root,
+		fset:  token.NewFileSet(),
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+		infos: make(map[string]*types.Info),
+	}
+}
+
+// Import lets the loader serve as its own types.Importer, resolving
+// fixture-relative import paths recursively.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	return l.load(path)
+}
+
+func (l *fixtureLoader) load(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q: no Go files", path)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	l.files[path] = files
+	l.infos[path] = info
+	return pkg, nil
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// testFixture runs one analyzer over one fixture package and compares
+// findings against the // want annotations.
+func testFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	l := newFixtureLoader("testdata/src")
+	pkg, err := l.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, info := l.files[path], l.infos[path]
+
+	var expects []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := l.fset.Position(c.Pos())
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+
+	diags := Check([]*Analyzer{a}, l.fset, files, pkg, info)
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	sort.Slice(expects, func(i, j int) bool { return expects[i].line < expects[j].line })
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+func TestCounterThreadFixture(t *testing.T) { testFixture(t, CounterThread, "counterthread") }
+
+func TestCtxCountersFixture(t *testing.T) { testFixture(t, CtxCounters, "ctxcounters") }
+
+func TestFloatCmpFixture(t *testing.T) { testFixture(t, FloatCmp, "floatcmp") }
+
+func TestMapOrderFixture(t *testing.T) { testFixture(t, MapOrder, "maporder") }
+
+func TestNoPanicFixture(t *testing.T) {
+	testFixture(t, NoPanic, "internal/np")
+	testFixture(t, NoPanic, "internal/allowed") // whole-file suppression
+	testFixture(t, NoPanic, "app")              // outside internal/: exempt
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp guards plan ranking against raw floating-point comparison.
+// Costs and selectivities are sums of many small model terms; two plans
+// whose costs differ only in the last few ulps are equal for every
+// practical purpose, and ranking them with a raw == or < makes the
+// chosen plan depend on association order of the additions. Equality
+// (==, !=) between two non-constant float64 values is always flagged;
+// ordering comparisons (<, <=, >, >=) are flagged when an operand is
+// named like a cost or selectivity. The approved helpers live in
+// internal/cost (cost.Less, cost.ApproxEqual), whose package is exempt.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag raw ==/!= on float64 values and raw ordering comparisons on " +
+		"cost/selectivity values; use cost.Less / cost.ApproxEqual",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	// The epsilon helpers themselves must compare raw floats.
+	if pass.Pkg.Name() == "cost" {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			if !isFloat64(pass, be.X) || !isFloat64(pass, be.Y) {
+				return true
+			}
+			// Comparisons against constants are sentinel checks
+			// (x == 0, s > 1 clamps), not plan ranking.
+			if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+				return true
+			}
+			// x != x / x == x is the NaN idiom.
+			if s := exprString(be.X); s != "" && s == exprString(be.Y) {
+				return true
+			}
+			// x == math.Trunc(x) and friends test integrality exactly.
+			if isRoundingIdiom(pass, be.X, be.Y) || isRoundingIdiom(pass, be.Y, be.X) {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				pass.Reportf(be.OpPos, "raw %s on float64 values; use cost.ApproxEqual or an explicit tolerance", be.Op)
+			default:
+				if costLike(be.X) || costLike(be.Y) {
+					pass.Reportf(be.OpPos, "raw %s ranks float64 cost/selectivity values; use cost.Less or an explicit tolerance", be.Op)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFloat64(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.UntypedFloat)
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// costLike reports whether the expression's name suggests it holds a
+// plan cost or a selectivity.
+func costLike(e ast.Expr) bool {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr:
+		// e.g. model.Time(c), plan.Cost()
+		return costLike(e.Fun)
+	case *ast.IndexExpr:
+		return costLike(e.X)
+	default:
+		return false
+	}
+	n := strings.ToLower(name)
+	return strings.Contains(n, "cost") ||
+		strings.Contains(n, "selectivity") ||
+		n == "sel" || n == "joint" || n == "marg"
+}
+
+// isRoundingIdiom reports whether call is math.Trunc/Floor/Ceil/Round
+// applied to other: comparing a value against its own rounding is an
+// exact integrality test, not a ranking.
+func isRoundingIdiom(pass *Pass, other, call ast.Expr) bool {
+	c, ok := ast.Unparen(call).(*ast.CallExpr)
+	if !ok || len(c.Args) != 1 {
+		return false
+	}
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "math" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Trunc", "Floor", "Ceil", "Round", "RoundToEven":
+	default:
+		return false
+	}
+	s := exprString(c.Args[0])
+	return s != "" && s == exprString(other)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	default:
+		return ""
+	}
+}

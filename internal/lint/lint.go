@@ -1,0 +1,219 @@
+// Package lint implements qolint, a project-specific static-analysis
+// suite enforcing engine and optimizer invariants that the compiler
+// cannot check but the paper's robustness argument depends on:
+//
+//   - counterthread: every Execute implementation threads its
+//     *cost.Counters into child Execute calls (no silent undercounting).
+//   - floatcmp: no raw ==/!=/< comparisons on float64 cost or
+//     selectivity values outside the epsilon helpers in internal/cost.
+//   - maporder: no map iteration whose order can leak into plan choice,
+//     result rows, or accumulated slices without a subsequent sort.
+//   - nopanic: no panic(...) in internal/ library code; return errors.
+//   - ctxcounters: operators must not construct fresh cost.Counters;
+//     they accumulate into the pointer handed to them.
+//
+// The package is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis model (Analyzer, Pass, diagnostics,
+// testdata fixtures) built on go/ast and go/types only, so it runs in
+// hermetic environments without the x/tools module.
+//
+// Findings are suppressed with a comment of the form
+//
+//	//qolint:allow-<analyzer>
+//
+// either on (or immediately above) the offending line, or before the
+// package clause to suppress the whole file.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //qolint:allow-<name> suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the guarded invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      *[]Diagnostic
+	suppressed suppressions
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a //qolint:allow-<name>
+// comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is shorthand for the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// suppressions records where //qolint:allow-* comments apply.
+type suppressions struct {
+	// lines maps analyzer name -> filename -> set of suppressed lines.
+	lines map[string]map[string]map[int]bool
+	// files maps analyzer name -> filename -> whole-file suppression.
+	files map[string]map[string]bool
+}
+
+const allowPrefix = "//qolint:allow-"
+
+// collectSuppressions scans every comment in the files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := suppressions{
+		lines: make(map[string]map[string]map[int]bool),
+		files: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				name := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+				}
+				if name == "" {
+					continue
+				}
+				// The documented spelling for the panic rule is
+				// //qolint:allow-panic; map it onto the analyzer name.
+				if name == "panic" {
+					name = "nopanic"
+				}
+				pos := fset.Position(c.Pos())
+				if c.End() < f.Package {
+					// Before the package clause: whole file.
+					if s.files[name] == nil {
+						s.files[name] = make(map[string]bool)
+					}
+					s.files[name][pos.Filename] = true
+					continue
+				}
+				if s.lines[name] == nil {
+					s.lines[name] = make(map[string]map[int]bool)
+				}
+				if s.lines[name][pos.Filename] == nil {
+					s.lines[name][pos.Filename] = make(map[int]bool)
+				}
+				// The comment covers its own line and the next line, so
+				// both trailing and leading placements work.
+				s.lines[name][pos.Filename][pos.Line] = true
+				s.lines[name][pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+func (s suppressions) covers(analyzer string, pos token.Position) bool {
+	if s.files[analyzer][pos.Filename] {
+		return true
+	}
+	return s.lines[analyzer][pos.Filename][pos.Line]
+}
+
+// All returns the full qolint suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CounterThread,
+		CtxCounters,
+		FloatCmp,
+		MapOrder,
+		NoPanic,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list, or all when empty.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Check runs the analyzers over one typechecked package and returns the
+// findings sorted by position.
+func Check(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	var diags []Diagnostic
+	sup := collectSuppressions(fset, files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+			diags:      &diags,
+			suppressed: sup,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") returned %d analyzers, want %d", len(all), len(All()))
+	}
+	two, err := ByName("floatcmp, nopanic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "floatcmp" || two[1].Name != "nopanic" {
+		t.Fatalf("ByName subset wrong: %v", two)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.ToLower(a.Name) != a.Name {
+			t.Errorf("analyzer name %q should be lowercase", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the enclosing module: the
+// repo must satisfy its own invariants. This is the same check CI runs
+// via cmd/qolint.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool to load the module")
+	}
+	diags, err := Run(All(), "../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

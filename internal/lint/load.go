@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, typechecked target package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") with the go tool and typechecks
+// every matched package. Dependencies — including the standard library —
+// are imported from compiler export data produced by `go list -export`,
+// so no source re-typechecking and no network access is needed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			if p.Error != nil {
+				return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typechecking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// Run loads the patterns and applies the analyzers, returning all
+// findings sorted per package.
+func Run(analyzers []*Analyzer, dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, Check(analyzers, p.Fset, p.Files, p.Types, p.Info)...)
+	}
+	return diags, nil
+}

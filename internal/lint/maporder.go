@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder keeps Go's randomized map iteration order out of anything
+// ordered. The telltale pattern is a range over a map whose body appends
+// to a slice declared outside the loop: the slice inherits a random
+// permutation, and if it feeds plan enumeration, result rows, or test
+// expectations, runs stop being reproducible. The finding is suppressed
+// when the slice is passed to a sort (sort.* or slices.Sort*) later in
+// the same function, which restores determinism.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that appends to an outer slice without a " +
+		"subsequent sort, which leaks nondeterministic ordering",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		// Slices appended to inside the loop, keyed by variable object.
+		appended := make(map[types.Object]token.Pos)
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(assign.Lhs) {
+					continue
+				}
+				fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || fun.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					obj = pass.Info.Defs[id]
+				}
+				// Only variables declared outside the loop body leak
+				// ordering; loop-local slices die each iteration.
+				if obj == nil || insideRange(obj.Pos(), rng) {
+					continue
+				}
+				appended[obj] = id.Pos()
+			}
+			return true
+		})
+		for obj, pos := range appended {
+			if !sortedLater(pass, body, rng, obj) {
+				pass.Reportf(pos,
+					"%q accumulates elements in map iteration order, which is nondeterministic; "+
+						"sort it afterwards or iterate a sorted key slice", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func insideRange(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}
+
+// sortedLater reports whether obj is passed into a sort.* or
+// slices.Sort* call after the range statement within the same body.
+func sortedLater(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		// The slice may appear directly as an argument or inside a
+		// comparison closure (sort.Slice(x, func(i, j int) bool {...})).
+		for _, arg := range call.Args {
+			uses := false
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					uses = true
+					return false
+				}
+				return true
+			})
+			if uses {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids panic in internal/ library packages. A panicking
+// estimator or operator takes down the whole server process; every
+// failure an operator can hit at runtime must surface as an error the
+// caller can handle. Files whose panics are deliberate (test-only
+// helpers, impossible-by-construction states) opt out with a
+// //qolint:allow-panic comment before the package clause.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "flag panic(...) in internal/ library code; return an error instead",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	path := pass.Pkg.Path()
+	if path != "internal" && !strings.HasPrefix(path, "internal/") && !strings.Contains(path, "/internal/") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library package %s; return an error instead", path)
+			return true
+		})
+	}
+}

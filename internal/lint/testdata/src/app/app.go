@@ -1,0 +1,10 @@
+// Package app sits outside internal/, where nopanic does not apply:
+// binaries may crash on startup misconfiguration.
+package app
+
+func MustConfig(path string) string {
+	if path == "" {
+		panic("app: empty config path")
+	}
+	return path
+}

@@ -1,0 +1,16 @@
+// Package cost is a miniature stand-in for robustqo/internal/cost: the
+// analyzers match the named type Counters in a package named cost, so
+// fixtures can exercise them without importing the real module.
+package cost
+
+// Counters mirrors the shape of the real counter set.
+type Counters struct {
+	Tuples int64
+	Output int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Tuples += other.Tuples
+	c.Output += other.Output
+}

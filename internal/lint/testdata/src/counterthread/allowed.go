@@ -1,0 +1,17 @@
+package counterthread
+
+import "cost"
+
+// Prober deliberately measures its child in isolation; the suppression
+// comment acknowledges the intent.
+type Prober struct{ Input Node }
+
+func (p *Prober) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	var probe cost.Counters //qolint:allow-ctxcounters
+	res, err := p.Input.Execute(ctx, &probe) //qolint:allow-counterthread
+	if err != nil {
+		return nil, err
+	}
+	counters.Add(probe)
+	return res, nil
+}

@@ -1,0 +1,44 @@
+package counterthread
+
+import "cost"
+
+type Context struct{}
+
+type Result struct{ Rows int }
+
+type Node interface {
+	Execute(ctx *Context, counters *cost.Counters) (*Result, error)
+}
+
+// Filter threads its counters correctly.
+type Filter struct{ Input Node }
+
+func (f *Filter) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	counters.Tuples++
+	return f.Input.Execute(ctx, counters)
+}
+
+// Scratch executes its child against a private counter set: the child's
+// work never reaches the caller.
+type Scratch struct{ Input Node }
+
+func (s *Scratch) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	var scratch cost.Counters
+	return s.Input.Execute(ctx, &scratch) // want "other than the enclosing parameter \"counters\""
+}
+
+// Dropper passes nil, dropping the child's accounting entirely.
+type Dropper struct{ Input Node }
+
+func (d *Dropper) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	return d.Input.Execute(ctx, nil) // want "other than the enclosing parameter"
+}
+
+// Helper functions taking counters are held to the same rule as methods.
+func runTwice(ctx *Context, n Node, counters *cost.Counters) error {
+	if _, err := n.Execute(ctx, counters); err != nil {
+		return err
+	}
+	_, err := n.Execute(ctx, &cost.Counters{}) // want "other than the enclosing parameter"
+	return err
+}

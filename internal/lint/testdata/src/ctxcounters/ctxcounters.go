@@ -1,0 +1,41 @@
+package ctxcounters
+
+import "cost"
+
+type Context struct{}
+
+type Result struct{ Rows int }
+
+type Node interface {
+	Execute(ctx *Context, counters *cost.Counters) (*Result, error)
+}
+
+// Good accumulates into the pointer it was handed.
+type Good struct{}
+
+func (g *Good) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	counters.Tuples++
+	return &Result{}, nil
+}
+
+// Fresh constructs private counter sets three different ways; all of
+// them hide work from the caller.
+type Fresh struct{ Input Node }
+
+func (f *Fresh) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	var local cost.Counters // want "fresh cost.Counters declared"
+	local.Tuples++
+	lit := cost.Counters{} // want "fresh cost.Counters constructed"
+	lit.Tuples++
+	ptr := new(cost.Counters) // want "fresh cost.Counters allocated"
+	ptr.Tuples++
+	return &Result{}, nil
+}
+
+// outside has no counters parameter, so constructing one is fine: this
+// is what plan roots like engine.Run do.
+func outside() cost.Counters {
+	var counters cost.Counters
+	counters.Tuples++
+	return counters
+}

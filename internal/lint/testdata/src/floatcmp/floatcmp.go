@@ -1,0 +1,51 @@
+package floatcmp
+
+// pick ranks two plan costs with raw operators.
+func pick(costA, costB float64) bool {
+	if costA == costB { // want "raw == on float64 values"
+		return false
+	}
+	return costA < costB // want "raw < ranks float64 cost/selectivity"
+}
+
+type candidate struct {
+	cost float64
+	sel  float64
+}
+
+func cheapest(cands []candidate) candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.cost < best.cost { // want "raw < ranks"
+			best = c
+		}
+	}
+	return best
+}
+
+func jointSel(selectivityA, selectivityB float64) bool {
+	return selectivityA != selectivityB // want "raw != on float64 values"
+}
+
+// fine shows the allowed patterns: NaN idiom, constant sentinels and
+// clamps, and ordering of floats that are not costs or selectivities.
+func fine(x, y float64) float64 {
+	if x != x { // NaN check
+		return 0
+	}
+	if x == 0 { // exact sentinel
+		return y
+	}
+	if x > 1 { // clamp
+		x = 1
+	}
+	if x < y { // not cost-like
+		return x
+	}
+	return y
+}
+
+// suppressed acknowledges a deliberate exact comparison.
+func suppressed(costA, costB float64) bool {
+	return costA == costB //qolint:allow-floatcmp
+}

@@ -1,0 +1,13 @@
+//qolint:allow-panic
+
+// Package allowed demonstrates the whole-file suppression: a comment
+// before the package clause opts every panic in the file out of the
+// nopanic rule (the real repo uses this for test-only Must helpers).
+package allowed
+
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("allowed: non-positive")
+	}
+	return n
+}

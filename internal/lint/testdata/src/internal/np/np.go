@@ -1,0 +1,21 @@
+// Package np lives under internal/ in fixture space, so nopanic holds
+// it to the library rule: errors, not panics.
+package np
+
+type boundError struct{}
+
+func (boundError) Error() string { return "np: bad bound" }
+
+func Bad(n int) int {
+	if n <= 0 {
+		panic("np: bad bound") // want "panic in library package internal/np"
+	}
+	return n - 1
+}
+
+func Good(n int) (int, error) {
+	if n <= 0 {
+		return 0, boundError{}
+	}
+	return n - 1, nil
+}

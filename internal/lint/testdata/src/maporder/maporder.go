@@ -1,0 +1,63 @@
+package maporder
+
+import "sort"
+
+// leak returns keys in nondeterministic map order.
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "accumulates elements in map iteration order"
+	}
+	return keys
+}
+
+// sorted restores determinism before the slice escapes.
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedClosure sorts through a comparison closure.
+func sortedClosure(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// local appends to a slice that dies inside the loop body: no leak.
+func local(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// aggregate folds map values commutatively, which is order-insensitive.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// suppressed acknowledges an ordering that is re-established elsewhere.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //qolint:allow-maporder
+	}
+	return keys
+}

@@ -1,0 +1,19 @@
+// Package sort is a fixture stand-in for the standard library's sort
+// package, so maporder fixtures typecheck without export data.
+package sort
+
+// Strings sorts a slice of strings.
+func Strings(x []string) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// Slice sorts using the provided less function (fixture: no-op body
+// beyond satisfying the signature).
+func Slice(x any, less func(i, j int) bool) {
+	_ = x
+	_ = less
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"robustqo/internal/core"
+	"robustqo/internal/cost"
 	"robustqo/internal/engine"
 	"robustqo/internal/expr"
 )
@@ -123,7 +124,7 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 	}
 	winner := best[full][0]
 	for _, c := range best[full][1:] {
-		if c.cost < winner.cost {
+		if cost.Less(c.cost, winner.cost) {
 			winner = c
 		}
 	}
@@ -203,7 +204,7 @@ func (p *planner) estimateGroups(inRows float64) float64 {
 // prune keeps the cheapest candidates, always retaining the cheapest
 // representative of each distinct ordering property.
 func prune(cands []candidate) []candidate {
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+	sort.SliceStable(cands, func(i, j int) bool { return cost.Less(cands[i].cost, cands[j].cost) })
 	var kept []candidate
 	seenOrder := make(map[string]bool)
 	for _, c := range cands {
@@ -277,7 +278,10 @@ func (p *planner) rowsOf(mask uint32) (float64, error) {
 }
 
 // tableRowsPages returns physical statistics of a base table.
-func (p *planner) tableRowsPages(i int) (rows, pages float64) {
-	t := p.opt.Ctx.DB.MustTable(p.a.tables[i])
-	return float64(t.NumRows()), float64(t.NumPages())
+func (p *planner) tableRowsPages(i int) (rows, pages float64, err error) {
+	t, ok := p.opt.Ctx.DB.Table(p.a.tables[i])
+	if !ok {
+		return 0, 0, fmt.Errorf("optimizer: unknown table %q", p.a.tables[i])
+	}
+	return float64(t.NumRows()), float64(t.NumPages()), nil
 }

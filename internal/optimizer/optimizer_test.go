@@ -11,6 +11,7 @@ import (
 	"robustqo/internal/sample"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -29,7 +30,7 @@ func (e *exactEstimator) Estimate(req core.Request) (core.Estimate, error) {
 	if err != nil {
 		return core.Estimate{}, err
 	}
-	return core.Estimate{Selectivity: sel, Rows: sel * float64(e.db.MustTable(root).NumRows())}, nil
+	return core.Estimate{Selectivity: sel, Rows: sel * float64(testkit.Table(e.db, root).NumRows())}, nil
 }
 
 // optDB builds a correlated lineitem/orders/part database large enough
@@ -104,16 +105,16 @@ func optDB(t *testing.T, nLines int, corrWindow int64) (*storage.Database, *engi
 		}
 	}
 	for i := 0; i < nLines; i++ {
-		ship := int64(rng.Intn(1000))
+		ship := int64(testkit.Intn(rng, 1000))
 		// receipt correlated with ship within corrWindow days.
-		receipt := ship + int64(rng.Intn(int(corrWindow)))
+		receipt := ship + int64(testkit.Intn(rng, int(corrWindow)))
 		row := value.Row{
 			value.Int(int64(i)),
 			value.Int(int64(i % nOrders)),
-			value.Int(int64(rng.Intn(nParts))),
+			value.Int(int64(testkit.Intn(rng, nParts))),
 			value.Date(ship),
 			value.Date(receipt),
-			value.Float(float64(rng.Intn(10000)) / 100),
+			value.Float(float64(testkit.Intn(rng, 10000)) / 100),
 		}
 		if err := lineitem.Append(row); err != nil {
 			t.Fatal(err)
@@ -153,9 +154,9 @@ func TestAnalyzeErrors(t *testing.T) {
 		{Tables: []string{"ghost"}},
 		{Tables: []string{"lineitem", "lineitem"}},
 		{Tables: []string{"orders", "part"}}, // disconnected
-		{Tables: []string{"lineitem"}, Pred: expr.MustParse("ghost_col = 1")},
-		{Tables: []string{"lineitem"}, Pred: expr.MustParse("ghost.l_ship = 1")},
-		{Tables: []string{"lineitem", "orders"}, Pred: expr.MustParse("orders.nope = 1")},
+		{Tables: []string{"lineitem"}, Pred: testkit.Expr("ghost_col = 1")},
+		{Tables: []string{"lineitem"}, Pred: testkit.Expr("ghost.l_ship = 1")},
+		{Tables: []string{"lineitem", "orders"}, Pred: testkit.Expr("orders.nope = 1")},
 	}
 	for i, q := range cases {
 		if _, err := o.Optimize(q); err == nil {
@@ -170,7 +171,7 @@ func TestSingleTablePicksScanVsIntersection(t *testing.T) {
 	// High selectivity: both date windows wide -> scan must win.
 	wide := &Query{
 		Tables: []string{"lineitem"},
-		Pred:   expr.MustParse("l_ship BETWEEN 0 AND 900 AND l_receipt BETWEEN 0 AND 900"),
+		Pred:   testkit.Expr("l_ship BETWEEN 0 AND 900 AND l_receipt BETWEEN 0 AND 900"),
 	}
 	plan, err := o.Optimize(wide)
 	if err != nil {
@@ -182,7 +183,7 @@ func TestSingleTablePicksScanVsIntersection(t *testing.T) {
 	// Low selectivity: narrow windows -> index plan must win.
 	narrow := &Query{
 		Tables: []string{"lineitem"},
-		Pred:   expr.MustParse("l_ship BETWEEN 100 AND 104 AND l_receipt BETWEEN 500 AND 505"),
+		Pred:   testkit.Expr("l_ship BETWEEN 100 AND 104 AND l_receipt BETWEEN 500 AND 505"),
 	}
 	plan, err = o.Optimize(narrow)
 	if err != nil {
@@ -199,9 +200,9 @@ func TestEstimatedCostTracksActual(t *testing.T) {
 	db, ctx := optDB(t, 10000, 40)
 	o := exactOpt(t, db, ctx)
 	queries := []*Query{
-		{Tables: []string{"lineitem"}, Pred: expr.MustParse("l_ship BETWEEN 100 AND 300")},
-		{Tables: []string{"lineitem"}, Pred: expr.MustParse("l_ship BETWEEN 100 AND 104 AND l_receipt BETWEEN 100 AND 110")},
-		{Tables: []string{"lineitem", "orders"}, Pred: expr.MustParse("l_price < 10")},
+		{Tables: []string{"lineitem"}, Pred: testkit.Expr("l_ship BETWEEN 100 AND 300")},
+		{Tables: []string{"lineitem"}, Pred: testkit.Expr("l_ship BETWEEN 100 AND 104 AND l_receipt BETWEEN 100 AND 110")},
+		{Tables: []string{"lineitem", "orders"}, Pred: testkit.Expr("l_price < 10")},
 	}
 	for i, q := range queries {
 		plan, err := o.Optimize(q)
@@ -227,7 +228,7 @@ func TestJoinPlanCorrectness(t *testing.T) {
 	o := exactOpt(t, db, ctx)
 	q := &Query{
 		Tables: []string{"lineitem", "orders", "part"},
-		Pred:   expr.MustParse("p_size = 7 AND l_price < 50"),
+		Pred:   testkit.Expr("p_size = 7 AND l_price < 50"),
 	}
 	plan, err := o.Optimize(q)
 	if err != nil {
@@ -242,7 +243,7 @@ func TestJoinPlanCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := int(truth*float64(db.MustTable("lineitem").NumRows()) + 0.5)
+	want := int(truth*float64(testkit.Table(db, "lineitem").NumRows()) + 0.5)
 	if len(res.Rows) != want {
 		t.Errorf("join plan returned %d rows, want %d\n%s", len(res.Rows), want, plan.Explain())
 	}
@@ -273,7 +274,7 @@ func TestJoinPlanChoosesINLAtLowSelectivity(t *testing.T) {
 	// regime where INL must win.)
 	q := &Query{
 		Tables: []string{"lineitem", "part"},
-		Pred:   expr.MustParse("p_partkey = 11 AND p_size = 999"),
+		Pred:   testkit.Expr("p_partkey = 11 AND p_size = 999"),
 	}
 	plan, err := o.Optimize(q)
 	if err != nil {
@@ -298,7 +299,7 @@ func TestAggregationQuery(t *testing.T) {
 	o := exactOpt(t, db, ctx)
 	q := &Query{
 		Tables: []string{"lineitem"},
-		Pred:   expr.MustParse("l_ship BETWEEN 0 AND 499"),
+		Pred:   testkit.Expr("l_ship BETWEEN 0 AND 499"),
 		Aggs: []engine.AggSpec{
 			{Func: engine.Sum, Arg: expr.C("l_price"), As: "revenue"},
 			{Func: engine.Count, As: "n"},
@@ -316,7 +317,7 @@ func TestAggregationQuery(t *testing.T) {
 		t.Fatalf("agg rows = %d", len(res.Rows))
 	}
 	truth, _ := sample.ExactFraction(db, []string{"lineitem"}, q.Pred)
-	wantN := int64(truth*float64(db.MustTable("lineitem").NumRows()) + 0.5)
+	wantN := int64(truth*float64(testkit.Table(db, "lineitem").NumRows()) + 0.5)
 	if res.Rows[0][1].I != wantN {
 		t.Errorf("COUNT = %d, want %d", res.Rows[0][1].I, wantN)
 	}
@@ -327,7 +328,7 @@ func TestProjectionQuery(t *testing.T) {
 	o := exactOpt(t, db, ctx)
 	q := &Query{
 		Tables:  []string{"lineitem"},
-		Pred:    expr.MustParse("l_ship < 100"),
+		Pred:    testkit.Expr("l_ship < 100"),
 		Project: []expr.ColumnRef{{Table: "lineitem", Column: "l_id"}},
 	}
 	plan, err := o.Optimize(q)
@@ -355,7 +356,7 @@ func TestThresholdFlipsPlanChoice(t *testing.T) {
 	}
 	// A query whose true joint selectivity is a little below the
 	// crossover: find windows where roughly 0.15% of rows qualify.
-	pred := expr.MustParse("l_ship BETWEEN 0 AND 120 AND l_receipt BETWEEN 0 AND 120")
+	pred := testkit.Expr("l_ship BETWEEN 0 AND 120 AND l_receipt BETWEEN 0 AND 120")
 	truth, err := sample.ExactFraction(db, []string{"lineitem"}, pred)
 	if err != nil {
 		t.Fatal(err)
@@ -406,7 +407,7 @@ func TestOptimizerPicksMinEstimatedCost(t *testing.T) {
 	}
 	plan, err := o.Optimize(&Query{
 		Tables: []string{"lineitem"},
-		Pred:   expr.MustParse("l_ship BETWEEN 0 AND 999 AND l_receipt BETWEEN 0 AND 999"),
+		Pred:   testkit.Expr("l_ship BETWEEN 0 AND 999 AND l_receipt BETWEEN 0 AND 999"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -423,7 +424,7 @@ func TestOptimizerPicksMinEstimatedCost(t *testing.T) {
 	o2, _ := New(ctx, one)
 	plan2, err := o2.Optimize(&Query{
 		Tables: []string{"lineitem"},
-		Pred:   expr.MustParse("l_ship BETWEEN 0 AND 999 AND l_receipt BETWEEN 0 AND 999"),
+		Pred:   testkit.Expr("l_ship BETWEEN 0 AND 999 AND l_receipt BETWEEN 0 AND 999"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -455,7 +456,7 @@ func TestIntRangeFromConjunct(t *testing.T) {
 		{"a CONTAINS 'x'", false, 0, 0},
 	}
 	for _, c := range cases {
-		_, lo, hi, ok := intRangeFromConjunct(expr.MustParse(c.in))
+		_, lo, hi, ok := intRangeFromConjunct(testkit.Expr(c.in))
 		if ok != c.ok {
 			t.Errorf("%q: ok = %v", c.in, ok)
 			continue
@@ -499,7 +500,7 @@ func TestCrossTableConjunctGetsFiltered(t *testing.T) {
 	// enforced by a Filter above the join.
 	q := &Query{
 		Tables: []string{"lineitem", "orders"},
-		Pred:   expr.MustParse("o_total > l_price AND l_ship < 500"),
+		Pred:   testkit.Expr("o_total > l_price AND l_ship < 500"),
 	}
 	plan, err := o.Optimize(q)
 	if err != nil {
@@ -513,7 +514,7 @@ func TestCrossTableConjunctGetsFiltered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := int(truth*float64(db.MustTable("lineitem").NumRows()) + 0.5)
+	want := int(truth*float64(testkit.Table(db, "lineitem").NumRows()) + 0.5)
 	if len(res.Rows) != want {
 		t.Errorf("rows = %d, want %d\n%s", len(res.Rows), want, plan.Explain())
 	}
@@ -536,7 +537,7 @@ func TestOrderByAndLimit(t *testing.T) {
 	o := exactOpt(t, db, ctx)
 	q := &Query{
 		Tables:  []string{"lineitem"},
-		Pred:    expr.MustParse("l_ship < 500"),
+		Pred:    testkit.Expr("l_ship < 500"),
 		OrderBy: []engine.SortKey{{Col: expr.ColumnRef{Table: "lineitem", Column: "l_price"}, Desc: true}},
 		Limit:   10,
 	}
@@ -572,7 +573,7 @@ func TestOrderBySkippedWhenAlreadyOrdered(t *testing.T) {
 	// it over a plan preserving heap order needs no sort.
 	q := &Query{
 		Tables:  []string{"lineitem"},
-		Pred:    expr.MustParse("l_price < 50"),
+		Pred:    testkit.Expr("l_price < 50"),
 		OrderBy: []engine.SortKey{{Col: expr.ColumnRef{Table: "lineitem", Column: "l_id"}}},
 	}
 	plan, err := o.Optimize(q)

@@ -13,7 +13,10 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 	tName := p.a.tables[i]
 	schema, _ := p.opt.Ctx.DB.Catalog.Table(tName)
 	m := p.opt.Ctx.Model
-	rows, pages := p.tableRowsPages(i)
+	rows, pages, err := p.tableRowsPages(i)
+	if err != nil {
+		return nil, err
+	}
 	bit := uint32(1) << uint(i)
 
 	outRows, err := p.rowsOf(bit)
@@ -214,7 +217,9 @@ func (p *planner) joinCandidates(rest uint32, i int, best map[uint32][]candidate
 			if jo, err := p.selOf(mask, expr.Conj(nonCross...)); err == nil {
 				root, rootErr := p.opt.Ctx.DB.Catalog.RootOf(p.a.tablesOf(mask))
 				if rootErr == nil {
-					joinOut = jo * float64(p.opt.Ctx.DB.MustTable(root).NumRows())
+					if rt, ok := p.opt.Ctx.DB.Table(root); ok {
+						joinOut = jo * float64(rt.NumRows())
+					}
 				}
 			}
 		}
@@ -263,7 +268,10 @@ func (p *planner) joinCandidates(rest uint32, i int, best map[uint32][]candidate
 			// Indexed nested loops with i as the inner relation.
 			iName := p.a.tables[i]
 			iSchema, _ := p.opt.Ctx.DB.Catalog.Table(iName)
-			iRowsF, _ := p.tableRowsPages(i)
+			iRowsF, _, err := p.tableRowsPages(i)
+			if err != nil {
+				return nil, err
+			}
 			residual := p.a.predOnly(i)
 			if iIsParent {
 				// Probe i's primary key: one clustered lookup per outer row.
@@ -279,7 +287,10 @@ func (p *planner) joinCandidates(rest uint32, i int, best map[uint32][]candidate
 				out = append(out, candidate{node: n2, cost: c2, rows: outRows, ordered: cr.ordered})
 			} else if _, hasIx := iSchema.IndexOn(e.fkCol); hasIx {
 				// Probe i's secondary foreign-key index.
-				parentRows, _ := p.tableRowsPages(e.parent)
+				parentRows, _, err := p.tableRowsPages(e.parent)
+				if err != nil {
+					return nil, err
+				}
 				fanout := 1.0
 				if parentRows > 0 {
 					fanout = iRowsF / parentRows
@@ -349,7 +360,10 @@ func (p *planner) starCandidates(mask uint32, best map[uint32][]candidate) ([]ca
 		if !ok || len(dims) == 0 {
 			continue
 		}
-		factRows, _ := p.tableRowsPages(f)
+		factRows, _, err := p.tableRowsPages(f)
+		if err != nil {
+			return nil, err
+		}
 		totalCost := 0.0
 		var starDims []engine.StarDim
 		for _, d := range dims {

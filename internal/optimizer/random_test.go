@@ -8,6 +8,7 @@ import (
 	"robustqo/internal/expr"
 	"robustqo/internal/sample"
 	"robustqo/internal/stats"
+	"robustqo/internal/testkit"
 )
 
 // TestRandomQueriesMatchOracleProperty is the whole-pipeline property
@@ -47,21 +48,21 @@ func TestRandomQueriesMatchOracleProperty(t *testing.T) {
 
 	randQuery := func() *Query {
 		mkWindow := func(col string, width int64) expr.Expr {
-			lo := int64(rng.Intn(1000))
+			lo := int64(testkit.Intn(rng, 1000))
 			return expr.Between{
 				E:  expr.TC("lineitem", col),
 				Lo: expr.IntLit(lo),
-				Hi: expr.IntLit(lo + int64(rng.Intn(int(width)))),
+				Hi: expr.IntLit(lo + int64(testkit.Intn(rng, int(width)))),
 			}
 		}
 		var terms []expr.Expr
-		if rng.Intn(2) == 0 {
+		if testkit.Intn(rng, 2) == 0 {
 			terms = append(terms, mkWindow("l_ship", 400))
 		}
-		if rng.Intn(2) == 0 {
+		if testkit.Intn(rng, 2) == 0 {
 			terms = append(terms, mkWindow("l_receipt", 400))
 		}
-		if rng.Intn(3) == 0 {
+		if testkit.Intn(rng, 3) == 0 {
 			terms = append(terms, expr.Cmp{
 				Op: expr.LT,
 				L:  expr.TC("lineitem", "l_price"),
@@ -69,12 +70,12 @@ func TestRandomQueriesMatchOracleProperty(t *testing.T) {
 			})
 		}
 		tables := []string{"lineitem"}
-		if rng.Intn(2) == 0 {
+		if testkit.Intn(rng, 2) == 0 {
 			tables = append(tables, "part")
 			terms = append(terms, expr.Cmp{
 				Op: expr.LT,
 				L:  expr.TC("part", "p_size"),
-				R:  expr.IntLit(int64(rng.Intn(50))),
+				R:  expr.IntLit(int64(testkit.Intn(rng, 50))),
 			})
 		}
 		return &Query{Tables: tables, Pred: expr.Conj(terms...)}

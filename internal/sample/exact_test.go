@@ -5,20 +5,20 @@ import (
 	"testing"
 
 	"robustqo/internal/catalog"
-	"robustqo/internal/expr"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
 func TestExactFractionSingleTable(t *testing.T) {
 	db := chainDB(t, 20, 2, 3) // 120 lineitems
-	sel, err := ExactFraction(db, []string{"lineitem"}, expr.MustParse("l_qty < 25"))
+	sel, err := ExactFraction(db, []string{"lineitem"}, testkit.Expr("l_qty < 25"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Cross-check by hand.
-	li := db.MustTable("lineitem")
+	li := testkit.Table(db, "lineitem")
 	matches := 0
 	for _, q := range li.Ints(2) {
 		if q < 25 {
@@ -33,7 +33,7 @@ func TestExactFractionSingleTable(t *testing.T) {
 
 func TestExactFractionJoinMatchesSynopsisLimit(t *testing.T) {
 	db := chainDB(t, 40, 3, 4)
-	pred := expr.MustParse("l_qty < 25 AND o_priority = 1")
+	pred := testkit.Expr("l_qty < 25 AND o_priority = 1")
 	exact, err := ExactFraction(db, []string{"lineitem", "orders"}, pred)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestExactFractionErrors(t *testing.T) {
 	if _, err := ExactFraction(db, []string{"customer", "lineitem"}, nil); err == nil {
 		t.Error("disconnected set accepted")
 	}
-	if _, err := ExactFraction(db, []string{"lineitem"}, expr.MustParse("ghost = 1")); err == nil {
+	if _, err := ExactFraction(db, []string{"lineitem"}, testkit.Expr("ghost = 1")); err == nil {
 		t.Error("unknown column accepted")
 	}
 	// Empty root table.

@@ -6,9 +6,9 @@ import (
 	"testing"
 
 	"robustqo/internal/catalog"
-	"robustqo/internal/expr"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -28,7 +28,7 @@ func TestSetSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Every synopsis must round-trip: same root, coverage, population,
 	// and exactly the same predicate counts.
-	pred := expr.MustParse("l_qty < 25 AND c_region = 2")
+	pred := testkit.Expr("l_qty < 25 AND c_region = 2")
 	for _, name := range db.Catalog.TableNames() {
 		orig, ok1 := set.Synopsis(name)
 		back, ok2 := loaded.Synopsis(name)

@@ -67,7 +67,11 @@ func BuildTableSample(t *storage.Table, n int, rng *stats.RNG) (*Synopsis, error
 	schema := expr.SchemaForTable(t.Schema())
 	rows := make([]value.Row, n)
 	for i := range rows {
-		rows[i] = t.Row(rng.Intn(t.NumRows()))
+		rid, err := rng.Intn(t.NumRows())
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = t.Row(rid)
 	}
 	return &Synopsis{
 		Root:   t.Name(),
@@ -130,12 +134,18 @@ func BuildSynopsis(db *storage.Database, root string, n int, rng *stats.RNG) (*S
 		row := make(value.Row, 0, len(schema.Fields))
 		var expand func(name string, rid int) error
 		expand = func(name string, rid int) error {
-			t := db.MustTable(name)
+			t, ok := db.Table(name)
+			if !ok {
+				return fmt.Errorf("sample: unknown table %q", name)
+			}
 			base := t.Row(rid)
 			row = append(row, base...)
 			for _, fk := range t.Schema().Foreign {
 				fkIdx := t.Schema().ColumnIndex(fk.Column)
-				ref := db.MustTable(fk.RefTable)
+				ref, ok := db.Table(fk.RefTable)
+				if !ok {
+					return fmt.Errorf("sample: unknown table %q", fk.RefTable)
+				}
 				refRID, ok := ref.LookupPK(base[fkIdx].I)
 				if !ok {
 					return fmt.Errorf("sample: dangling foreign key %s.%s = %d into %q",
@@ -147,7 +157,11 @@ func BuildSynopsis(db *storage.Database, root string, n int, rng *stats.RNG) (*S
 			}
 			return nil
 		}
-		if err := expand(root, rng.Intn(rootTab.NumRows())); err != nil {
+		rid, err := rng.Intn(rootTab.NumRows())
+		if err != nil {
+			return nil, err
+		}
+		if err := expand(root, rid); err != nil {
 			return nil, err
 		}
 		rows[i] = row
@@ -178,7 +192,7 @@ func Reservoir(total, n int, rng *stats.RNG) []int {
 		out[i] = i
 	}
 	for i := n; i < total; i++ {
-		j := rng.Intn(i + 1)
+		j, _ := rng.Intn(i + 1) // i+1 > n > 0: the bound error is impossible
 		if j < n {
 			out[j] = i
 		}
@@ -314,13 +328,19 @@ func ExactFraction(db *storage.Database, tables []string, pred expr.Expr) (float
 	row := make(value.Row, 0, len(schema.Fields))
 	var expand func(name string, rid int) error
 	expand = func(name string, rid int) error {
-		t := db.MustTable(name)
+		t, ok := db.Table(name)
+		if !ok {
+			return fmt.Errorf("sample: unknown table %q", name)
+		}
 		start := len(row)
 		row = row[:start+len(t.Schema().Columns)]
 		t.ReadRow(rid, row[start:])
 		for _, fk := range t.Schema().Foreign {
 			fkIdx := t.Schema().ColumnIndex(fk.Column)
-			ref := db.MustTable(fk.RefTable)
+			ref, ok := db.Table(fk.RefTable)
+			if !ok {
+				return fmt.Errorf("sample: unknown table %q", fk.RefTable)
+			}
 			refRID, ok := ref.LookupPK(row[start+fkIdx].I)
 			if !ok {
 				return fmt.Errorf("sample: dangling foreign key %s.%s", name, fk.Column)

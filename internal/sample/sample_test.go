@@ -9,6 +9,7 @@ import (
 	"robustqo/internal/expr"
 	"robustqo/internal/stats"
 	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -60,9 +61,9 @@ func chainDB(t *testing.T, nCust, ordersPerCust, linesPerOrder int) *storage.Dat
 	for c := 0; c < nCust; c++ {
 		_ = cust.Append(value.Row{value.Int(int64(c)), value.Int(int64(c % 5))})
 		for o := 0; o < ordersPerCust; o++ {
-			_ = orders.Append(value.Row{value.Int(oid), value.Int(int64(c)), value.Int(int64(rng.Intn(3)))})
+			_ = orders.Append(value.Row{value.Int(oid), value.Int(int64(c)), value.Int(int64(testkit.Intn(rng, 3)))})
 			for l := 0; l < linesPerOrder; l++ {
-				_ = lineitem.Append(value.Row{value.Int(lid), value.Int(oid), value.Int(int64(rng.Intn(50)))})
+				_ = lineitem.Append(value.Row{value.Int(lid), value.Int(oid), value.Int(int64(testkit.Intn(rng, 50)))})
 				lid++
 			}
 			oid++
@@ -76,7 +77,7 @@ func chainDB(t *testing.T, nCust, ordersPerCust, linesPerOrder int) *storage.Dat
 
 func TestBuildTableSample(t *testing.T) {
 	db := chainDB(t, 10, 2, 3)
-	tab := db.MustTable("lineitem")
+	tab := testkit.Table(db, "lineitem")
 	syn, err := BuildTableSample(tab, 40, stats.NewRNG(1))
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +97,7 @@ func TestBuildTableSample(t *testing.T) {
 
 func TestBuildTableSampleErrors(t *testing.T) {
 	db := chainDB(t, 2, 1, 1)
-	tab := db.MustTable("lineitem")
+	tab := testkit.Table(db, "lineitem")
 	if _, err := BuildTableSample(tab, 0, stats.NewRNG(1)); err == nil {
 		t.Error("zero size accepted")
 	}
@@ -144,7 +145,7 @@ func TestSynopsisCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Count with a predicate across all three tables.
-	k, err := syn.Count(expr.MustParse("l_qty < 25 AND o_priority = 1 AND c_region = 2"))
+	k, err := syn.Count(testkit.Expr("l_qty < 25 AND o_priority = 1 AND c_region = 2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestSynopsisCount(t *testing.T) {
 		t.Errorf("Count(nil) = %d, %v", all, err)
 	}
 	// Binding errors are reported.
-	if _, err := syn.Count(expr.MustParse("ghost = 1")); err == nil {
+	if _, err := syn.Count(testkit.Expr("ghost = 1")); err == nil {
 		t.Error("unknown column accepted")
 	}
 }
@@ -165,9 +166,9 @@ func TestSynopsisCount(t *testing.T) {
 func TestSampleSelectivityApproximatesTruth(t *testing.T) {
 	db := chainDB(t, 50, 4, 5) // 1000 lineitems
 	// Ground truth for l_qty < 25 joined with c_region = 2.
-	li := db.MustTable("lineitem")
-	or := db.MustTable("orders")
-	cu := db.MustTable("customer")
+	li := testkit.Table(db, "lineitem")
+	or := testkit.Table(db, "orders")
+	cu := testkit.Table(db, "customer")
 	matches := 0
 	for r := 0; r < li.NumRows(); r++ {
 		qty := li.Ints(2)[r]
@@ -186,7 +187,7 @@ func TestSampleSelectivityApproximatesTruth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		k, err := syn.Count(expr.MustParse("l_qty < 25 AND c_region = 2"))
+		k, err := syn.Count(testkit.Expr("l_qty < 25 AND c_region = 2"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,7 +317,7 @@ func TestSetAddAndCatalog(t *testing.T) {
 	if set.Catalog() != db.Catalog {
 		t.Error("Catalog() mismatch")
 	}
-	syn, _ := BuildTableSample(db.MustTable("customer"), 10, stats.NewRNG(2))
+	syn, _ := BuildTableSample(testkit.Table(db, "customer"), 10, stats.NewRNG(2))
 	set.Add(syn)
 	got, ok := set.Synopsis("customer")
 	if !ok || got != syn {
@@ -374,7 +375,7 @@ func TestReservoirUniformity(t *testing.T) {
 func TestSampleUniformityChiSquare(t *testing.T) {
 	// With-replacement sampling should hit each row uniformly.
 	db := chainDB(t, 10, 1, 2) // 20 lineitems
-	tab := db.MustTable("lineitem")
+	tab := testkit.Table(db, "lineitem")
 	counts := make(map[int64]int)
 	rng := stats.NewRNG(17)
 	const n = 40000

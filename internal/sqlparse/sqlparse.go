@@ -146,15 +146,6 @@ func Parse(sql string) (*optimizer.Query, error) {
 	return q, nil
 }
 
-// MustParse is Parse panicking on error, for constant statements.
-func MustParse(sql string) *optimizer.Query {
-	q, err := Parse(sql)
-	if err != nil {
-		panic(err)
-	}
-	return q
-}
-
 // sectionOrder lists clause keywords in their mandatory order.
 var sectionOrder = []string{"SELECT", "FROM", "WHERE", "GROUP BY", "ORDER BY", "LIMIT"}
 

@@ -158,17 +158,17 @@ func TestParseStarWithAggregationRejected(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustParse(bad) did not panic")
-		}
-	}()
-	MustParse("not sql")
+func TestParseRejectsNonSQL(t *testing.T) {
+	if _, err := Parse("not sql"); err == nil {
+		t.Error("Parse(\"not sql\") succeeded")
+	}
 }
 
 func TestDefaultAliases(t *testing.T) {
-	q := MustParse("SELECT AVG(l_price), MIN(orders.o_total) FROM lineitem, orders")
+	q, err := Parse("SELECT AVG(l_price), MIN(orders.o_total) FROM lineitem, orders")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if q.Aggs[0].As != "avg_l_price" {
 		t.Errorf("alias0 = %q", q.Aggs[0].As)
 	}

@@ -117,7 +117,7 @@ func Generate(cfg Config) (*storage.Database, error) {
 	}
 
 	rng := stats.NewRNG(cfg.Seed)
-	dimRNG := rng.Split()
+	dimRNG := stats.NewSticky(rng.Split())
 	for i := 0; i < cfg.Dims; i++ {
 		for d := 0; d < cfg.DimRows; d++ {
 			attr := int64(1) // unselected
@@ -134,8 +134,11 @@ func Generate(cfg Config) (*storage.Database, error) {
 			}
 		}
 	}
+	if err := dimRNG.Err(); err != nil {
+		return nil, err
+	}
 
-	factRNG := rng.Split()
+	factRNG := stats.NewSticky(rng.Split())
 	perDim := MarginalFraction - cfg.JoinFraction // probability of "only dim i selected"
 	for f := 0; f < cfg.FactRows; f++ {
 		u := factRNG.Float64()
@@ -169,6 +172,9 @@ func Generate(cfg Config) (*storage.Database, error) {
 		if err := fact.Append(row); err != nil {
 			return nil, err
 		}
+	}
+	if err := factRNG.Err(); err != nil {
+		return nil, err
 	}
 	return db, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"robustqo/internal/expr"
 	"robustqo/internal/sample"
+	"robustqo/internal/testkit"
 )
 
 func TestGenerateValidation(t *testing.T) {
@@ -36,7 +37,7 @@ func TestGenerateIntegrityAndNames(t *testing.T) {
 			t.Errorf("missing %s", DimName(i))
 		}
 	}
-	fact := db.MustTable("fact")
+	fact := testkit.Table(db, "fact")
 	for i := 0; i < 3; i++ {
 		if fact.Schema().ColumnIndex(FactFK(i)) < 0 {
 			t.Errorf("missing %s", FactFK(i))

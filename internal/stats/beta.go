@@ -139,16 +139,6 @@ func (d Beta) Quantile(p float64) (float64, error) {
 	return d.quantile(p), nil
 }
 
-// MustQuantile is like Quantile but panics on invalid p. It is intended for
-// callers that have already validated p (e.g. a ConfidenceThreshold value).
-func (d Beta) MustQuantile(p float64) float64 {
-	x, err := d.Quantile(p)
-	if err != nil {
-		panic(fmt.Sprintf("stats: MustQuantile(%g) on Beta(%g,%g): %v", p, d.Alpha, d.Beta, err))
-	}
-	return x
-}
-
 // quantile inverts the cdf using bisection refined by Newton steps. The
 // bracket is maintained throughout so the Newton iteration can never
 // escape; this keeps the inversion robust for extreme shape parameters

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // RNG is a small, fast, deterministic pseudo-random number generator
 // (xoshiro256** seeded by SplitMix64). A dedicated generator keeps every
@@ -54,11 +57,16 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
-// Intn returns a uniform value in [0, n). It panics if n <= 0.
-func (r *RNG) Intn(n int) int {
+// Intn returns a uniform value in [0, n), or an error if n <= 0.
+func (r *RNG) Intn(n int) (int, error) {
 	if n <= 0 {
-		panic("stats: Intn with non-positive bound")
+		return 0, fmt.Errorf("stats: Intn bound %d must be positive", n)
 	}
+	return r.intn(n), nil
+}
+
+// intn is Intn for bounds the caller has already proven positive.
+func (r *RNG) intn(n int) int {
 	// Lemire's nearly-divisionless bounded generation, with rejection to
 	// remove modulo bias.
 	un := uint64(n)
@@ -106,7 +114,7 @@ func (r *RNG) Perm(n int) []int {
 		p[i] = i
 	}
 	for i := n - 1; i > 0; i-- {
-		j := r.Intn(i + 1)
+		j := r.intn(i + 1) // i+1 >= 2: bound always positive
 		p[i], p[j] = p[j], p[i]
 	}
 	return p

@@ -58,7 +58,10 @@ func TestRNGIntnBounds(t *testing.T) {
 	r := NewRNG(3)
 	seen := make(map[int]bool)
 	for i := 0; i < 10000; i++ {
-		v := r.Intn(7)
+		v, err := r.Intn(7)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if v < 0 || v >= 7 {
 			t.Fatalf("Intn(7) = %d", v)
 		}
@@ -69,13 +72,13 @@ func TestRNGIntnBounds(t *testing.T) {
 	}
 }
 
-func TestRNGIntnPanicsOnBadBound(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Intn(0) did not panic")
-		}
-	}()
-	NewRNG(1).Intn(0)
+func TestRNGIntnErrorsOnBadBound(t *testing.T) {
+	if _, err := NewRNG(1).Intn(0); err == nil {
+		t.Error("Intn(0) did not return an error")
+	}
+	if _, err := NewRNG(1).Intn(-3); err == nil {
+		t.Error("Intn(-3) did not return an error")
+	}
 }
 
 func TestRNGNormFloat64Moments(t *testing.T) {

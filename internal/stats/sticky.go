@@ -1,0 +1,34 @@
+package stats
+
+// Sticky wraps an RNG with sticky-error draws for bulk generation
+// loops: the first invalid bound is recorded and every later draw
+// returns zero, so generators check Err once per loop instead of
+// plumbing an error return through every row literal (the same shape
+// bufio.Scanner uses).
+type Sticky struct {
+	rng *RNG
+	err error
+}
+
+// NewSticky wraps rng.
+func NewSticky(rng *RNG) *Sticky { return &Sticky{rng: rng} }
+
+// Intn returns a uniform value in [0, n); on a non-positive bound it
+// records the error and returns 0.
+func (s *Sticky) Intn(n int) int {
+	if s.err != nil {
+		return 0
+	}
+	v, err := s.rng.Intn(n)
+	if err != nil {
+		s.err = err
+		return 0
+	}
+	return v
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Sticky) Float64() float64 { return s.rng.Float64() }
+
+// Err reports the first invalid draw, if any.
+func (s *Sticky) Err() error { return s.err }

@@ -222,16 +222,6 @@ func (db *Database) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// MustTable returns the named table, panicking if absent. Intended for
-// internal callers operating on tables known to exist from the catalog.
-func (db *Database) MustTable(name string) *Table {
-	t, ok := db.tables[name]
-	if !ok {
-		panic(fmt.Sprintf("storage: unknown table %q", name))
-	}
-	return t
-}
-
 // Validate checks catalog-level integrity (FK targets exist, graph is
 // acyclic) and referential integrity of the stored data: every non-null
 // foreign-key value must resolve in the referenced table.

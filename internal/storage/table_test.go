@@ -212,16 +212,6 @@ func TestDatabaseCreateAndValidate(t *testing.T) {
 	}
 }
 
-func TestMustTablePanics(t *testing.T) {
-	db := NewDatabase(catalog.NewCatalog())
-	defer func() {
-		if recover() == nil {
-			t.Error("MustTable(ghost) did not panic")
-		}
-	}()
-	db.MustTable("ghost")
-}
-
 func TestCreateTableBadSchema(t *testing.T) {
 	db := NewDatabase(catalog.NewCatalog())
 	if _, err := db.CreateTable(&catalog.TableSchema{Name: ""}); err == nil {

@@ -1,0 +1,73 @@
+//qolint:allow-panic — test support; a panic here is a test failure, not library behavior.
+
+// Package testkit provides panicking convenience wrappers for tests.
+// Library code under internal/ returns errors instead of panicking
+// (enforced by the qolint nopanic analyzer); tests constructing
+// fixtures from compile-time-constant inputs use these wrappers to
+// keep the arrange phase readable. It may import only leaf packages
+// (value, expr, storage, stats) so that any internal test package can
+// use it without an import cycle.
+package testkit
+
+import (
+	"fmt"
+
+	"robustqo/internal/expr"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// Expr parses a predicate, panicking on syntax errors.
+func Expr(input string) expr.Expr {
+	e, err := expr.Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Date converts "YYYY-MM-DD" to a day number, panicking on malformed input.
+func Date(s string) int64 {
+	d, err := value.ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Compare orders two values, panicking on incomparable types.
+func Compare(a, b value.Value) int {
+	c, err := value.Compare(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Table fetches a table by name, panicking if it does not exist.
+func Table(db *storage.Database, name string) *storage.Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("testkit: unknown table %q", name))
+	}
+	return t
+}
+
+// Intn draws from [0, n), panicking on a non-positive bound.
+func Intn(rng *stats.RNG, n int) int {
+	v, err := rng.Intn(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Quantile inverts the Beta CDF, panicking on p outside [0, 1].
+func Quantile(b stats.Beta, p float64) float64 {
+	q, err := b.Quantile(p)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

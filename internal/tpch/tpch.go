@@ -25,8 +25,8 @@ import (
 // Date span covered by l_shipdate, mirroring TPC-H's 1992-01-01 through
 // 1998-08-02 generation window.
 var (
-	ShipDateLo = value.MustParseDate("1992-01-01")
-	ShipDateHi = value.MustParseDate("1998-08-02")
+	ShipDateLo = value.DateFromCivil(1992, 1, 1)
+	ShipDateHi = value.DateFromCivil(1998, 8, 2)
 )
 
 // MaxReceiptDelay is the largest l_receiptdate - l_shipdate gap, matching
@@ -141,7 +141,7 @@ func Generate(cfg Config) (*storage.Database, error) {
 	}
 
 	rng := stats.NewRNG(cfg.Seed)
-	partRNG := rng.Split()
+	partRNG := stats.NewSticky(rng.Split())
 	for p := 0; p < cfg.Parts; p++ {
 		a1 := int64(partRNG.Intn(PartAttrRange))
 		a2 := a1
@@ -158,7 +158,10 @@ func Generate(cfg Config) (*storage.Database, error) {
 			return nil, err
 		}
 	}
-	orderRNG := rng.Split()
+	if err := partRNG.Err(); err != nil {
+		return nil, err
+	}
+	orderRNG := stats.NewSticky(rng.Split())
 	dateSpan := int(ShipDateHi - ShipDateLo)
 	for o := 0; o < cfg.Orders; o++ {
 		row := value.Row{
@@ -170,7 +173,10 @@ func Generate(cfg Config) (*storage.Database, error) {
 			return nil, err
 		}
 	}
-	lineRNG := rng.Split()
+	if err := orderRNG.Err(); err != nil {
+		return nil, err
+	}
+	lineRNG := stats.NewSticky(rng.Split())
 	for l := 0; l < cfg.Lines; l++ {
 		ship := ShipDateLo + int64(lineRNG.Intn(dateSpan))
 		receipt := ship + 1 + int64(lineRNG.Intn(MaxReceiptDelay))
@@ -187,6 +193,9 @@ func Generate(cfg Config) (*storage.Database, error) {
 			return nil, err
 		}
 	}
+	if err := lineRNG.Err(); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -200,8 +209,8 @@ func Generate(cfg Config) (*storage.Database, error) {
 // windows and hence the joint selectivity, while both marginal
 // selectivities stay constant.
 func Experiment1Query(shift int64) *optimizer.Query {
-	lo := value.MustParseDate("1997-07-01")
-	hi := value.MustParseDate("1997-09-30")
+	lo := value.DateFromCivil(1997, 7, 1)
+	hi := value.DateFromCivil(1997, 9, 30)
 	pred := expr.Conj(
 		expr.Between{
 			E:  expr.TC("lineitem", "l_shipdate"),

@@ -6,6 +6,7 @@ import (
 
 	"robustqo/internal/expr"
 	"robustqo/internal/sample"
+	"robustqo/internal/testkit"
 	"robustqo/internal/value"
 )
 
@@ -31,12 +32,12 @@ func TestGenerateIntegrity(t *testing.T) {
 	if err := db.Validate(); err != nil {
 		t.Fatalf("referential integrity: %v", err)
 	}
-	li := db.MustTable("lineitem")
+	li := testkit.Table(db, "lineitem")
 	if li.NumRows() != 5000 {
 		t.Errorf("lineitem rows = %d", li.NumRows())
 	}
-	if db.MustTable("orders").NumRows() != 1250 {
-		t.Errorf("orders rows = %d", db.MustTable("orders").NumRows())
+	if testkit.Table(db, "orders").NumRows() != 1250 {
+		t.Errorf("orders rows = %d", testkit.Table(db, "orders").NumRows())
 	}
 	// Every receipt date trails its ship date by 1..MaxReceiptDelay days.
 	shipIdx := li.Schema().ColumnIndex("l_shipdate")
@@ -60,7 +61,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	la, lb := a.MustTable("lineitem"), b.MustTable("lineitem")
+	la, lb := testkit.Table(a, "lineitem"), testkit.Table(b, "lineitem")
 	for r := 0; r < la.NumRows(); r++ {
 		for c := range la.Schema().Columns {
 			if !value.Equal(la.Value(r, c), lb.Value(r, c)) {
@@ -70,7 +71,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	c, _ := Generate(Config{Lines: 500, Seed: 8})
 	diff := 0
-	lc := c.MustTable("lineitem")
+	lc := testkit.Table(c, "lineitem")
 	for r := 0; r < 100; r++ {
 		if !value.Equal(la.Value(r, 3), lc.Value(r, 3)) {
 			diff++

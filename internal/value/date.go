@@ -71,15 +71,6 @@ func ParseDate(s string) (int64, error) {
 	return DateFromCivil(y, m, d), nil
 }
 
-// MustParseDate is ParseDate for compile-time-constant date strings.
-func MustParseDate(s string) int64 {
-	d, err := ParseDate(s)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // FormatDate renders a day number as "YYYY-MM-DD".
 func FormatDate(days int64) string {
 	y, m, d := CivilFromDate(days)

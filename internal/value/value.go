@@ -104,15 +104,6 @@ func Compare(a, b Value) (int, error) {
 	}
 }
 
-// MustCompare is Compare for callers that have already type-checked.
-func MustCompare(a, b Value) int {
-	c, err := Compare(a, b)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Equal reports a == b under Compare's ordering; mixed string/numeric
 // comparisons are unequal rather than errors, which suits hash-join
 // probing.

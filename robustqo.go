@@ -131,29 +131,56 @@ var (
 
 	// ParseDate converts "YYYY-MM-DD" into the Date day number.
 	ParseDate = value.ParseDate
-	// MustParseDate is ParseDate panicking on malformed input.
-	MustParseDate = value.MustParseDate
 	// FormatDate renders a Date day number as "YYYY-MM-DD".
 	FormatDate = value.FormatDate
 
 	// ParsePredicate parses a SQL-like predicate string such as
 	// "l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'".
 	ParsePredicate = expr.Parse
-	// MustParsePredicate is ParsePredicate panicking on syntax errors.
-	MustParsePredicate = expr.MustParse
 
 	// ParseQuery parses a full SQL SELECT statement
 	// ("SELECT ... FROM ... [WHERE] [GROUP BY] [ORDER BY] [LIMIT]")
 	// into a Query; see Session.QuerySQL for one-call execution.
 	ParseQuery = sqlparse.Parse
-	// MustParseQuery is ParseQuery panicking on syntax errors.
-	MustParseQuery = sqlparse.MustParse
 
 	// Col references an unqualified column in an expression; TableCol a
 	// table-qualified one.
 	Col      = expr.C
 	TableCol = expr.TC
 )
+
+// The Must* variants panic on malformed input. They are intended for
+// compile-time-constant strings in example programs and initialization
+// code; the internal/ packages themselves never panic (enforced by the
+// qolint nopanic analyzer) so every runtime failure surfaces as an
+// error the caller can handle.
+
+// MustParseDate is ParseDate panicking on malformed input.
+func MustParseDate(s string) int64 {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustParsePredicate is ParsePredicate panicking on syntax errors.
+func MustParsePredicate(input string) Expr {
+	e, err := ParsePredicate(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustParseQuery is ParseQuery panicking on syntax errors.
+func MustParseQuery(sql string) *Query {
+	q, err := ParseQuery(sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
 
 // RobustSelectivity computes the paper's point-estimation rule directly:
 // the t-quantile of the Beta posterior after observing k matches in an
