@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fuzz-smoke ci
+.PHONY: build test race lint vet fuzz-smoke bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,7 @@ lint: vet
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/
 
-ci: build lint race fuzz-smoke
+bench-smoke:
+	$(GO) test -run=^$$ -bench=BenchmarkExecStreamVsMaterialize -benchtime=1x -benchmem ./internal/engine/
+
+ci: build lint race fuzz-smoke bench-smoke

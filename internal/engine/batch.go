@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/value"
+)
+
+// BatchSize is the target number of rows per Batch. Operators may return
+// smaller batches (the tail of a table, heavily filtered input) and joins
+// may exceed it when a single input batch fans out, but pulls advance the
+// pipeline roughly this many rows at a time.
+const BatchSize = 1024
+
+// Batch is a column-oriented slice of up to ~BatchSize rows flowing
+// between streaming operators. Column c of row r lives at Cols()[c][r];
+// every column slice has length Len().
+//
+// A batch returned by Operator.Next is owned by the producer and is valid
+// only until the producer's next Next or Close call. Consumers may mutate
+// it in place (Gather, Truncate) but must not retain references across
+// pulls; rows that outlive the pull must be copied out (CloneRow).
+type Batch struct {
+	Schema expr.RelSchema
+	cols   [][]value.Value
+	n      int
+}
+
+// NewBatch returns an empty batch for the schema with capacity for
+// BatchSize rows per column.
+func NewBatch(schema expr.RelSchema) *Batch {
+	cols := make([][]value.Value, len(schema.Fields))
+	for i := range cols {
+		cols[i] = make([]value.Value, 0, BatchSize)
+	}
+	return &Batch{Schema: schema, cols: cols}
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Cols exposes the column vectors for batch expression evaluation. The
+// slices are owned by the batch; callers must not grow them.
+func (b *Batch) Cols() [][]value.Value { return b.cols }
+
+// Reset empties the batch, keeping column capacity.
+func (b *Batch) Reset() {
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.n = 0
+}
+
+// AppendRow appends one row, copying its values into the columns.
+func (b *Batch) AppendRow(row value.Row) {
+	for i, v := range row {
+		b.cols[i] = append(b.cols[i], v)
+	}
+	b.n++
+}
+
+// appendConcat appends the concatenation of two row fragments as one row.
+func (b *Batch) appendConcat(left, right value.Row) {
+	for i, v := range left {
+		b.cols[i] = append(b.cols[i], v)
+	}
+	for i, v := range right {
+		b.cols[len(left)+i] = append(b.cols[len(left)+i], v)
+	}
+	b.n++
+}
+
+// Row copies row i into dst, which must have one slot per column.
+func (b *Batch) Row(i int, dst value.Row) {
+	for c := range b.cols {
+		dst[c] = b.cols[c][i]
+	}
+}
+
+// CloneRow returns a freshly allocated copy of row i.
+func (b *Batch) CloneRow(i int) value.Row {
+	out := make(value.Row, len(b.cols))
+	b.Row(i, out)
+	return out
+}
+
+// Gather compacts the batch in place to the rows named by the selection
+// vector sel, which must be strictly increasing row indices < Len().
+func (b *Batch) Gather(sel []int) {
+	for c := range b.cols {
+		col := b.cols[c]
+		for out, in := range sel {
+			col[out] = col[in]
+		}
+		b.cols[c] = col[:len(sel)]
+	}
+	b.n = len(sel)
+}
+
+// Truncate drops all rows past the first n.
+func (b *Batch) Truncate(n int) {
+	if n >= b.n {
+		return
+	}
+	for c := range b.cols {
+		b.cols[c] = b.cols[c][:n]
+	}
+	b.n = n
+}
+
+// identSel returns the identity selection vector [0, n), reusing buf's
+// storage when it is large enough.
+func identSel(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// Operator is the streaming execution contract every physical operator
+// implements: a pull-based Open/Next/Close iterator over Batches.
+//
+// Open binds the operator against the runtime context and captures the
+// counters pointer all subsequent work is charged to; pipeline breakers
+// (hash-join build, merge join, sort, aggregation, star dimension arms)
+// consume their blocking inputs during Open. Next returns the next
+// non-empty batch, or nil when the stream is exhausted; streaming
+// operators charge page and tuple work incrementally as batches are
+// actually pulled, which is what lets a LIMIT above them terminate the
+// pipeline early. Close releases held inputs; it is safe to call after a
+// failed Open and more than once.
+type Operator interface {
+	Open(ctx *Context, counters *cost.Counters) error
+	Next() (*Batch, error)
+	Close()
+}
+
+// execStream drains a node's streaming operator into a materialized
+// Result. It is the shared body of every Node.Execute, keeping the public
+// execute-to-Result API while the real work happens batch-at-a-time.
+func execStream(ctx *Context, n Node, counters *cost.Counters) (*Result, error) {
+	schema, err := n.Schema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	op := n.Stream()
+	defer op.Close()
+	if err := op.Open(ctx, counters); err != nil {
+		return nil, err
+	}
+	rows, err := drainRows(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+// drainRows pulls an opened operator to exhaustion, cloning every row out
+// of the transient batches.
+func drainRows(op Operator) ([]value.Row, error) {
+	var rows []value.Row
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.CloneRow(i))
+		}
+	}
+}
+
+// openAndDrain runs a blocking child to completion for pipeline breakers:
+// it opens the child against the shared counters, drains it, and closes it
+// before returning.
+func openAndDrain(ctx *Context, n Node, counters *cost.Counters) ([]value.Row, error) {
+	op := n.Stream()
+	defer op.Close()
+	if err := op.Open(ctx, counters); err != nil {
+		return nil, err
+	}
+	return drainRows(op)
+}

@@ -7,6 +7,15 @@
 // perform in cost.Counters. The simulated execution time of a query is the
 // cost model applied to those counters; see package cost for how this
 // substitutes for the paper's wall-clock measurements.
+//
+// Execution is a pull-based Open/Next/Close pipeline over column-oriented
+// Batches (see Operator in batch.go): streaming operators charge work only
+// as batches are actually pulled, so a LIMIT terminates its inputs early,
+// while pipeline breakers (sort, aggregation, hash build, merge join, star
+// dimension arms) consume their blocking inputs at Open. Node.Execute is a
+// thin drain-to-Result wrapper kept for callers that want the whole output
+// at once; ExecuteMaterialized in materialize.go preserves the original
+// row-at-a-time engine as an equivalence reference.
 package engine
 
 import (
@@ -46,8 +55,14 @@ type Result struct {
 type Node interface {
 	// Schema returns the output schema without executing.
 	Schema(ctx *Context) (expr.RelSchema, error)
-	// Execute runs the operator, accumulating work into counters.
+	// Execute runs the operator to completion, accumulating work into
+	// counters. It is a convenience wrapper that drains Stream into a
+	// materialized Result.
 	Execute(ctx *Context, counters *cost.Counters) (*Result, error)
+	// Stream returns a fresh streaming iterator over the operator's
+	// output; see Operator for the Open/Next/Close contract. Each call
+	// returns an independent, unopened instance.
+	Stream() Operator
 	// Describe renders a one-line description for plan printing.
 	Describe() string
 }

@@ -19,7 +19,7 @@ import (
 //	orders(o_orderkey PK, o_total)
 //	lineitem(l_id PK, l_orderkey FK->orders, l_partkey FK->part,
 //	         l_ship DATE indexed, l_receipt DATE indexed, l_price FLOAT)
-func testDB(t *testing.T, nOrders, linesPerOrder, nParts int) (*storage.Database, *Context) {
+func testDB(t testing.TB, nOrders, linesPerOrder, nParts int) (*storage.Database, *Context) {
 	t.Helper()
 	cat := catalog.NewCatalog()
 	db := storage.NewDatabase(cat)

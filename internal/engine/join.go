@@ -6,6 +6,8 @@ import (
 
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
+	"robustqo/internal/index"
+	"robustqo/internal/storage"
 	"robustqo/internal/value"
 )
 
@@ -39,41 +41,91 @@ func (j *HashJoin) Describe() string {
 
 // Execute implements Node.
 func (j *HashJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	build, err := j.Build.Execute(ctx, counters)
+	return execStream(ctx, j, counters)
+}
+
+// Stream implements Node.
+func (j *HashJoin) Stream() Operator { return &hashJoinOp{node: j} }
+
+// hashJoinOp drains the build side into a hash table at Open (the build is
+// inherently blocking) and then streams the probe side, emitting matches a
+// probe batch at a time.
+type hashJoinOp struct {
+	node     *HashJoin
+	counters *cost.Counters
+	probe    Operator
+	table    map[any][]value.Row
+	pIdx     int
+	pBuf     value.Row
+	out      *Batch
+}
+
+func (o *hashJoinOp) Open(ctx *Context, counters *cost.Counters) error {
+	j := o.node
+	buildSchema, err := j.Build.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	probe, err := j.Probe.Execute(ctx, counters)
+	probeSchema, err := j.Probe.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	bIdx, err := build.Schema.Resolve(j.BuildCol)
+	bIdx, err := buildSchema.Resolve(j.BuildCol)
 	if err != nil {
-		return nil, fmt.Errorf("engine: HashJoin build key: %v", err)
+		return fmt.Errorf("engine: HashJoin build key: %v", err)
 	}
-	pIdx, err := probe.Schema.Resolve(j.ProbeCol)
+	o.pIdx, err = probeSchema.Resolve(j.ProbeCol)
 	if err != nil {
-		return nil, fmt.Errorf("engine: HashJoin probe key: %v", err)
+		return fmt.Errorf("engine: HashJoin probe key: %v", err)
 	}
-	table := make(map[any][]value.Row, len(build.Rows))
-	for _, row := range build.Rows {
+	buildRows, err := openAndDrain(ctx, j.Build, counters)
+	if err != nil {
+		return err
+	}
+	o.table = make(map[any][]value.Row, len(buildRows))
+	for _, row := range buildRows {
 		k := row[bIdx].Key()
-		table[k] = append(table[k], row)
+		o.table[k] = append(o.table[k], row)
 	}
-	counters.HashBuilds += int64(len(build.Rows))
-	counters.HashProbes += int64(len(probe.Rows))
-	outSchema := build.Schema.Concat(probe.Schema)
-	var rows []value.Row
-	for _, pRow := range probe.Rows {
-		for _, bRow := range table[pRow[pIdx].Key()] {
-			out := make(value.Row, 0, len(bRow)+len(pRow))
-			out = append(out, bRow...)
-			out = append(out, pRow...)
-			rows = append(rows, out)
+	counters.HashBuilds += int64(len(buildRows))
+	o.counters = counters
+	o.probe = j.Probe.Stream()
+	if err := o.probe.Open(ctx, counters); err != nil {
+		return err
+	}
+	o.pBuf = make(value.Row, len(probeSchema.Fields))
+	o.out = NewBatch(buildSchema.Concat(probeSchema))
+	return nil
+}
+
+func (o *hashJoinOp) Next() (*Batch, error) {
+	for {
+		b, err := o.probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.counters.HashProbes += int64(b.Len())
+		o.out.Reset()
+		for r := 0; r < b.Len(); r++ {
+			b.Row(r, o.pBuf)
+			for _, bRow := range o.table[o.pBuf[o.pIdx].Key()] {
+				o.counters.Tuples++
+				o.out.appendConcat(bRow, o.pBuf)
+			}
+		}
+		if o.out.Len() > 0 {
+			return o.out, nil
 		}
 	}
-	counters.Tuples += int64(len(rows))
-	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+func (o *hashJoinOp) Close() {
+	if o.probe != nil {
+		o.probe.Close()
+	}
 }
 
 // MergeJoin sort-merges its inputs on integer-valued join keys. Inputs
@@ -105,38 +157,93 @@ func (j *MergeJoin) Describe() string {
 
 // Execute implements Node.
 func (j *MergeJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	left, err := j.Left.Execute(ctx, counters)
+	return execStream(ctx, j, counters)
+}
+
+// Stream implements Node.
+func (j *MergeJoin) Stream() Operator { return &mergeJoinOp{node: j} }
+
+// mergeJoinOp is a pipeline breaker on both sides: it drains and merges at
+// Open, then emits the joined rows in batches, charging the output tuple
+// work only as rows are actually pulled.
+type mergeJoinOp struct {
+	node     *MergeJoin
+	counters *cost.Counters
+	rows     []value.Row
+	next     int
+	out      *Batch
+}
+
+func (o *mergeJoinOp) Open(ctx *Context, counters *cost.Counters) error {
+	j := o.node
+	lSchema, err := j.Left.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	right, err := j.Right.Execute(ctx, counters)
+	rSchema, err := j.Right.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	lIdx, err := left.Schema.Resolve(j.LeftCol)
+	lIdx, err := lSchema.Resolve(j.LeftCol)
 	if err != nil {
-		return nil, fmt.Errorf("engine: MergeJoin left key: %v", err)
+		return fmt.Errorf("engine: MergeJoin left key: %v", err)
 	}
-	rIdx, err := right.Schema.Resolve(j.RightCol)
+	rIdx, err := rSchema.Resolve(j.RightCol)
 	if err != nil {
-		return nil, fmt.Errorf("engine: MergeJoin right key: %v", err)
+		return fmt.Errorf("engine: MergeJoin right key: %v", err)
 	}
-	lRows, err := sortedByKey(left.Rows, lIdx, j.LeftSorted)
+	left, err := openAndDrain(ctx, j.Left, counters)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	right, err := openAndDrain(ctx, j.Right, counters)
+	if err != nil {
+		return err
+	}
+	lRows, err := sortedByKey(left, lIdx, j.LeftSorted)
+	if err != nil {
+		return err
 	}
 	if !j.LeftSorted {
 		counters.SortTuples += int64(len(lRows))
 	}
-	rRows, err := sortedByKey(right.Rows, rIdx, j.RightSorted)
+	rRows, err := sortedByKey(right, rIdx, j.RightSorted)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !j.RightSorted {
 		counters.SortTuples += int64(len(rRows))
 	}
 	counters.Tuples += int64(len(lRows) + len(rRows))
-	outSchema := left.Schema.Concat(right.Schema)
+	o.counters = counters
+	o.rows = mergeRows(lRows, rRows, lIdx, rIdx)
+	o.out = NewBatch(lSchema.Concat(rSchema))
+	return nil
+}
+
+func (o *mergeJoinOp) Next() (*Batch, error) {
+	if o.next >= len(o.rows) {
+		return nil, nil
+	}
+	end := o.next + BatchSize
+	if end > len(o.rows) {
+		end = len(o.rows)
+	}
+	o.out.Reset()
+	for _, r := range o.rows[o.next:end] {
+		o.counters.Tuples++
+		o.out.AppendRow(r)
+	}
+	o.next = end
+	return o.out, nil
+}
+
+func (o *mergeJoinOp) Close() {}
+
+// mergeRows joins two inputs already ordered by their integer keys,
+// pairing the full equal-key groups. Output rows are left-row followed by
+// right-row values.
+func mergeRows(lRows, rRows []value.Row, lIdx, rIdx int) []value.Row {
 	var rows []value.Row
 	i, k := 0, 0
 	for i < len(lRows) && k < len(rRows) {
@@ -168,8 +275,7 @@ func (j *MergeJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, err
 			i, k = iEnd, kEnd
 		}
 	}
-	counters.Tuples += int64(len(rows))
-	return &Result{Schema: outSchema, Rows: rows}, nil
+	return rows
 }
 
 // sortedByKey returns rows ordered by the integer key at idx. When
@@ -239,80 +345,136 @@ func (j *INLJoin) Describe() string {
 
 // Execute implements Node.
 func (j *INLJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	outer, err := j.Outer.Execute(ctx, counters)
+	return execStream(ctx, j, counters)
+}
+
+// Stream implements Node.
+func (j *INLJoin) Stream() Operator { return &inlJoinOp{node: j} }
+
+// inlJoinOp streams its outer input, probing the inner access path for
+// each outer row as the row flows past. Nothing is buffered, so a LIMIT
+// above stops both the outer scan and the inner probes early.
+type inlJoinOp struct {
+	node     *INLJoin
+	counters *cost.Counters
+	outer    Operator
+	inner    *storage.Table
+	pred     *expr.Bound
+	oIdx     int
+	usePK    bool
+	ix       *index.Index
+	oBuf     value.Row
+	innerBuf value.Row
+	combined value.Row
+	out      *Batch
+}
+
+func (o *inlJoinOp) Open(ctx *Context, counters *cost.Counters) error {
+	j := o.node
+	outerSchema, err := j.Outer.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inner, innerSchema, err := tableAndSchema(ctx, j.InnerTable)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	oIdx, err := outer.Schema.Resolve(j.OuterCol)
+	o.oIdx, err = outerSchema.Resolve(j.OuterCol)
 	if err != nil {
-		return nil, fmt.Errorf("engine: INLJoin outer key: %v", err)
+		return fmt.Errorf("engine: INLJoin outer key: %v", err)
 	}
-	outSchema := outer.Schema.Concat(innerSchema)
-	pred, err := bindFilter(j.Residual, outSchema)
+	outSchema := outerSchema.Concat(innerSchema)
+	o.pred, err = bindFilter(j.Residual, outSchema)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	usePK := inner.Schema().PrimaryKey == j.InnerCol
-	var rows []value.Row
-	innerBuf := make(value.Row, len(innerSchema.Fields))
-	emit := func(oRow value.Row, rid int) error {
-		inner.ReadRow(rid, innerBuf)
-		out := make(value.Row, 0, len(oRow)+len(innerBuf))
-		out = append(out, oRow...)
-		out = append(out, innerBuf...)
-		ok, err := pred.Eval(out)
-		if err != nil {
-			return err
-		}
-		if ok {
-			rows = append(rows, out)
-		}
-		return nil
-	}
-	if usePK {
-		for _, oRow := range outer.Rows {
-			key := oRow[oIdx]
-			if !key.Numeric() {
-				return nil, fmt.Errorf("engine: INLJoin over non-numeric key %s", key)
-			}
-			counters.RandPages++
-			counters.Tuples++
-			rid, ok := inner.LookupPK(key.I)
-			if !ok {
-				continue
-			}
-			if err := emit(oRow, rid); err != nil {
-				return nil, err
-			}
-		}
-	} else {
+	o.usePK = inner.Schema().PrimaryKey == j.InnerCol
+	if !o.usePK {
 		ix, ok := ctx.Indexes.Lookup(j.InnerTable, j.InnerCol)
 		if !ok {
-			return nil, fmt.Errorf("engine: INLJoin: no index on %s.%s", j.InnerTable, j.InnerCol)
+			return fmt.Errorf("engine: INLJoin: no index on %s.%s", j.InnerTable, j.InnerCol)
 		}
-		for _, oRow := range outer.Rows {
-			key := oRow[oIdx]
+		o.ix = ix
+	}
+	o.inner = inner
+	o.counters = counters
+	o.outer = j.Outer.Stream()
+	if err := o.outer.Open(ctx, counters); err != nil {
+		return err
+	}
+	o.oBuf = make(value.Row, len(outerSchema.Fields))
+	o.innerBuf = make(value.Row, len(innerSchema.Fields))
+	o.combined = make(value.Row, 0, len(outSchema.Fields))
+	o.out = NewBatch(outSchema)
+	return nil
+}
+
+// probe fetches one inner row by RID, applies the residual over the
+// combined row, and appends it to the output batch if it passes.
+func (o *inlJoinOp) probe(oRow value.Row, rid int) error {
+	o.inner.ReadRow(rid, o.innerBuf)
+	combined := append(o.combined[:0], oRow...)
+	combined = append(combined, o.innerBuf...)
+	ok, err := o.pred.Eval(combined)
+	if err != nil {
+		return err
+	}
+	if ok {
+		o.counters.Tuples++
+		o.out.AppendRow(combined)
+	}
+	return nil
+}
+
+func (o *inlJoinOp) Next() (*Batch, error) {
+	for {
+		b, err := o.outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.out.Reset()
+		for r := 0; r < b.Len(); r++ {
+			b.Row(r, o.oBuf)
+			key := o.oBuf[o.oIdx]
 			if !key.Numeric() {
 				return nil, fmt.Errorf("engine: INLJoin over non-numeric key %s", key)
 			}
-			counters.IndexSeeks++
-			rids, scanned := ix.Equal(key.I)
-			counters.IndexEntries += int64(scanned)
-			counters.RandPages += int64(len(rids))
-			counters.Tuples += int64(len(rids))
-			for _, rid := range rids {
-				if err := emit(oRow, int(rid)); err != nil {
+			if o.usePK {
+				o.counters.RandPages++
+				o.counters.Tuples++
+				rid, ok := o.inner.LookupPK(key.I)
+				if !ok {
+					continue
+				}
+				if err := o.probe(o.oBuf, rid); err != nil {
 					return nil, err
+				}
+			} else {
+				o.counters.IndexSeeks++
+				rids, scanned := o.ix.Equal(key.I)
+				o.counters.IndexEntries += int64(scanned)
+				o.counters.RandPages += int64(len(rids))
+				o.counters.Tuples += int64(len(rids))
+				for _, rid := range rids {
+					if err := o.probe(o.oBuf, int(rid)); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
+		if o.out.Len() > 0 {
+			return o.out, nil
+		}
 	}
-	counters.Tuples += int64(len(rows))
-	return &Result{Schema: outSchema, Rows: rows}, nil
+}
+
+func (o *inlJoinOp) Close() {
+	if o.outer != nil {
+		o.outer.Close()
+	}
 }
 
 // StarDim describes one dimension arm of a StarSemiJoin: the (filtered)
@@ -361,88 +523,152 @@ func (j *StarSemiJoin) Describe() string {
 
 // Execute implements Node.
 func (j *StarSemiJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	return execStream(ctx, j, counters)
+}
+
+// Stream implements Node.
+func (j *StarSemiJoin) Stream() Operator { return &starSemiJoinOp{node: j} }
+
+// starDimState carries what the fetch phase needs from one dimension arm:
+// the selected dimension rows keyed by primary key, and the fact column
+// ordinal of the foreign key pointing at them.
+type starDimState struct {
+	rowsByPK map[int64]value.Row
+	fkIdx    int
+}
+
+// semijoinDim converts one dimension's selected rows into a sorted fact
+// RID list via the fact table's foreign-key index, charging the index
+// seeks and RID-list construction. Shared by the streaming and
+// materialized paths; i is the dimension ordinal for error messages.
+func (j *StarSemiJoin) semijoinDim(ctx *Context, i int, d StarDim, fact *storage.Table, dimSchema expr.RelSchema, dimRows []value.Row, counters *cost.Counters) (starDimState, []int32, error) {
+	pkIdx, err := dimSchema.Resolve(d.DimPK)
+	if err != nil {
+		return starDimState{}, nil, fmt.Errorf("engine: StarSemiJoin dim %d key: %v", i, err)
+	}
+	ix, ok := ctx.Indexes.Lookup(j.Fact, d.FactFK)
+	if !ok {
+		return starDimState{}, nil, fmt.Errorf("engine: StarSemiJoin: no index on %s.%s", j.Fact, d.FactFK)
+	}
+	byPK := make(map[int64]value.Row, len(dimRows))
+	var rids []int32
+	for _, row := range dimRows {
+		pk := row[pkIdx].I
+		byPK[pk] = row
+		counters.IndexSeeks++
+		matches, scanned := ix.Equal(pk)
+		counters.IndexEntries += int64(scanned)
+		rids = append(rids, matches...)
+	}
+	sort.Slice(rids, func(a, b int) bool { return rids[a] < rids[b] })
+	counters.Tuples += int64(len(rids)) // RID list construction CPU
+	fkIdx := fact.Schema().ColumnIndex(d.FactFK)
+	if fkIdx < 0 {
+		return starDimState{}, nil, fmt.Errorf("engine: fact table %q has no column %q", j.Fact, d.FactFK)
+	}
+	return starDimState{rowsByPK: byPK, fkIdx: fkIdx}, rids, nil
+}
+
+// starSemiJoinOp runs every dimension semijoin and the RID intersection at
+// Open (the semijoins are inherently blocking), then streams the surviving
+// fact-row fetches, charging each random page as the row is pulled.
+type starSemiJoinOp struct {
+	node      *StarSemiJoin
+	counters  *cost.Counters
+	fact      *storage.Table
+	states    []starDimState
+	surviving []int32
+	next      int
+	pred      *expr.Bound
+	factBuf   value.Row
+	combined  value.Row
+	out       *Batch
+}
+
+func (o *starSemiJoinOp) Open(ctx *Context, counters *cost.Counters) error {
+	j := o.node
 	if len(j.Dims) == 0 {
-		return nil, fmt.Errorf("engine: StarSemiJoin(%s) with no dimensions", j.Fact)
+		return fmt.Errorf("engine: StarSemiJoin(%s) with no dimensions", j.Fact)
 	}
 	fact, factSchema, err := tableAndSchema(ctx, j.Fact)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	outSchema := factSchema
-	type dimState struct {
-		rowsByPK map[int64]value.Row
-		fkIdx    int // fact column ordinal of the FK
-	}
-	states := make([]dimState, len(j.Dims))
+	states := make([]starDimState, len(j.Dims))
 	ridLists := make([][]int32, len(j.Dims))
 	for i, d := range j.Dims {
-		dimRes, err := d.Scan.Execute(ctx, counters)
+		dimSchema, err := d.Scan.Schema(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pkIdx, err := dimRes.Schema.Resolve(d.DimPK)
+		dimRows, err := openAndDrain(ctx, d.Scan, counters)
 		if err != nil {
-			return nil, fmt.Errorf("engine: StarSemiJoin dim %d key: %v", i, err)
+			return err
 		}
-		ix, ok := ctx.Indexes.Lookup(j.Fact, d.FactFK)
-		if !ok {
-			return nil, fmt.Errorf("engine: StarSemiJoin: no index on %s.%s", j.Fact, d.FactFK)
+		st, rids, err := j.semijoinDim(ctx, i, d, fact, dimSchema, dimRows, counters)
+		if err != nil {
+			return err
 		}
-		byPK := make(map[int64]value.Row, len(dimRes.Rows))
-		var rids []int32
-		for _, row := range dimRes.Rows {
-			pk := row[pkIdx].I
-			byPK[pk] = row
-			counters.IndexSeeks++
-			matches, scanned := ix.Equal(pk)
-			counters.IndexEntries += int64(scanned)
-			rids = append(rids, matches...)
-		}
-		sort.Slice(rids, func(a, b int) bool { return rids[a] < rids[b] })
-		counters.Tuples += int64(len(rids)) // RID list construction CPU
-		fkIdx := fact.Schema().ColumnIndex(d.FactFK)
-		if fkIdx < 0 {
-			return nil, fmt.Errorf("engine: fact table %q has no column %q", j.Fact, d.FactFK)
-		}
-		states[i] = dimState{rowsByPK: byPK, fkIdx: fkIdx}
+		states[i] = st
 		ridLists[i] = rids
-		outSchema = outSchema.Concat(dimRes.Schema)
+		outSchema = outSchema.Concat(dimSchema)
 	}
-	pred, err := bindFilter(j.Residual, outSchema)
+	o.pred, err = bindFilter(j.Residual, outSchema)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	surviving := intersectSorted(ridLists)
-	counters.RandPages += int64(len(surviving))
-	counters.Tuples += int64(len(surviving))
-	factBuf := make(value.Row, len(factSchema.Fields))
-	var rows []value.Row
-	for _, rid := range surviving {
-		fact.ReadRow(int(rid), factBuf)
-		out := make(value.Row, 0, len(outSchema.Fields))
-		out = append(out, factBuf...)
-		complete := true
-		for _, st := range states {
-			dimRow, ok := st.rowsByPK[factBuf[st.fkIdx].I]
-			if !ok {
-				complete = false
-				break
-			}
-			out = append(out, dimRow...)
-		}
-		if !complete {
-			continue
-		}
-		ok, err := pred.Eval(out)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			rows = append(rows, out)
-		}
-	}
-	return &Result{Schema: outSchema, Rows: rows}, nil
+	o.counters = counters
+	o.fact = fact
+	o.states = states
+	o.surviving = intersectSorted(ridLists)
+	o.factBuf = make(value.Row, len(factSchema.Fields))
+	o.combined = make(value.Row, 0, len(outSchema.Fields))
+	o.out = NewBatch(outSchema)
+	return nil
 }
+
+func (o *starSemiJoinOp) Next() (*Batch, error) {
+	for o.next < len(o.surviving) {
+		end := o.next + BatchSize
+		if end > len(o.surviving) {
+			end = len(o.surviving)
+		}
+		o.out.Reset()
+		for _, rid := range o.surviving[o.next:end] {
+			o.counters.RandPages++
+			o.counters.Tuples++
+			o.fact.ReadRow(int(rid), o.factBuf)
+			combined := append(o.combined[:0], o.factBuf...)
+			complete := true
+			for _, st := range o.states {
+				dimRow, ok := st.rowsByPK[o.factBuf[st.fkIdx].I]
+				if !ok {
+					complete = false
+					break
+				}
+				combined = append(combined, dimRow...)
+			}
+			if !complete {
+				continue
+			}
+			ok, err := o.pred.Eval(combined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				o.out.AppendRow(combined)
+			}
+		}
+		o.next = end
+		if o.out.Len() > 0 {
+			return o.out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (o *starSemiJoinOp) Close() {}
 
 func intersectSorted(lists [][]int32) []int32 {
 	if len(lists) == 0 {

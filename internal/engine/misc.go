@@ -26,26 +26,65 @@ func (f *Filter) Describe() string { return fmt.Sprintf("Filter(%s)", f.Pred) }
 
 // Execute implements Node.
 func (f *Filter) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	in, err := f.Input.Execute(ctx, counters)
+	return execStream(ctx, f, counters)
+}
+
+// Stream implements Node.
+func (f *Filter) Stream() Operator { return &filterOp{node: f} }
+
+// filterOp evaluates the predicate over each input batch's column vectors
+// and compacts survivors in place.
+type filterOp struct {
+	node     *Filter
+	input    Operator
+	counters *cost.Counters
+	pred     *expr.Bound
+	sel      []int
+}
+
+func (o *filterOp) Open(ctx *Context, counters *cost.Counters) error {
+	schema, err := o.node.Input.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	pred, err := bindFilter(f.Pred, in.Schema)
+	pred, err := bindFilter(o.node.Pred, schema)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	counters.Tuples += int64(len(in.Rows))
-	var rows []value.Row
-	for _, r := range in.Rows {
-		ok, err := pred.Eval(r)
+	o.input = o.node.Input.Stream()
+	if err := o.input.Open(ctx, counters); err != nil {
+		return err
+	}
+	o.counters, o.pred = counters, pred
+	return nil
+}
+
+func (o *filterOp) Next() (*Batch, error) {
+	for {
+		b, err := o.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.counters.Tuples += int64(b.Len())
+		o.sel = identSel(o.sel, b.Len())
+		keep, err := o.pred.EvalBatch(b.Cols(), o.sel)
 		if err != nil {
 			return nil, fmt.Errorf("engine: Filter: %v", err)
 		}
-		if ok {
-			rows = append(rows, r)
+		b.Gather(keep)
+		if b.Len() > 0 {
+			return b, nil
 		}
 	}
-	return &Result{Schema: in.Schema, Rows: rows}, nil
+}
+
+func (o *filterOp) Close() {
+	if o.input != nil {
+		o.input.Close()
+	}
 }
 
 // Project narrows the input to the named columns, in order.
@@ -82,30 +121,88 @@ func (p *Project) Describe() string {
 
 // Execute implements Node.
 func (p *Project) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	in, err := p.Input.Execute(ctx, counters)
+	return execStream(ctx, p, counters)
+}
+
+// Stream implements Node.
+func (p *Project) Stream() Operator { return &projectOp{node: p} }
+
+// projectOp re-exposes a subset of the input's column vectors without
+// copying. When the projection repeats a column it copies instead, so a
+// downstream Gather cannot compact the shared backing slice twice.
+type projectOp struct {
+	node     *Project
+	input    Operator
+	counters *cost.Counters
+	idxs     []int
+	dup      bool
+	view     Batch  // aliasing header over the input batch
+	out      *Batch // owned storage, used only when dup
+}
+
+func (o *projectOp) Open(ctx *Context, counters *cost.Counters) error {
+	in, err := o.node.Input.Schema(ctx)
+	if err != nil {
+		return err
+	}
+	idxs := make([]int, len(o.node.Cols))
+	fields := make([]expr.Field, len(o.node.Cols))
+	seen := make(map[int]bool, len(o.node.Cols))
+	dup := false
+	for i, c := range o.node.Cols {
+		idx, err := in.Resolve(c)
+		if err != nil {
+			return fmt.Errorf("engine: Project: %v", err)
+		}
+		idxs[i] = idx
+		fields[i] = in.Fields[idx]
+		if seen[idx] {
+			dup = true
+		}
+		seen[idx] = true
+	}
+	o.input = o.node.Input.Stream()
+	if err := o.input.Open(ctx, counters); err != nil {
+		return err
+	}
+	o.counters, o.idxs, o.dup = counters, idxs, dup
+	schema := expr.RelSchema{Fields: fields}
+	if dup {
+		o.out = NewBatch(schema)
+	} else {
+		o.view = Batch{Schema: schema, cols: make([][]value.Value, len(idxs))}
+	}
+	return nil
+}
+
+func (o *projectOp) Next() (*Batch, error) {
+	b, err := o.input.Next()
 	if err != nil {
 		return nil, err
 	}
-	idxs := make([]int, len(p.Cols))
-	fields := make([]expr.Field, len(p.Cols))
-	for i, c := range p.Cols {
-		idx, err := in.Schema.Resolve(c)
-		if err != nil {
-			return nil, fmt.Errorf("engine: Project: %v", err)
-		}
-		idxs[i] = idx
-		fields[i] = in.Schema.Fields[idx]
+	if b == nil {
+		return nil, nil
 	}
-	counters.Tuples += int64(len(in.Rows))
-	rows := make([]value.Row, len(in.Rows))
-	for r, row := range in.Rows {
-		out := make(value.Row, len(idxs))
-		for i, idx := range idxs {
-			out[i] = row[idx]
+	o.counters.Tuples += int64(b.Len())
+	if !o.dup {
+		for i, idx := range o.idxs {
+			o.view.cols[i] = b.cols[idx]
 		}
-		rows[r] = out
+		o.view.n = b.Len()
+		return &o.view, nil
 	}
-	return &Result{Schema: expr.RelSchema{Fields: fields}, Rows: rows}, nil
+	o.out.Reset()
+	for i, idx := range o.idxs {
+		o.out.cols[i] = append(o.out.cols[i], b.cols[idx]...)
+	}
+	o.out.n = b.Len()
+	return o.out, nil
+}
+
+func (o *projectOp) Close() {
+	if o.input != nil {
+		o.input.Close()
+	}
 }
 
 // AggFunc enumerates the supported aggregate functions.
@@ -217,146 +314,217 @@ type aggState struct {
 	counts    []int64 // per-agg counts (for AVG)
 }
 
+// newAggState initializes accumulator state for one group, capturing the
+// group-key values from the first row seen (nil row for the empty-input
+// grand total).
+func (a *Aggregate) newAggState(groupIdxs []int, row value.Row) *aggState {
+	st := &aggState{
+		sums:   make([]float64, len(a.Aggs)),
+		mins:   make([]float64, len(a.Aggs)),
+		maxs:   make([]float64, len(a.Aggs)),
+		counts: make([]int64, len(a.Aggs)),
+	}
+	for i := range st.mins {
+		st.mins[i] = math.Inf(1)
+		st.maxs[i] = math.Inf(-1)
+	}
+	if row != nil {
+		st.groupVals = make(value.Row, len(groupIdxs))
+		for i, gi := range groupIdxs {
+			st.groupVals[i] = row[gi]
+		}
+	}
+	return st
+}
+
+// accumulate folds one argument value into aggregate i's running state.
+func (st *aggState) accumulate(i int, fn AggFunc, v value.Value) error {
+	if !v.Numeric() {
+		return fmt.Errorf("engine: %s over non-numeric value %s", fn, v)
+	}
+	f := v.AsFloat()
+	st.sums[i] += f
+	if f < st.mins[i] {
+		st.mins[i] = f
+	}
+	if f > st.maxs[i] {
+		st.maxs[i] = f
+	}
+	st.counts[i]++
+	return nil
+}
+
+// finalize renders one group's output row.
+func (a *Aggregate) finalize(st *aggState, width int) value.Row {
+	out := make(value.Row, 0, width)
+	out = append(out, st.groupVals...)
+	for i, spec := range a.Aggs {
+		switch spec.Func {
+		case Count:
+			if spec.Arg == nil {
+				out = append(out, value.Int(st.count))
+			} else {
+				out = append(out, value.Int(st.counts[i]))
+			}
+		case Sum:
+			out = append(out, value.Float(st.sums[i]))
+		case Min:
+			out = append(out, value.Float(zeroIfInf(st.mins[i])))
+		case Max:
+			out = append(out, value.Float(zeroIfInf(st.maxs[i])))
+		case Avg:
+			if st.counts[i] == 0 {
+				out = append(out, value.Float(0))
+			} else {
+				out = append(out, value.Float(st.sums[i]/float64(st.counts[i])))
+			}
+		}
+	}
+	return out
+}
+
 // Execute implements Node.
 func (a *Aggregate) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	return execStream(ctx, a, counters)
+}
+
+// Stream implements Node.
+func (a *Aggregate) Stream() Operator { return &aggregateOp{node: a} }
+
+// aggregateOp is a pipeline breaker: it consumes its whole input at Open,
+// evaluating aggregate arguments a column vector at a time, and emits the
+// grouped output in batches.
+type aggregateOp struct {
+	node *Aggregate
+	rows []value.Row
+	next int
+	out  *Batch
+}
+
+func (o *aggregateOp) Open(ctx *Context, counters *cost.Counters) error {
+	a := o.node
 	if len(a.Aggs) == 0 && len(a.GroupBy) == 0 {
-		return nil, fmt.Errorf("engine: Aggregate with no aggregates and no group keys")
+		return fmt.Errorf("engine: Aggregate with no aggregates and no group keys")
 	}
-	in, err := a.Input.Execute(ctx, counters)
+	inSchema, err := a.Input.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	outSchema, err := a.outSchema(in.Schema)
+	outSchema, err := a.outSchema(inSchema)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	groupIdxs := make([]int, len(a.GroupBy))
 	for i, g := range a.GroupBy {
-		groupIdxs[i], err = in.Schema.Resolve(g)
+		groupIdxs[i], err = inSchema.Resolve(g)
 		if err != nil {
-			return nil, fmt.Errorf("engine: Aggregate group key: %v", err)
+			return fmt.Errorf("engine: Aggregate group key: %v", err)
 		}
 	}
 	argFns := make([]*expr.BoundScalar, len(a.Aggs))
+	argVecs := make([][]value.Value, len(a.Aggs))
 	for i, spec := range a.Aggs {
 		if spec.Arg == nil {
 			if spec.Func != Count {
-				return nil, fmt.Errorf("engine: %s requires an argument", spec.Func)
+				return fmt.Errorf("engine: %s requires an argument", spec.Func)
 			}
 			continue
 		}
-		argFns[i], err = expr.BindScalar(spec.Arg, in.Schema)
+		argFns[i], err = expr.BindScalar(spec.Arg, inSchema)
 		if err != nil {
-			return nil, fmt.Errorf("engine: Aggregate arg: %v", err)
+			return fmt.Errorf("engine: Aggregate arg: %v", err)
 		}
 	}
-	counters.Tuples += int64(len(in.Rows))
-	counters.HashBuilds += int64(len(in.Rows))
+
+	input := a.Input.Stream()
+	defer input.Close()
+	if err := input.Open(ctx, counters); err != nil {
+		return err
+	}
 
 	groups := make(map[string]*aggState)
 	var order []string
-	keyOf := func(row value.Row) string {
-		if len(groupIdxs) == 0 {
-			return ""
+	var sel []int
+	var keyBuf strings.Builder
+	rowBuf := make(value.Row, len(inSchema.Fields))
+	for {
+		b, err := input.Next()
+		if err != nil {
+			return err
 		}
-		var sb strings.Builder
-		for _, gi := range groupIdxs {
-			sb.WriteString(row[gi].String())
-			sb.WriteByte('\x00')
+		if b == nil {
+			break
 		}
-		return sb.String()
-	}
-	newState := func(row value.Row) *aggState {
-		st := &aggState{
-			sums:   make([]float64, len(a.Aggs)),
-			mins:   make([]float64, len(a.Aggs)),
-			maxs:   make([]float64, len(a.Aggs)),
-			counts: make([]int64, len(a.Aggs)),
-		}
-		for i := range st.mins {
-			st.mins[i] = math.Inf(1)
-			st.maxs[i] = math.Inf(-1)
-		}
-		if row != nil {
-			st.groupVals = make(value.Row, len(groupIdxs))
-			for i, gi := range groupIdxs {
-				st.groupVals[i] = row[gi]
-			}
-		}
-		return st
-	}
-	for _, row := range in.Rows {
-		k := keyOf(row)
-		st, ok := groups[k]
-		if !ok {
-			st = newState(row)
-			groups[k] = st
-			order = append(order, k)
-		}
-		st.count++
-		for i, spec := range a.Aggs {
-			if spec.Func == Count && spec.Arg == nil {
+		n := b.Len()
+		counters.Tuples += int64(n)
+		counters.HashBuilds += int64(n)
+		sel = identSel(sel, n)
+		cols := b.Cols()
+		for i := range a.Aggs {
+			if argFns[i] == nil {
 				continue
 			}
-			v, err := argFns[i].Eval(row)
-			if err != nil {
-				return nil, fmt.Errorf("engine: Aggregate: %v", err)
+			if cap(argVecs[i]) < n {
+				argVecs[i] = make([]value.Value, n)
 			}
-			if !v.Numeric() {
-				return nil, fmt.Errorf("engine: %s over non-numeric value %s", spec.Func, v)
+			argVecs[i] = argVecs[i][:n]
+			if err := argFns[i].EvalBatch(cols, sel, argVecs[i]); err != nil {
+				return fmt.Errorf("engine: Aggregate: %v", err)
 			}
-			f := v.AsFloat()
-			st.sums[i] += f
-			if f < st.mins[i] {
-				st.mins[i] = f
+		}
+		for r := 0; r < n; r++ {
+			keyBuf.Reset()
+			for _, gi := range groupIdxs {
+				keyBuf.WriteString(cols[gi][r].String())
+				keyBuf.WriteByte('\x00')
 			}
-			if f > st.maxs[i] {
-				st.maxs[i] = f
+			k := keyBuf.String()
+			st, ok := groups[k]
+			if !ok {
+				b.Row(r, rowBuf)
+				st = a.newAggState(groupIdxs, rowBuf)
+				groups[k] = st
+				order = append(order, k)
 			}
-			st.counts[i]++
+			st.count++
+			for i, spec := range a.Aggs {
+				if spec.Func == Count && spec.Arg == nil {
+					continue
+				}
+				if err := st.accumulate(i, spec.Func, argVecs[i][r]); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	// A global aggregate over empty input still yields one row.
 	if len(groupIdxs) == 0 && len(groups) == 0 {
-		groups[""] = newState(nil)
+		groups[""] = a.newAggState(groupIdxs, nil)
 		order = append(order, "")
 	}
 	sort.Strings(order) // deterministic output order
-	rows := make([]value.Row, 0, len(order))
+	o.rows = make([]value.Row, 0, len(order))
 	for _, k := range order {
-		st := groups[k]
-		out := make(value.Row, 0, len(outSchema.Fields))
-		out = append(out, st.groupVals...)
-		for i, spec := range a.Aggs {
-			switch spec.Func {
-			case Count:
-				if spec.Arg == nil {
-					out = append(out, value.Int(st.count))
-				} else {
-					out = append(out, value.Int(st.counts[i]))
-				}
-			case Sum:
-				out = append(out, value.Float(st.sums[i]))
-			case Min:
-				out = append(out, value.Float(zeroIfInf(st.mins[i])))
-			case Max:
-				out = append(out, value.Float(zeroIfInf(st.maxs[i])))
-			case Avg:
-				if st.counts[i] == 0 {
-					out = append(out, value.Float(0))
-				} else {
-					out = append(out, value.Float(st.sums[i]/float64(st.counts[i])))
-				}
-			}
-		}
-		rows = append(rows, out)
+		o.rows = append(o.rows, a.finalize(groups[k], len(outSchema.Fields)))
 	}
-	return &Result{Schema: outSchema, Rows: rows}, nil
+	o.out = NewBatch(outSchema)
+	return nil
 }
 
-func zeroIfInf(f float64) float64 {
-	if math.IsInf(f, 0) {
-		return 0
+func (o *aggregateOp) Next() (*Batch, error) {
+	if o.next >= len(o.rows) {
+		return nil, nil
 	}
-	return f
+	end := o.next + BatchSize
+	if end > len(o.rows) {
+		end = len(o.rows)
+	}
+	o.out.Reset()
+	for _, r := range o.rows[o.next:end] {
+		o.out.AppendRow(r)
+	}
+	o.next = end
+	return o.out, nil
 }
+
+func (o *aggregateOp) Close() {}

@@ -35,31 +35,75 @@ func (s *SeqScan) Describe() string {
 
 // Execute implements Node.
 func (s *SeqScan) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	t, schema, err := tableAndSchema(ctx, s.Table)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := bindFilter(s.Filter, schema)
-	if err != nil {
-		return nil, err
-	}
-	counters.SeqPages += int64(t.NumPages())
-	counters.Tuples += int64(t.NumRows())
-	nCols := len(schema.Fields)
-	buf := make(value.Row, nCols)
-	var rows []value.Row
-	for r := 0; r < t.NumRows(); r++ {
-		t.ReadRow(r, buf)
-		ok, err := pred.Eval(buf)
-		if err != nil {
-			return nil, fmt.Errorf("engine: SeqScan(%s): %v", s.Table, err)
-		}
-		if ok {
-			rows = append(rows, buf.Clone())
-		}
-	}
-	return &Result{Schema: schema, Rows: rows}, nil
+	return execStream(ctx, s, counters)
 }
+
+// Stream implements Node.
+func (s *SeqScan) Stream() Operator { return &seqScanOp{node: s} }
+
+// seqScanOp streams the heap a batch of rows at a time, charging each
+// sequential page and tuple as it is actually read so a LIMIT above it
+// stops the scan before the tail of the table is touched.
+type seqScanOp struct {
+	node     *SeqScan
+	counters *cost.Counters
+	t        *storage.Table
+	pred     *expr.Bound
+	next     int
+	out      *Batch
+	sel      []int
+}
+
+func (o *seqScanOp) Open(ctx *Context, counters *cost.Counters) error {
+	t, schema, err := tableAndSchema(ctx, o.node.Table)
+	if err != nil {
+		return err
+	}
+	pred, err := bindFilter(o.node.Filter, schema)
+	if err != nil {
+		return err
+	}
+	o.counters, o.t, o.pred = counters, t, pred
+	o.out = NewBatch(schema)
+	return nil
+}
+
+func (o *seqScanOp) Next() (*Batch, error) {
+	for o.next < o.t.NumRows() {
+		end := o.next + BatchSize
+		if end > o.t.NumRows() {
+			end = o.t.NumRows()
+		}
+		o.out.Reset()
+		// Column-wise load of the row window [next, end).
+		for c := range o.out.cols {
+			col := o.out.cols[c]
+			for r := o.next; r < end; r++ {
+				col = append(col, o.t.Value(r, c))
+			}
+			o.out.cols[c] = col
+		}
+		o.out.n = end - o.next
+		// Pages whose first tuple falls inside the window are charged now;
+		// across a full scan this sums to exactly NumPages.
+		const per = storage.TuplesPerPage
+		o.counters.SeqPages += int64((end+per-1)/per - (o.next+per-1)/per)
+		o.counters.Tuples += int64(end - o.next)
+		o.next = end
+		o.sel = identSel(o.sel, o.out.Len())
+		keep, err := o.pred.EvalBatch(o.out.Cols(), o.sel)
+		if err != nil {
+			return nil, fmt.Errorf("engine: SeqScan(%s): %v", o.node.Table, err)
+		}
+		o.out.Gather(keep)
+		if o.out.Len() > 0 {
+			return o.out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (o *seqScanOp) Close() {}
 
 // KeyRange is one indexed range condition lo <= column <= hi over an Int
 // or Date column.
@@ -98,29 +142,42 @@ func (s *IndexRangeScan) Describe() string {
 
 // Execute implements Node.
 func (s *IndexRangeScan) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	t, schema, err := tableAndSchema(ctx, s.Table)
+	return execStream(ctx, s, counters)
+}
+
+// Stream implements Node.
+func (s *IndexRangeScan) Stream() Operator { return &indexRangeScanOp{node: s} }
+
+// indexRangeScanOp seeks the index at Open (the probe is unavoidable) but
+// defers the random-page fetches to Next, one batch of RIDs at a time.
+type indexRangeScanOp struct {
+	node  *IndexRangeScan
+	fetch ridFetcher
+}
+
+func (o *indexRangeScanOp) Open(ctx *Context, counters *cost.Counters) error {
+	t, schema, err := tableAndSchema(ctx, o.node.Table)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ix, ok := ctx.Indexes.Lookup(s.Table, s.Range.Column)
+	ix, ok := ctx.Indexes.Lookup(o.node.Table, o.node.Range.Column)
 	if !ok {
-		return nil, fmt.Errorf("engine: no index on %s.%s", s.Table, s.Range.Column)
+		return fmt.Errorf("engine: no index on %s.%s", o.node.Table, o.node.Range.Column)
 	}
-	pred, err := bindFilter(s.Residual, schema)
+	pred, err := bindFilter(o.node.Residual, schema)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	counters.IndexSeeks++
-	rids, scanned := ix.Range(s.Range.Lo, s.Range.Hi)
+	rids, scanned := ix.Range(o.node.Range.Lo, o.node.Range.Hi)
 	counters.IndexEntries += int64(scanned)
-	counters.RandPages += int64(len(rids))
-	counters.Tuples += int64(len(rids))
-	rows, err := fetchFiltered(t, schema, rids, pred)
-	if err != nil {
-		return nil, fmt.Errorf("engine: IndexRangeScan(%s): %v", s.Table, err)
-	}
-	return &Result{Schema: schema, Rows: rows}, nil
+	o.fetch.init(counters, t, schema, pred, rids, fmt.Sprintf("IndexRangeScan(%s)", o.node.Table))
+	return nil
 }
+
+func (o *indexRangeScanOp) Next() (*Batch, error) { return o.fetch.nextBatch() }
+
+func (o *indexRangeScanOp) Close() {}
 
 // IndexIntersect is the paper's risky plan: probe one index per range
 // condition, intersect the RID lists, fetch only the surviving rows (one
@@ -153,22 +210,37 @@ func (s *IndexIntersect) Describe() string {
 
 // Execute implements Node.
 func (s *IndexIntersect) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	if len(s.Ranges) == 0 {
-		return nil, fmt.Errorf("engine: IndexIntersect(%s) with no ranges", s.Table)
+	return execStream(ctx, s, counters)
+}
+
+// Stream implements Node.
+func (s *IndexIntersect) Stream() Operator { return &indexIntersectOp{node: s} }
+
+// indexIntersectOp performs all index probes and the RID intersection at
+// Open — that work is inherently blocking — then streams the surviving
+// row fetches.
+type indexIntersectOp struct {
+	node  *IndexIntersect
+	fetch ridFetcher
+}
+
+func (o *indexIntersectOp) Open(ctx *Context, counters *cost.Counters) error {
+	if len(o.node.Ranges) == 0 {
+		return fmt.Errorf("engine: IndexIntersect(%s) with no ranges", o.node.Table)
 	}
-	t, schema, err := tableAndSchema(ctx, s.Table)
+	t, schema, err := tableAndSchema(ctx, o.node.Table)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	pred, err := bindFilter(s.Residual, schema)
+	pred, err := bindFilter(o.node.Residual, schema)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	lists := make([][]int32, len(s.Ranges))
-	for i, r := range s.Ranges {
-		ix, ok := ctx.Indexes.Lookup(s.Table, r.Column)
+	lists := make([][]int32, len(o.node.Ranges))
+	for i, r := range o.node.Ranges {
+		ix, ok := ctx.Indexes.Lookup(o.node.Table, r.Column)
 		if !ok {
-			return nil, fmt.Errorf("engine: no index on %s.%s", s.Table, r.Column)
+			return fmt.Errorf("engine: no index on %s.%s", o.node.Table, r.Column)
 		}
 		counters.IndexSeeks++
 		rids, scanned := ix.Range(r.Lo, r.Hi)
@@ -177,17 +249,63 @@ func (s *IndexIntersect) Execute(ctx *Context, counters *cost.Counters) (*Result
 		lists[i] = rids
 	}
 	rids := index.Intersect(lists...)
-	counters.RandPages += int64(len(rids))
-	counters.Tuples += int64(len(rids))
-	rows, err := fetchFiltered(t, schema, rids, pred)
-	if err != nil {
-		return nil, fmt.Errorf("engine: IndexIntersect(%s): %v", s.Table, err)
+	o.fetch.init(counters, t, schema, pred, rids, fmt.Sprintf("IndexIntersect(%s)", o.node.Table))
+	return nil
+}
+
+func (o *indexIntersectOp) Next() (*Batch, error) { return o.fetch.nextBatch() }
+
+func (o *indexIntersectOp) Close() {}
+
+// ridFetcher streams the rows behind a RID list in batches, charging one
+// random page and one tuple per RID as the row is actually fetched.
+type ridFetcher struct {
+	counters *cost.Counters
+	t        *storage.Table
+	pred     *expr.Bound
+	rids     []int32
+	next     int
+	out      *Batch
+	buf      value.Row
+	sel      []int
+	errCtx   string
+}
+
+func (f *ridFetcher) init(counters *cost.Counters, t *storage.Table, schema expr.RelSchema, pred *expr.Bound, rids []int32, errCtx string) {
+	f.counters, f.t, f.pred, f.rids, f.errCtx = counters, t, pred, rids, errCtx
+	f.out = NewBatch(schema)
+	f.buf = make(value.Row, len(schema.Fields))
+}
+
+func (f *ridFetcher) nextBatch() (*Batch, error) {
+	for f.next < len(f.rids) {
+		end := f.next + BatchSize
+		if end > len(f.rids) {
+			end = len(f.rids)
+		}
+		f.out.Reset()
+		for _, rid := range f.rids[f.next:end] {
+			f.counters.RandPages++
+			f.counters.Tuples++
+			f.t.ReadRow(int(rid), f.buf)
+			f.out.AppendRow(f.buf)
+		}
+		f.next = end
+		f.sel = identSel(f.sel, f.out.Len())
+		keep, err := f.pred.EvalBatch(f.out.Cols(), f.sel)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %v", f.errCtx, err)
+		}
+		f.out.Gather(keep)
+		if f.out.Len() > 0 {
+			return f.out, nil
+		}
 	}
-	return &Result{Schema: schema, Rows: rows}, nil
+	return nil, nil
 }
 
 // fetchFiltered materializes the rows behind rids and keeps those passing
-// the (already bound) predicate.
+// the (already bound) predicate. Used by the materialized reference path.
 func fetchFiltered(t *storage.Table, schema expr.RelSchema, rids []int32, pred *expr.Bound) ([]value.Row, error) {
 	buf := make(value.Row, len(schema.Fields))
 	var rows []value.Row

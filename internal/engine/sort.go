@@ -28,6 +28,11 @@ func (k SortKey) String() string {
 type Sort struct {
 	Input Node
 	By    []SortKey
+	// TopK, when positive, bounds the output to the first TopK rows of the
+	// sorted order. The streaming path then keeps a bounded heap instead of
+	// materializing the full sorted input; the optimizer sets it when the
+	// query carries a LIMIT. Zero means sort everything.
+	TopK int
 }
 
 // Schema implements Node.
@@ -39,44 +44,61 @@ func (s *Sort) Describe() string {
 	for i, k := range s.By {
 		parts[i] = k.String()
 	}
-	return "Sort(" + strings.Join(parts, ", ") + ")"
+	d := "Sort(" + strings.Join(parts, ", ") + ")"
+	if s.TopK > 0 {
+		d += fmt.Sprintf(" top=%d", s.TopK)
+	}
+	return d
 }
 
 // Execute implements Node.
 func (s *Sort) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	return execStream(ctx, s, counters)
+}
+
+// Stream implements Node.
+func (s *Sort) Stream() Operator { return &sortOp{node: s} }
+
+// sortOp is a pipeline breaker: it drains its input at Open, then emits
+// the ordered rows in batches. With TopK set it never holds more than
+// TopK rows — a bounded max-heap ordered by (sort keys, input sequence)
+// reproduces exactly the first TopK rows of the stable full sort.
+type sortOp struct {
+	node *Sort
+	rows []value.Row
+	next int
+	out  *Batch
+}
+
+// sortKeyed pairs a row with its input sequence number; the sequence
+// breaks ties exactly as a stable sort would.
+type sortKeyed struct {
+	row value.Row
+	seq int
+}
+
+func (o *sortOp) Open(ctx *Context, counters *cost.Counters) error {
+	s := o.node
 	if len(s.By) == 0 {
-		return nil, fmt.Errorf("engine: Sort with no keys")
+		return fmt.Errorf("engine: Sort with no keys")
 	}
-	in, err := s.Input.Execute(ctx, counters)
+	schema, err := s.Input.Schema(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	idxs := make([]int, len(s.By))
 	for i, k := range s.By {
-		idxs[i], err = in.Schema.Resolve(k.Col)
+		idxs[i], err = schema.Resolve(k.Col)
 		if err != nil {
-			return nil, fmt.Errorf("engine: Sort key: %v", err)
+			return fmt.Errorf("engine: Sort key: %v", err)
 		}
 	}
-	// Validate comparability up front so sort.SliceStable cannot panic on
-	// mixed types mid-comparison.
-	for _, row := range in.Rows {
-		for _, idx := range idxs {
-			if len(in.Rows) > 0 {
-				if _, err := value.Compare(row[idx], in.Rows[0][idx]); err != nil {
-					return nil, fmt.Errorf("engine: Sort: %v", err)
-				}
-			}
-		}
-	}
-	rows := make([]value.Row, len(in.Rows))
-	copy(rows, in.Rows)
-	counters.SortTuples += int64(len(rows))
-	sort.SliceStable(rows, func(a, b int) bool {
+	// before reports a strictly preceding b in the output order. All rows
+	// are validated comparable against the first row during the drain, so
+	// the Compare error is impossible here (incomparable pairs tie).
+	before := func(a, b sortKeyed) bool {
 		for ki, idx := range idxs {
-			// Comparability was validated above, so the error is
-			// impossible here (incomparable pairs sort as equal).
-			c, _ := value.Compare(rows[a][idx], rows[b][idx])
+			c, _ := value.Compare(a.row[idx], b.row[idx])
 			if c == 0 {
 				continue
 			}
@@ -85,12 +107,125 @@ func (s *Sort) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
 			}
 			return c < 0
 		}
-		return false
-	})
-	return &Result{Schema: in.Schema, Rows: rows}, nil
+		return a.seq < b.seq
+	}
+
+	input := s.Input.Stream()
+	defer input.Close()
+	if err := input.Open(ctx, counters); err != nil {
+		return err
+	}
+	var (
+		first value.Row
+		heap  []sortKeyed // max-heap: root is the worst retained row
+		all   []sortKeyed
+		total int64
+	)
+	seq := 0
+	for {
+		b, err := input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for r := 0; r < b.Len(); r++ {
+			row := b.CloneRow(r)
+			if first == nil {
+				first = row
+			}
+			// Validate comparability so ordering cannot silently misfire on
+			// mixed types (matching the materialized path's up-front check).
+			for _, idx := range idxs {
+				if _, err := value.Compare(row[idx], first[idx]); err != nil {
+					return fmt.Errorf("engine: Sort: %v", err)
+				}
+			}
+			total++
+			item := sortKeyed{row: row, seq: seq}
+			seq++
+			if s.TopK <= 0 {
+				all = append(all, item)
+				continue
+			}
+			if len(heap) < s.TopK {
+				heap = append(heap, item)
+				siftUp(heap, len(heap)-1, before)
+			} else if before(item, heap[0]) {
+				heap[0] = item
+				siftDown(heap, 0, before)
+			}
+		}
+	}
+	// Every input row participated in the ordering work, bounded heap or
+	// not, so the sort charge matches the materialized path exactly.
+	counters.SortTuples += total
+	items := all
+	if s.TopK > 0 {
+		items = heap
+	}
+	sort.Slice(items, func(a, b int) bool { return before(items[a], items[b]) })
+	o.rows = make([]value.Row, len(items))
+	for i, it := range items {
+		o.rows[i] = it.row
+	}
+	o.out = NewBatch(schema)
+	return nil
 }
 
-// Limit passes through at most N input rows.
+// siftUp restores the max-heap property after appending at position i:
+// a parent must not precede its children under before.
+func siftUp(h []sortKeyed, i int, before func(a, b sortKeyed) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property after replacing the root.
+func siftDown(h []sortKeyed, i int, before func(a, b sortKeyed) bool) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && before(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && before(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+func (o *sortOp) Next() (*Batch, error) {
+	if o.next >= len(o.rows) {
+		return nil, nil
+	}
+	end := o.next + BatchSize
+	if end > len(o.rows) {
+		end = len(o.rows)
+	}
+	o.out.Reset()
+	for _, r := range o.rows[o.next:end] {
+		o.out.AppendRow(r)
+	}
+	o.next = end
+	return o.out, nil
+}
+
+func (o *sortOp) Close() {}
+
+// Limit passes through at most N input rows. In the streaming pipeline it
+// stops pulling its input as soon as N rows have been emitted, which is
+// what spares a LIMIT 10 over a large scan from reading the whole table.
 type Limit struct {
 	Input Node
 	N     int
@@ -104,16 +239,44 @@ func (l *Limit) Describe() string { return fmt.Sprintf("Limit(%d)", l.N) }
 
 // Execute implements Node.
 func (l *Limit) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
-	if l.N < 0 {
-		return nil, fmt.Errorf("engine: negative limit %d", l.N)
+	return execStream(ctx, l, counters)
+}
+
+// Stream implements Node.
+func (l *Limit) Stream() Operator { return &limitOp{node: l} }
+
+type limitOp struct {
+	node    *Limit
+	input   Operator
+	emitted int
+}
+
+func (o *limitOp) Open(ctx *Context, counters *cost.Counters) error {
+	if o.node.N < 0 {
+		return fmt.Errorf("engine: negative limit %d", o.node.N)
 	}
-	in, err := l.Input.Execute(ctx, counters)
+	o.input = o.node.Input.Stream()
+	return o.input.Open(ctx, counters)
+}
+
+func (o *limitOp) Next() (*Batch, error) {
+	if o.emitted >= o.node.N {
+		return nil, nil
+	}
+	b, err := o.input.Next()
 	if err != nil {
 		return nil, err
 	}
-	rows := in.Rows
-	if len(rows) > l.N {
-		rows = rows[:l.N]
+	if b == nil {
+		return nil, nil
 	}
-	return &Result{Schema: in.Schema, Rows: rows}, nil
+	b.Truncate(o.node.N - o.emitted)
+	o.emitted += b.Len()
+	return b, nil
+}
+
+func (o *limitOp) Close() {
+	if o.input != nil {
+		o.input.Close()
+	}
 }

@@ -1,0 +1,379 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/value"
+)
+
+// This file is the vectorized twin of bind.go: every expression compiles
+// to a second evaluator that runs over column vectors and selection
+// vectors instead of one row at a time. Selection vectors are strictly
+// increasing row indices into the columns; predicate evaluators return the
+// matching subset as a NEW slice (never aliasing their input), which is
+// what lets Or track matched/remaining sets without corruption. Boolean
+// connectives preserve row-at-a-time short-circuit semantics exactly: a
+// row filtered out by an earlier term is never evaluated by later terms,
+// so data-dependent errors (division by zero, type mismatches) surface for
+// precisely the same rows as Bound.Eval.
+
+// batchPredFn evaluates a predicate over the rows in sel, returning the
+// indices that pass in ascending order.
+type batchPredFn func(cols [][]value.Value, sel []int) ([]int, error)
+
+// batchScalarFn evaluates a scalar for the rows in sel, writing each
+// result at out[row] (out is indexed by row id, not by sel position).
+type batchScalarFn func(cols [][]value.Value, sel []int, out []value.Value) error
+
+// growVec returns a scratch vector with length n, reusing buf's storage
+// when possible.
+func growVec(buf []value.Value, n int) []value.Value {
+	if cap(buf) < n {
+		return make([]value.Value, n)
+	}
+	return buf[:n]
+}
+
+// scratchLen returns the row-id space a scratch vector must cover for the
+// given columns and selection.
+func scratchLen(cols [][]value.Value, sel []int) int {
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
+	if len(sel) > 0 && sel[len(sel)-1]+1 > n {
+		n = sel[len(sel)-1] + 1
+	}
+	return n
+}
+
+// mergeSorted returns the ascending union of two sorted, disjoint
+// selection vectors as a fresh slice.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// diffSorted returns the elements of a not present in b (both sorted
+// ascending) as a fresh slice.
+func diffSorted(a, b []int) []int {
+	out := make([]int, 0, len(a))
+	j := 0
+	for _, r := range a {
+		for j < len(b) && b[j] < r {
+			j++
+		}
+		if j < len(b) && b[j] == r {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func bindPredBatch(e Expr, schema RelSchema) (batchPredFn, error) {
+	switch n := e.(type) {
+	case Cmp:
+		l, err := bindScalarBatch(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalarBatch(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		var lbuf, rbuf []value.Value
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			m := scratchLen(cols, sel)
+			lbuf, rbuf = growVec(lbuf, m), growVec(rbuf, m)
+			if err := l(cols, sel, lbuf); err != nil {
+				return nil, err
+			}
+			if err := r(cols, sel, rbuf); err != nil {
+				return nil, err
+			}
+			out := make([]int, 0, len(sel))
+			for _, row := range sel {
+				c, err := value.Compare(lbuf[row], rbuf[row])
+				if err != nil {
+					return nil, err
+				}
+				keep := false
+				switch op {
+				case EQ:
+					keep = c == 0
+				case NE:
+					keep = c != 0
+				case LT:
+					keep = c < 0
+				case LE:
+					keep = c <= 0
+				case GT:
+					keep = c > 0
+				default:
+					keep = c >= 0
+				}
+				if keep {
+					out = append(out, row)
+				}
+			}
+			return out, nil
+		}, nil
+	case Between:
+		v, err := bindScalarBatch(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bindScalarBatch(n.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bindScalarBatch(n.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		var vbuf, lobuf, hibuf []value.Value
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			m := scratchLen(cols, sel)
+			vbuf, lobuf = growVec(vbuf, m), growVec(lobuf, m)
+			if err := v(cols, sel, vbuf); err != nil {
+				return nil, err
+			}
+			if err := lo(cols, sel, lobuf); err != nil {
+				return nil, err
+			}
+			// The hi bound is only evaluated for rows that clear the lo
+			// bound, mirroring the row path's short circuit.
+			pass := make([]int, 0, len(sel))
+			for _, row := range sel {
+				cLo, err := value.Compare(vbuf[row], lobuf[row])
+				if err != nil {
+					return nil, err
+				}
+				if cLo >= 0 {
+					pass = append(pass, row)
+				}
+			}
+			if len(pass) == 0 {
+				return pass, nil
+			}
+			hibuf = growVec(hibuf, m)
+			if err := hi(cols, pass, hibuf); err != nil {
+				return nil, err
+			}
+			out := pass[:0]
+			for _, row := range pass {
+				cHi, err := value.Compare(vbuf[row], hibuf[row])
+				if err != nil {
+					return nil, err
+				}
+				if cHi <= 0 {
+					out = append(out, row)
+				}
+			}
+			return out, nil
+		}, nil
+	case And:
+		terms, err := bindPredBatchList(n.Terms, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			cur := sel
+			for _, t := range terms {
+				var err error
+				cur, err = t(cols, cur)
+				if err != nil {
+					return nil, err
+				}
+				if len(cur) == 0 {
+					break
+				}
+			}
+			return cur, nil
+		}, nil
+	case Or:
+		terms, err := bindPredBatchList(n.Terms, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			var matched []int
+			remaining := sel
+			for _, t := range terms {
+				res, err := t(cols, remaining)
+				if err != nil {
+					return nil, err
+				}
+				matched = mergeSorted(matched, res)
+				remaining = diffSorted(remaining, res)
+				if len(remaining) == 0 {
+					break
+				}
+			}
+			return matched, nil
+		}, nil
+	case Not:
+		inner, err := bindPredBatch(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			res, err := inner(cols, sel)
+			if err != nil {
+				return nil, err
+			}
+			return diffSorted(sel, res), nil
+		}, nil
+	case Contains:
+		v, err := bindScalarBatch(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		sub := n.Substr
+		var vbuf []value.Value
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			vbuf = growVec(vbuf, scratchLen(cols, sel))
+			if err := v(cols, sel, vbuf); err != nil {
+				return nil, err
+			}
+			out := make([]int, 0, len(sel))
+			for _, row := range sel {
+				if vbuf[row].Kind != catalog.String {
+					return nil, fmt.Errorf("expr: CONTAINS over non-string value %s", vbuf[row])
+				}
+				if strings.Contains(vbuf[row].S, sub) {
+					out = append(out, row)
+				}
+			}
+			return out, nil
+		}, nil
+	case In:
+		if len(n.Vals) == 0 {
+			return nil, fmt.Errorf("expr: IN with an empty value list")
+		}
+		v, err := bindScalarBatch(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		vals := n.Vals
+		var vbuf []value.Value
+		return func(cols [][]value.Value, sel []int) ([]int, error) {
+			vbuf = growVec(vbuf, scratchLen(cols, sel))
+			if err := v(cols, sel, vbuf); err != nil {
+				return nil, err
+			}
+			out := make([]int, 0, len(sel))
+			for _, row := range sel {
+				for _, candidate := range vals {
+					c, err := value.Compare(vbuf[row], candidate)
+					if err != nil {
+						return nil, err
+					}
+					if c == 0 {
+						out = append(out, row)
+						break
+					}
+				}
+			}
+			return out, nil
+		}, nil
+	case Col, Lit, Arith:
+		return nil, fmt.Errorf("expr: %s is not a predicate", e)
+	default:
+		return nil, fmt.Errorf("expr: unsupported predicate node %T", e)
+	}
+}
+
+func bindPredBatchList(terms []Expr, schema RelSchema) ([]batchPredFn, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("expr: empty boolean connective")
+	}
+	out := make([]batchPredFn, len(terms))
+	for i, t := range terms {
+		f, err := bindPredBatch(t, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func bindScalarBatch(e Expr, schema RelSchema) (batchScalarFn, error) {
+	switch n := e.(type) {
+	case Col:
+		idx, err := schema.Resolve(n.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]value.Value, sel []int, out []value.Value) error {
+			if idx >= len(cols) {
+				return fmt.Errorf("expr: batch too narrow for column ordinal %d", idx)
+			}
+			col := cols[idx]
+			for _, row := range sel {
+				if row >= len(col) {
+					return fmt.Errorf("expr: batch too short for row %d", row)
+				}
+				out[row] = col[row]
+			}
+			return nil
+		}, nil
+	case Lit:
+		v := n.Val
+		return func(cols [][]value.Value, sel []int, out []value.Value) error {
+			for _, row := range sel {
+				out[row] = v
+			}
+			return nil
+		}, nil
+	case Arith:
+		l, err := bindScalarBatch(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindScalarBatch(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		var lbuf, rbuf []value.Value
+		return func(cols [][]value.Value, sel []int, out []value.Value) error {
+			m := scratchLen(cols, sel)
+			lbuf, rbuf = growVec(lbuf, m), growVec(rbuf, m)
+			if err := l(cols, sel, lbuf); err != nil {
+				return err
+			}
+			if err := r(cols, sel, rbuf); err != nil {
+				return err
+			}
+			for _, row := range sel {
+				v, err := applyArith(op, lbuf[row], rbuf[row])
+				if err != nil {
+					return err
+				}
+				out[row] = v
+			}
+			return nil
+		}, nil
+	case Cmp, Between, And, Or, Not, Contains, In:
+		return nil, fmt.Errorf("expr: predicate %s used as scalar", e)
+	default:
+		return nil, fmt.Errorf("expr: unsupported scalar node %T", e)
+	}
+}

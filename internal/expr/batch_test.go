@@ -1,0 +1,194 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+
+	"robustqo/internal/stats"
+	"robustqo/internal/value"
+)
+
+// intn draws from [0, n); bounds here are always positive, so the error
+// path is unreachable.
+func intn(rng *stats.RNG, n int) int {
+	v, _ := rng.Intn(n)
+	return v
+}
+
+// batchColumns builds n rows of the testRelSchema shape as column vectors
+// plus the same data as rows, so batch and row evaluation can be compared
+// on identical inputs.
+func batchColumns(rng *stats.RNG, n int) ([][]value.Value, []value.Row) {
+	words := []string{"hello world", "alpha", "robust plan", "hello", ""}
+	cols := make([][]value.Value, 5)
+	rows := make([]value.Row, n)
+	for r := 0; r < n; r++ {
+		row := value.Row{
+			value.Int(int64(intn(rng, 20)) - 5),
+			value.Float(rng.Float64()*10 - 5),
+			value.Str(words[intn(rng, len(words))]),
+			value.Date(int64(intn(rng, 50))),
+			value.Int(int64(intn(rng, 10))),
+		}
+		rows[r] = row
+		for c, v := range row {
+			cols[c] = append(cols[c], v)
+		}
+	}
+	return cols, rows
+}
+
+// batchPredCases enumerates predicate shapes covering every vectorized
+// node: comparisons, BETWEEN, AND/OR/NOT nesting, CONTAINS, IN, and
+// arithmetic inside comparisons.
+func batchPredCases() []Expr {
+	return []Expr{
+		Cmp{Op: LT, L: TC("t", "a"), R: IntLit(5)},
+		Cmp{Op: GE, L: C("b"), R: FloatLit(0)},
+		Cmp{Op: EQ, L: TC("u", "a"), R: IntLit(3)},
+		Cmp{Op: NE, L: C("d"), R: IntLit(25)},
+		Between{E: TC("t", "a"), Lo: IntLit(-2), Hi: IntLit(8)},
+		Between{E: C("d"), Lo: TC("t", "a"), Hi: Arith{Op: Add, L: TC("t", "a"), R: IntLit(30)}},
+		Conj(
+			Cmp{Op: GT, L: TC("t", "a"), R: IntLit(0)},
+			Cmp{Op: LT, L: C("b"), R: FloatLit(3)},
+		),
+		Or{Terms: []Expr{
+			Cmp{Op: LT, L: TC("t", "a"), R: IntLit(-3)},
+			Cmp{Op: GT, L: C("d"), R: IntLit(40)},
+			Contains{E: C("s"), Substr: "hello"},
+		}},
+		Not{E: Cmp{Op: LE, L: TC("t", "a"), R: IntLit(7)}},
+		Not{E: Or{Terms: []Expr{
+			Cmp{Op: LT, L: TC("t", "a"), R: IntLit(2)},
+			Between{E: C("d"), Lo: IntLit(10), Hi: IntLit(20)},
+		}}},
+		In{E: TC("u", "a"), Vals: []value.Value{value.Int(1), value.Int(4), value.Int(8)}},
+		Cmp{Op: GT, L: Arith{Op: Mul, L: TC("t", "a"), R: IntLit(2)}, R: Arith{Op: Sub, L: C("d"), R: IntLit(5)}},
+	}
+}
+
+// TestEvalBatchAgreesWithEval: for every predicate shape, the batch
+// evaluator over full and partial selection vectors must select exactly
+// the rows the row-at-a-time evaluator accepts.
+func TestEvalBatchAgreesWithEval(t *testing.T) {
+	rng := stats.NewRNG(777)
+	schema := testRelSchema()
+	for ci, e := range batchPredCases() {
+		b, err := Bind(e, schema)
+		if err != nil {
+			t.Fatalf("case %d Bind(%s): %v", ci, e, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + intn(rng, 60)
+			cols, rows := batchColumns(rng, n)
+			// Random subset selection vector (ascending), sometimes full.
+			var sel []int
+			for r := 0; r < n; r++ {
+				if trial%3 == 0 || intn(rng, 3) > 0 {
+					sel = append(sel, r)
+				}
+			}
+			got, err := b.EvalBatch(cols, sel)
+			if err != nil {
+				t.Fatalf("case %d (%s): EvalBatch: %v", ci, e, err)
+			}
+			var want []int
+			for _, r := range sel {
+				ok, err := b.Eval(rows[r])
+				if err != nil {
+					t.Fatalf("case %d (%s): Eval row %d: %v", ci, e, r, err)
+				}
+				if ok {
+					want = append(want, r)
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("case %d (%s): batch selected %v, rows selected %v", ci, e, got, want)
+			}
+		}
+	}
+}
+
+// TestEvalBatchScalarAgreesWithEval compares the vectorized scalar path
+// (column loads and arithmetic) against row-at-a-time evaluation.
+func TestEvalBatchScalarAgreesWithEval(t *testing.T) {
+	rng := stats.NewRNG(778)
+	schema := testRelSchema()
+	cases := []Expr{
+		TC("t", "a"),
+		C("b"),
+		IntLit(42),
+		Arith{Op: Add, L: TC("t", "a"), R: TC("u", "a")},
+		Arith{Op: Mul, L: C("b"), R: FloatLit(1.5)},
+		Arith{Op: Sub, L: Arith{Op: Add, L: C("d"), R: IntLit(3)}, R: TC("t", "a")},
+	}
+	for ci, e := range cases {
+		b, err := BindScalar(e, schema)
+		if err != nil {
+			t.Fatalf("case %d BindScalar(%s): %v", ci, e, err)
+		}
+		n := 40
+		cols, rows := batchColumns(rng, n)
+		sel := make([]int, 0, n)
+		for r := 0; r < n; r += 1 + intn(rng, 2) {
+			sel = append(sel, r)
+		}
+		out := make([]value.Value, n)
+		if err := b.EvalBatch(cols, sel, out); err != nil {
+			t.Fatalf("case %d (%s): EvalBatch: %v", ci, e, err)
+		}
+		for _, r := range sel {
+			want, err := b.Eval(rows[r])
+			if err != nil {
+				t.Fatalf("case %d (%s): Eval row %d: %v", ci, e, r, err)
+			}
+			if out[r] != want {
+				t.Fatalf("case %d (%s): row %d batch=%v row=%v", ci, e, r, out[r], want)
+			}
+		}
+	}
+}
+
+// TestEvalBatchErrorParity: data-dependent errors must surface from the
+// batch path exactly when the row path would hit them — a row already
+// rejected by an earlier AND term (or accepted by an earlier OR term)
+// must not have later terms evaluated against it.
+func TestEvalBatchErrorParity(t *testing.T) {
+	schema := testRelSchema()
+	// a / u.a errors when u.a == 0; the guard term filters those rows out.
+	guarded := Conj(
+		Cmp{Op: GT, L: TC("u", "a"), R: IntLit(0)},
+		Cmp{Op: GT, L: Arith{Op: Div, L: TC("t", "a"), R: TC("u", "a")}, R: IntLit(1)},
+	)
+	b, err := Bind(guarded, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Row{
+		{value.Int(10), value.Float(0), value.Str(""), value.Date(0), value.Int(0)}, // guard filters row
+		{value.Int(10), value.Float(0), value.Str(""), value.Date(0), value.Int(2)}, // 10/2 > 1
+	}
+	cols := make([][]value.Value, 5)
+	for _, r := range rows {
+		for c, v := range r {
+			cols[c] = append(cols[c], v)
+		}
+	}
+	got, err := b.EvalBatch(cols, []int{0, 1})
+	if err != nil {
+		t.Fatalf("guarded batch eval must not divide by zero on filtered rows: %v", err)
+	}
+	if fmt.Sprint(got) != "[1]" {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	// Unguarded, the division error must surface.
+	unguarded := Cmp{Op: GT, L: Arith{Op: Div, L: TC("t", "a"), R: TC("u", "a")}, R: IntLit(1)}
+	ub, err := Bind(unguarded, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ub.EvalBatch(cols, []int{0, 1}); err == nil {
+		t.Fatal("unguarded division by zero must error in the batch path too")
+	}
+}

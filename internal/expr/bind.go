@@ -78,10 +78,12 @@ func (rs RelSchema) String() string {
 }
 
 // Bound is a predicate compiled against a specific schema, ready for
-// repeated evaluation over rows of that schema.
+// repeated evaluation over rows — or column-vector batches — of that
+// schema.
 type Bound struct {
-	eval func(row value.Row) (bool, error)
-	src  Expr
+	eval      func(row value.Row) (bool, error)
+	evalBatch batchPredFn
+	src       Expr
 }
 
 // Expr returns the source expression the predicate was bound from.
@@ -90,26 +92,50 @@ func (b *Bound) Expr() Expr { return b.src }
 // Eval evaluates the predicate over a row.
 func (b *Bound) Eval(row value.Row) (bool, error) { return b.eval(row) }
 
+// EvalBatch evaluates the predicate over the rows of the column vectors
+// named by the selection vector sel (strictly increasing row indices),
+// returning the passing subset in ascending order. The result is a fresh
+// slice; sel is never mutated or aliased.
+func (b *Bound) EvalBatch(cols [][]value.Value, sel []int) ([]int, error) {
+	return b.evalBatch(cols, sel)
+}
+
 // Bind compiles a predicate expression against a schema. A nil expression
 // binds to the always-true predicate.
 func Bind(e Expr, schema RelSchema) (*Bound, error) {
 	if e == nil {
-		return &Bound{eval: func(value.Row) (bool, error) { return true, nil }}, nil
+		return &Bound{
+			eval: func(value.Row) (bool, error) { return true, nil },
+			evalBatch: func(cols [][]value.Value, sel []int) ([]int, error) {
+				return append([]int(nil), sel...), nil
+			},
+		}, nil
 	}
 	f, err := bindPred(e, schema)
 	if err != nil {
 		return nil, err
 	}
-	return &Bound{eval: f, src: e}, nil
+	bf, err := bindPredBatch(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Bound{eval: f, evalBatch: bf, src: e}, nil
 }
 
 // BoundScalar is a scalar expression compiled against a schema.
 type BoundScalar struct {
-	eval func(row value.Row) (value.Value, error)
+	eval      func(row value.Row) (value.Value, error)
+	evalBatch batchScalarFn
 }
 
 // Eval evaluates the scalar over a row.
 func (b *BoundScalar) Eval(row value.Row) (value.Value, error) { return b.eval(row) }
+
+// EvalBatch evaluates the scalar for the rows in sel, writing each result
+// at out[row]. out must cover every row id in sel.
+func (b *BoundScalar) EvalBatch(cols [][]value.Value, sel []int, out []value.Value) error {
+	return b.evalBatch(cols, sel, out)
+}
 
 // BindScalar compiles a scalar expression against a schema.
 func BindScalar(e Expr, schema RelSchema) (*BoundScalar, error) {
@@ -117,7 +143,11 @@ func BindScalar(e Expr, schema RelSchema) (*BoundScalar, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &BoundScalar{eval: f}, nil
+	bf, err := bindScalarBatch(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundScalar{eval: f, evalBatch: bf}, nil
 }
 
 type predFn func(value.Row) (bool, error)

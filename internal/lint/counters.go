@@ -50,15 +50,47 @@ func countersParam(pass *Pass, fn *ast.FuncDecl) (types.Object, string) {
 	return nil, ""
 }
 
-// CounterThread enforces that a function holding a *cost.Counters
-// parameter passes that same pointer to every child call that accepts
-// one. An operator that hands a child a fresh or foreign counter set
-// silently drops the child's work from the root total, corrupting the
-// simulated execution times every experiment is ranked by.
+// countersRecvField returns the field object and name of the first
+// *cost.Counters field on fn's receiver struct, or nil when fn has no
+// receiver or the receiver holds no counters. This is the streaming
+// Open/Next/Close shape: Open captures the counters pointer into the
+// operator struct and Next/Close charge through that field.
+func countersRecvField(pass *Pass, fn *ast.FuncDecl) (types.Object, string) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil, ""
+	}
+	t := pass.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return nil, ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isCountersPtr(f.Type()) {
+			return f, f.Name()
+		}
+	}
+	return nil, ""
+}
+
+// CounterThread enforces that a function holding a *cost.Counters —
+// either as a parameter (Execute/Open shape) or as a field captured on
+// its receiver (streaming Next/Close shape) — passes that same pointer to
+// every child call that accepts one. An operator that hands a child a
+// fresh or foreign counter set silently drops the child's work from the
+// root total, corrupting the simulated execution times every experiment
+// is ranked by.
 var CounterThread = &Analyzer{
 	Name: "counterthread",
 	Doc: "flag child Execute-style calls that do not thread the enclosing " +
-		"function's *cost.Counters parameter, which silently undercounts cost",
+		"function's *cost.Counters parameter or captured receiver field, " +
+		"which silently undercounts cost",
 	Run: runCounterThread,
 }
 
@@ -70,8 +102,13 @@ func runCounterThread(pass *Pass) {
 				continue
 			}
 			param, paramName := countersParam(pass, fn)
+			var field types.Object
+			var fieldName string
 			if param == nil {
-				continue
+				field, fieldName = countersRecvField(pass, fn)
+				if field == nil {
+					continue
+				}
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
@@ -86,13 +123,22 @@ func runCounterThread(pass *Pass) {
 					if !isCountersPtr(sig.Params().At(i).Type()) {
 						continue
 					}
-					arg := call.Args[i]
-					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == param {
+					arg := ast.Unparen(call.Args[i])
+					if param != nil {
+						if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == param {
+							continue
+						}
+						pass.Reportf(call.Args[i].Pos(),
+							"call passes a *cost.Counters other than the enclosing parameter %q; "+
+								"child work would not reach the caller's totals", paramName)
 						continue
 					}
-					pass.Reportf(arg.Pos(),
-						"call passes a *cost.Counters other than the enclosing parameter %q; "+
-							"child work would not reach the caller's totals", paramName)
+					if se, ok := arg.(*ast.SelectorExpr); ok && pass.Info.Uses[se.Sel] == field {
+						continue
+					}
+					pass.Reportf(call.Args[i].Pos(),
+						"call passes a *cost.Counters other than the receiver field %q captured at Open; "+
+							"child work would not reach the caller's totals", fieldName)
 				}
 				return true
 			})
@@ -101,13 +147,14 @@ func runCounterThread(pass *Pass) {
 }
 
 // CtxCounters forbids operators from constructing fresh cost.Counters
-// values: a function that was handed a *cost.Counters must accumulate
-// into it, not into a private counter set that is then dropped or
-// double-charged.
+// values: a function that was handed a *cost.Counters — as a parameter or
+// as a field captured on its receiver at Open — must accumulate into it,
+// not into a private counter set that is then dropped or double-charged.
 var CtxCounters = &Analyzer{
 	Name: "ctxcounters",
 	Doc: "flag construction of fresh cost.Counters inside functions that " +
-		"already receive a *cost.Counters parameter",
+		"already receive a *cost.Counters parameter or hold one as a " +
+		"receiver field",
 	Run: runCtxCounters,
 }
 
@@ -118,8 +165,11 @@ func runCtxCounters(pass *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if param, _ := countersParam(pass, fn); param == nil {
-				continue
+			param, _ := countersParam(pass, fn)
+			if param == nil {
+				if field, _ := countersRecvField(pass, fn); field == nil {
+					continue
+				}
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				switch n := n.(type) {

@@ -1,0 +1,38 @@
+package counterthread
+
+import "cost"
+
+// streamOp mirrors the engine's streaming operators: Open receives the
+// counters pointer and captures it into a field; Next, which has no
+// counters parameter of its own, charges children through that field.
+type streamOp struct {
+	input    Node
+	counters *cost.Counters
+}
+
+func (o *streamOp) Open(ctx *Context, counters *cost.Counters) error {
+	o.counters = counters
+	_, err := o.input.Execute(ctx, counters)
+	return err
+}
+
+func (o *streamOp) Next(ctx *Context) (*Result, error) {
+	return o.input.Execute(ctx, o.counters) // the captured field: allowed
+}
+
+var global cost.Counters
+
+// badStreamOp hands its child something other than the field captured at
+// Open, so the child's work never reaches the totals the operator was
+// opened against.
+type badStreamOp struct {
+	input    Node
+	counters *cost.Counters
+}
+
+func (o *badStreamOp) Next(ctx *Context) (*Result, error) {
+	if _, err := o.input.Execute(ctx, &global); err != nil { // want "other than the receiver field \"counters\""
+		return nil, err
+	}
+	return o.input.Execute(ctx, &cost.Counters{}) // want "other than the receiver field"
+}

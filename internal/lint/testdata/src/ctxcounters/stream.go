@@ -1,0 +1,31 @@
+package ctxcounters
+
+import "cost"
+
+// streamOp captures its counters pointer at Open; Next accumulates into
+// the captured field, which is the sanctioned streaming shape.
+type streamOp struct {
+	counters *cost.Counters
+}
+
+func (o *streamOp) Open(ctx *Context, counters *cost.Counters) error {
+	o.counters = counters
+	return nil
+}
+
+func (o *streamOp) Next(ctx *Context) (*Result, error) {
+	o.counters.Tuples++
+	return &Result{}, nil
+}
+
+// freshStreamOp hides per-batch work in a private counter set the opener
+// never sees, even though it holds a captured pointer to charge.
+type freshStreamOp struct {
+	counters *cost.Counters
+}
+
+func (o *freshStreamOp) Next(ctx *Context) (*Result, error) {
+	var local cost.Counters // want "fresh cost.Counters declared"
+	local.Tuples++
+	return &Result{}, nil
+}

@@ -156,7 +156,10 @@ func (p *planner) finish(c candidate) (engine.Node, float64, float64, error) {
 		alreadyOrdered := len(q.Aggs) == 0 && len(q.GroupBy) == 0 &&
 			len(q.OrderBy) == 1 && !first.Desc && c.orderedBy(first.Col)
 		if !alreadyOrdered {
-			node = &engine.Sort{Input: node, By: q.OrderBy}
+			// Under a LIMIT the sort only needs the first q.Limit rows, so
+			// the engine can keep a bounded top-K heap instead of
+			// materializing the full sorted input.
+			node = &engine.Sort{Input: node, By: q.OrderBy, TopK: q.Limit}
 			total += rows * m.SortTuple
 		}
 	}

@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
+)
+
+// TestOrderByLimitPlansBoundedTopK: when a query carries both ORDER BY and
+// LIMIT, the planned Sort must advertise the bounded top-K heap so the
+// executor retains only K rows instead of materializing the full sort run.
+func TestOrderByLimitPlansBoundedTopK(t *testing.T) {
+	db, ctx := optDB(t, 2000, 40)
+	o := exactOpt(t, db, ctx)
+	q := &Query{
+		Tables:  []string{"lineitem"},
+		Pred:    testkit.Expr("l_ship < 500"),
+		OrderBy: []engine.SortKey{{Col: expr.ColumnRef{Table: "lineitem", Column: "l_price"}, Desc: true}},
+		Limit:   17,
+	}
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "top=17") {
+		t.Errorf("Sort under LIMIT not bounded to top-K:\n%s", plan.Explain())
+	}
+	// Without a LIMIT the same query must plan an unbounded sort.
+	q.Limit = 0
+	plan, err = o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Explain(), "top=") {
+		t.Errorf("unlimited query planned a bounded sort:\n%s", plan.Explain())
+	}
+}
+
+// TestElidedSortStillStreamsUnderLimit: when ORDER BY matches the table's
+// declared heap order the sort is elided entirely, and the remaining plan
+// is a pure streaming pipeline — a LIMIT above it must terminate after a
+// prefix of the table, not after a full scan.
+func TestElidedSortStillStreamsUnderLimit(t *testing.T) {
+	const nLines = 2000
+	db, ctx := optDB(t, nLines, 40)
+	o := exactOpt(t, db, ctx)
+	q := &Query{
+		Tables:  []string{"lineitem"},
+		Pred:    testkit.Expr("l_ship < 500"),
+		OrderBy: []engine.SortKey{{Col: expr.ColumnRef{Table: "lineitem", Column: "l_id"}}},
+		Limit:   10,
+	}
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Explain(), "Sort") {
+		t.Fatalf("sort not elided for declared order:\n%s", plan.Explain())
+	}
+	res, counters, _, err := engine.Run(ctx, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	idIdx, _ := res.Schema.Resolve(expr.ColumnRef{Table: "lineitem", Column: "l_id"})
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][idIdx].I < res.Rows[i-1][idIdx].I {
+			t.Fatal("order violated without sort")
+		}
+	}
+	// The whole table spans many more pages than one batch; an early stop
+	// must leave most of them unread.
+	totalPages := int64((nLines + storage.TuplesPerPage - 1) / storage.TuplesPerPage)
+	if counters.SeqPages >= totalPages {
+		t.Errorf("LIMIT over elided sort scanned all %d pages; early termination lost", counters.SeqPages)
+	}
+}
