@@ -1,0 +1,117 @@
+// Command benchobs measures the overhead the observability wrapper adds
+// to streaming execution and records it in a small JSON report
+// (BENCH_obs.json in CI). It runs the engine's full-drain
+// scan→filter pipeline twice — bare and instrumented — taking the best
+// of several testing.Benchmark repetitions, and exits nonzero when the
+// instrumented run is more than -max-overhead slower: the wrapper is
+// meant to be cheap enough to leave on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/tpch"
+)
+
+// report is the schema of the JSON output.
+type report struct {
+	Benchmark        string  `json:"benchmark"`
+	Lines            int     `json:"lines"`
+	Reps             int     `json:"reps"`
+	PlainNsPerOp     float64 `json:"plain_ns_per_op"`
+	InstrumentedNsOp float64 `json:"instrumented_ns_per_op"`
+	OverheadFraction float64 `json:"overhead_fraction"`
+	MaxOverhead      float64 `json:"max_overhead"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_obs.json", "report file path")
+	lines := flag.Int("lines", 20000, "lineitem rows to generate")
+	reps := flag.Int("reps", 5, "benchmark repetitions (best-of)")
+	maxOverhead := flag.Float64("max-overhead", 0.05, "fail when overhead exceeds this fraction")
+	flag.Parse()
+	if err := run(*out, *lines, *reps, *maxOverhead); err != nil {
+		fmt.Fprintln(os.Stderr, "benchobs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, lines, reps int, maxOverhead float64) error {
+	db, err := tpch.Generate(tpch.Config{Lines: lines, Seed: 2005})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+	// Full-drain scan→filter: every row crosses the wrapper, so this is
+	// the worst case for per-batch instrumentation overhead.
+	plan := func() engine.Node {
+		return &engine.Filter{
+			Input: &engine.SeqScan{Table: "lineitem"},
+			Pred:  expr.Cmp{Op: expr.GE, L: expr.C("l_quantity"), R: expr.IntLit(0)},
+		}
+	}
+	measure := func(n engine.Node) (float64, error) {
+		best := math.MaxFloat64
+		for r := 0; r < reps; r++ {
+			var execErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var c cost.Counters
+					if _, err := n.Execute(ctx, &c); err != nil {
+						execErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if execErr != nil {
+				return 0, execErr
+			}
+			if v := float64(res.NsPerOp()); v < best {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	plain, err := measure(plan())
+	if err != nil {
+		return err
+	}
+	instrumented, err := measure(engine.Instrument(plan()))
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Benchmark:        "ExecStream fulldrain scan+filter",
+		Lines:            lines,
+		Reps:             reps,
+		PlainNsPerOp:     plain,
+		InstrumentedNsOp: instrumented,
+		OverheadFraction: instrumented/plain - 1,
+		MaxOverhead:      maxOverhead,
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("plain %.0f ns/op, instrumented %.0f ns/op, overhead %.2f%% (report: %s)\n",
+		plain, instrumented, rep.OverheadFraction*100, out)
+	if rep.OverheadFraction > maxOverhead {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds the %.0f%% budget",
+			rep.OverheadFraction*100, maxOverhead*100)
+	}
+	return nil
+}

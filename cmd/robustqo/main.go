@@ -18,15 +18,12 @@ import (
 	"os"
 	"strings"
 
-	"robustqo/internal/core"
 	"robustqo/internal/engine"
 	"robustqo/internal/experiments"
 	"robustqo/internal/expr"
-	"robustqo/internal/histogram"
 	"robustqo/internal/optimizer"
 	"robustqo/internal/sample"
 	"robustqo/internal/sqlparse"
-	"robustqo/internal/stats"
 	"robustqo/internal/tpch"
 )
 
@@ -51,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		return runQuery(args[1:], out)
 	case "sql":
 		return runSQL(args[1:], out)
+	case "serve":
+		return runServe(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -69,6 +68,12 @@ Subcommands:
   query '<predicate>'       optimize+run a lineitem aggregate; -h for flags
   sql 'SELECT ...'          optimize+run a full SELECT over the TPC-H-like
                             schema (lineitem, orders, part); -h for flags
+  serve                     debug HTTP server: /metrics, /query, pprof;
+                            -debug-addr to pick the listen address
+
+query and sql accept -analyze (EXPLAIN ANALYZE: estimated vs actual rows
+and Q-error per operator) and -trace-out FILE [-trace-format json|chrome]
+to export an optimizer+execution trace.
 `)
 }
 
@@ -141,6 +146,8 @@ func runQuery(args []string, out io.Writer) error {
 	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
 	seed := fs.Uint64("seed", 2005, "random seed")
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,33 +168,16 @@ func runQuery(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var est core.Estimator
-	switch *estimator {
-	case "robust":
-		syn, err := sample.BuildAll(db, *sampleSize, stats.NewRNG(*seed^0xbeef))
-		if err != nil {
-			return err
-		}
-		est, err = core.NewBayesEstimator(syn, core.ConfidenceThreshold(*threshold))
-		if err != nil {
-			return err
-		}
-	case "histogram":
-		hists, err := histogram.BuildAll(db)
-		if err != nil {
-			return err
-		}
-		est, err = core.NewHistogramEstimator(hists, db.Catalog)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown estimator %q", *estimator)
+	est, err := buildEstimator(db, *estimator, *threshold, *sampleSize, *seed)
+	if err != nil {
+		return err
 	}
 	opt, err := optimizer.New(ctx, est)
 	if err != nil {
 		return err
 	}
+	tr := of.trace()
+	opt.Trace = tr
 	q := &optimizer.Query{
 		Tables: []string{"lineitem"},
 		Pred:   pred,
@@ -205,11 +195,10 @@ func runQuery(args []string, out io.Writer) error {
 	if *explainOnly {
 		return nil
 	}
-	res, counters, secs, err := engine.Run(ctx, plan.Root)
+	res, err := executePlan(ctx, plan, tr, &of, out)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "simulated execution: %.4f s  (%s)\n", secs, counters)
 	header := make([]string, len(res.Schema.Fields))
 	for i, f := range res.Schema.Fields {
 		header[i] = f.Column
@@ -235,6 +224,8 @@ func runSQL(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 2005, "random seed")
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
 	maxRows := fs.Int("maxrows", 20, "print at most this many result rows")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,33 +245,16 @@ func runSQL(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var est core.Estimator
-	switch *estimator {
-	case "robust":
-		syn, err := sample.BuildAll(db, *sampleSize, stats.NewRNG(*seed^0xbeef))
-		if err != nil {
-			return err
-		}
-		est, err = core.NewBayesEstimator(syn, core.ConfidenceThreshold(*threshold))
-		if err != nil {
-			return err
-		}
-	case "histogram":
-		hists, err := histogram.BuildAll(db)
-		if err != nil {
-			return err
-		}
-		est, err = core.NewHistogramEstimator(hists, db.Catalog)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown estimator %q", *estimator)
+	est, err := buildEstimator(db, *estimator, *threshold, *sampleSize, *seed)
+	if err != nil {
+		return err
 	}
 	opt, err := optimizer.New(ctx, est)
 	if err != nil {
 		return err
 	}
+	tr := of.trace()
+	opt.Trace = tr
 	plan, err := opt.Optimize(q)
 	if err != nil {
 		return err
@@ -290,11 +264,10 @@ func runSQL(args []string, out io.Writer) error {
 	if *explainOnly {
 		return nil
 	}
-	res, counters, secs, err := engine.Run(ctx, plan.Root)
+	res, err := executePlan(ctx, plan, tr, &of, out)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "simulated execution: %.4f s  (%s)\n", secs, counters)
 	header := make([]string, len(res.Schema.Fields))
 	for i, f := range res.Schema.Fields {
 		if f.Table != "" {

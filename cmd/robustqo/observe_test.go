@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSQLAnalyze(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"sql", "-lines", "5000", "-analyze",
+		"SELECT l_id FROM lineitem WHERE l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30' LIMIT 5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXPLAIN ANALYZE:", "est=", "act=", "q=", "T=80%", "open=", "next="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQueryTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	err := run([]string{"query", "-lines", "5000", "-trace-out", jsonPath,
+		"l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-07-31'"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Trace string `json:"trace"`
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range doc.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"optimize", "optimize/join-enumeration", "estimate"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span; got %d spans", want, len(doc.Spans))
+		}
+	}
+	hasOp := false
+	for n := range names {
+		if strings.HasPrefix(n, "op:") {
+			hasOp = true
+		}
+	}
+	if !hasOp {
+		t.Error("trace has no operator spans")
+	}
+
+	// Chrome format: the traceEvents envelope chrome://tracing expects.
+	chromePath := filepath.Join(dir, "trace_chrome.json")
+	buf.Reset()
+	err = run([]string{"query", "-lines", "5000", "-trace-out", chromePath,
+		"-trace-format", "chrome", "l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-07-31'"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 || chrome.TraceEvents[0].Ph != "X" {
+		t.Errorf("chrome trace malformed: %+v", chrome.TraceEvents)
+	}
+}
+
+func TestRunSQLBadTraceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"sql", "-lines", "2000", "-trace-out", filepath.Join(t.TempDir(), "x"),
+		"-trace-format", "bogus", "SELECT l_id FROM lineitem LIMIT 1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "trace format") {
+		t.Errorf("bad format accepted: %v", err)
+	}
+}

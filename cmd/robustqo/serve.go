@@ -1,0 +1,182 @@
+package main
+
+// The serve subcommand runs a debug HTTP server over a generated
+// database: /metrics exposes the text metrics registry, /query
+// optimizes and executes ad-hoc SQL (with per-request confidence
+// thresholds — the paper's robustness knob as a URL parameter), and the
+// standard net/http/pprof endpoints hang off /debug/pprof/.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"robustqo/internal/core"
+	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/obs"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/sqlparse"
+	"robustqo/internal/tpch"
+)
+
+// server holds the shared read-only state behind the debug endpoints.
+// The database, indexes, and estimator are immutable after startup;
+// the registry is internally synchronized — so handlers need no lock.
+type server struct {
+	ctx   *engine.Context
+	est   core.Estimator
+	bayes *core.BayesEstimator // non-nil when est is the robust estimator
+	reg   *obs.Registry
+}
+
+func newServer(lines int, estimator string, threshold float64, sampleSize int, seed uint64) (*server, error) {
+	db, err := tpch.Generate(tpch.Config{Lines: lines, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return nil, err
+	}
+	est, err := buildEstimator(db, estimator, threshold, sampleSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{ctx: ctx, est: est, reg: obs.NewRegistry()}
+	if b, ok := est.(*core.BayesEstimator); ok {
+		s.bayes = b
+	}
+	return s, nil
+}
+
+// mux wires the debug endpoints. pprof handlers are registered
+// explicitly because the server does not use http.DefaultServeMux.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, `robustqo debug server (estimator: %s)
+
+endpoints:
+  /metrics                          text metrics exposition
+  /query?sql=SELECT+...             optimize and execute SQL
+         &threshold=0.95            per-query confidence threshold
+         &analyze=1                 include the EXPLAIN ANALYZE tree
+  /debug/pprof/                     Go runtime profiles
+`, s.est.Name())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sqlText := r.URL.Query().Get("sql")
+	if sqlText == "" {
+		http.Error(w, "missing sql parameter", http.StatusBadRequest)
+		return
+	}
+	q, err := sqlparse.Parse(sqlText)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	est := s.est
+	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		if s.bayes == nil {
+			http.Error(w, "threshold only applies to the robust estimator", http.StatusBadRequest)
+			return
+		}
+		t, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			http.Error(w, "bad threshold: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, err := s.bayes.WithThreshold(core.ConfidenceThreshold(t))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		est = b
+	}
+	opt, err := optimizer.New(s.ctx, est)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	inst := engine.InstrumentTrace(plan.Root, nil)
+	var counters cost.Counters
+	res, err := inst.Execute(s.ctx, &counters)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	counters.Output += int64(len(res.Rows))
+	recordQueryMetrics(s.reg, plan, inst)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "estimator: %s\nestimated cost: %.4f s, estimated rows: %.1f\n",
+		plan.Estimator, plan.EstCost, plan.EstRows)
+	if r.URL.Query().Get("analyze") != "" {
+		fmt.Fprint(w, "EXPLAIN ANALYZE:\n")
+		fmt.Fprint(w, engine.ExplainAnalyze(inst, engine.AnalyzeOptions{
+			EstimateOf: plan.EstimateOf,
+			Timings:    true,
+			Totals:     &counters,
+		}))
+	} else {
+		fmt.Fprintf(w, "plan:\n%s", plan.Explain())
+	}
+	fmt.Fprintf(w, "simulated execution: %.4f s\n(%d rows)\n",
+		s.ctx.Model.Time(counters), len(res.Rows))
+}
+
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("debug-addr", "localhost:6060", "listen address for the debug server")
+	lines := fs.Int("lines", 60000, "lineitem rows to generate")
+	threshold := fs.Float64("threshold", 0.8, "default confidence threshold in (0,1)")
+	estimator := fs.String("estimator", "robust", "cardinality estimator: robust or histogram")
+	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
+	seed := fs.Uint64("seed", 2005, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
+	s, err := newServer(*lines, *estimator, *threshold, *sampleSize, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "debug server listening on http://%s/ (metrics, query, pprof)\n", *addr)
+	return http.ListenAndServe(*addr, s.mux())
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := newServer(5000, "robust", 0.8, 500, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeQueryMetricsAndPprof(t *testing.T) {
+	ts := testServer(t)
+
+	// Fresh server: metrics exist but empty, index names the endpoints.
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+
+	sql := url.QueryEscape("SELECT l_id FROM lineitem WHERE l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30' LIMIT 3")
+	code, body = get(t, ts.URL+"/query?analyze=1&sql="+sql)
+	if code != http.StatusOK {
+		t.Fatalf("query: code %d body %q", code, body)
+	}
+	for _, want := range []string{"EXPLAIN ANALYZE:", "est=", "act=", "T=80%", "(3 rows)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("query response missing %q:\n%s", want, body)
+		}
+	}
+
+	// Per-request threshold: the T annotation follows the URL parameter.
+	code, body = get(t, ts.URL+"/query?analyze=1&threshold=0.95&sql="+sql)
+	if code != http.StatusOK || !strings.Contains(body, "T=95%") {
+		t.Errorf("threshold override: code %d body:\n%s", code, body)
+	}
+
+	// Both queries landed in the registry.
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"robustqo_queries_total 2",
+		"robustqo_rows_returned_total 6",
+		`robustqo_plans_total{order="lineitem",t="0.8"} 1`,
+		`robustqo_plans_total{order="lineitem",t="0.95"} 1`,
+		`robustqo_qerror_count{op="Limit"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: code %d", code)
+	}
+}
+
+func TestServeQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range []struct {
+		name, path string
+	}{
+		{"missing sql", "/query"},
+		{"bad sql", "/query?sql=" + url.QueryEscape("DELETE FROM lineitem")},
+		{"bad threshold", "/query?threshold=nope&sql=" + url.QueryEscape("SELECT * FROM lineitem LIMIT 1")},
+		{"threshold out of range", "/query?threshold=1.5&sql=" + url.QueryEscape("SELECT * FROM lineitem LIMIT 1")},
+		{"unknown table", "/query?sql=" + url.QueryEscape("SELECT * FROM ghost")},
+	} {
+		if code, _ := get(t, ts.URL+tc.path); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", tc.name, code)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path not 404: %d", code)
+	}
+}

@@ -1,0 +1,53 @@
+package robustqo_test
+
+// Golden-file test for the examples: each examples/<name>/main.go is a
+// deterministic program (fixed seeds, synthetic data), so its full
+// stdout is pinned in examples/<name>/golden.txt. Regenerate after an
+// intentional output change with
+//
+//	go test -run TestExamplesGolden -update-golden
+//
+// and review the diff like any other golden update.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite examples/*/golden.txt from current output")
+
+func TestExamplesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run full programs; skipped in -short mode")
+	}
+	for _, name := range []string{"quickstart", "adhoc", "dashboard", "starjoin"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			var out, stderr bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run: %v\nstderr:\n%s", err, stderr.String())
+			}
+			golden := filepath.Join("examples", name, "golden.txt")
+			if *updateGolden {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output drifted from %s;\ngot:\n%s\nwant:\n%s", golden, out.Bytes(), want)
+			}
+		})
+	}
+}

@@ -100,6 +100,30 @@ func (e *BayesEstimator) Name() string {
 	return fmt.Sprintf("bayes(%s, prior=Beta(%g,%g))", e.Threshold, e.Prior.A, e.Prior.B)
 }
 
+// ConfidenceLevel reports the posterior percentile the estimator takes
+// its point estimates at, for observability snapshots (EXPLAIN ANALYZE
+// tags every estimate with the T it was produced under). The bool is
+// false when the estimator does not condense through a quantile.
+func (e *BayesEstimator) ConfidenceLevel() (float64, bool) {
+	if e.Rule != RuleQuantile {
+		return 0, false
+	}
+	return float64(e.Threshold), true
+}
+
+// ConfidenceLevel reports the percentile of the first chained estimator
+// that exposes one.
+func (c *Chain) ConfidenceLevel() (float64, bool) {
+	for _, e := range c.Estimators {
+		if cl, ok := e.(interface{ ConfidenceLevel() (float64, bool) }); ok {
+			if t, ok := cl.ConfidenceLevel(); ok {
+				return t, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // WithThreshold returns a copy of the estimator using a different
 // confidence threshold — the mechanism behind per-query hints
 // (Section 6.2.5).

@@ -45,11 +45,39 @@ func (c *Counters) Add(other Counters) {
 	c.Output += other.Output
 }
 
-// String renders the counters compactly for diagnostics.
+// String renders the counters compactly for diagnostics and EXPLAIN
+// output. The rendering is stable: fields appear in declaration order,
+// zero-valued fields are always omitted, and all-zero counters render
+// as "none". Tests pin this format — change it deliberately.
 func (c Counters) String() string {
-	return fmt.Sprintf("seq=%d rand=%d cpu=%d seeks=%d entries=%d hb=%d hp=%d sort=%d out=%d",
-		c.SeqPages, c.RandPages, c.Tuples, c.IndexSeeks, c.IndexEntries,
-		c.HashBuilds, c.HashProbes, c.SortTuples, c.Output)
+	fields := []struct {
+		label string
+		v     int64
+	}{
+		{"seq", c.SeqPages},
+		{"rand", c.RandPages},
+		{"cpu", c.Tuples},
+		{"seeks", c.IndexSeeks},
+		{"entries", c.IndexEntries},
+		{"hb", c.HashBuilds},
+		{"hp", c.HashProbes},
+		{"sort", c.SortTuples},
+		{"out", c.Output},
+	}
+	var b []byte
+	for _, f := range fields {
+		if f.v == 0 {
+			continue
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s=%d", f.label, f.v)...)
+	}
+	if len(b) == 0 {
+		return "none"
+	}
+	return string(b)
 }
 
 // Model holds per-operation costs in simulated seconds.

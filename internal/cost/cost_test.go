@@ -17,12 +17,27 @@ func TestCountersAddAccumulatesAllFields(t *testing.T) {
 	}
 }
 
+// TestCountersString is the golden test for the rendering EXPLAIN
+// ANALYZE embeds: field order fixed, zero fields always omitted,
+// all-zero counters spelled "none".
 func TestCountersString(t *testing.T) {
-	s := Counters{SeqPages: 3, Output: 9}.String()
-	for _, want := range []string{"seq=3", "out=9", "rand=0"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("String %q missing %q", s, want)
+	cases := []struct {
+		c    Counters
+		want string
+	}{
+		{Counters{}, "none"},
+		{Counters{SeqPages: 3, Output: 9}, "seq=3 out=9"},
+		{Counters{RandPages: 2, HashProbes: 7}, "rand=2 hp=7"},
+		{Counters{1, 2, 3, 4, 5, 6, 7, 8, 9},
+			"seq=1 rand=2 cpu=3 seeks=4 entries=5 hb=6 hp=7 sort=8 out=9"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("Counters%+v.String() = %q, want %q", tc.c, got, tc.want)
 		}
+	}
+	if strings.Contains(Counters{SeqPages: 1}.String(), "rand=") {
+		t.Error("zero field leaked into rendering")
 	}
 }
 

@@ -121,6 +121,12 @@ func children(n Node) []Node {
 			out = append(out, d.Scan)
 		}
 		return out
+	case *Instrumented:
+		out := make([]Node, 0, len(t.Kids))
+		for _, k := range t.Kids {
+			out = append(out, k)
+		}
+		return out
 	default:
 		return nil
 	}

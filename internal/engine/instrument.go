@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/obs"
+)
+
+// Instrumented wraps one plan node with execution-feedback recording:
+// per-operator batch and row counts plus Open/Next/Close wall time,
+// accumulated into Stats. The wrapper is a pure pass-through for both
+// batches and cost counters — instrumenting a plan never changes its
+// results or its cost.Counters, a property pinned by a differential
+// test over the random SPJ corpus.
+type Instrumented struct {
+	// Origin is the node exactly as the optimizer built it; estimate
+	// lookups (optimizer.Plan.EstimateOf) key on this pointer.
+	Origin Node
+	// Inner is a shallow copy of Origin whose children were replaced by
+	// the wrapped Kids, so every pull through this subtree crosses the
+	// wrappers. Leaves keep Inner == Origin.
+	Inner Node
+	Kids  []*Instrumented
+	Stats *obs.OpStats
+	// Trace, when non-nil, receives one span per operator lifetime
+	// (Open through Close).
+	Trace *obs.Trace
+}
+
+// Instrument returns an instrumented copy of the plan rooted at root.
+// The original tree is left untouched and remains executable.
+func Instrument(root Node) *Instrumented { return instrument(root, nil) }
+
+// InstrumentTrace is Instrument with per-operator spans emitted to tr.
+func InstrumentTrace(root Node, tr *obs.Trace) *Instrumented { return instrument(root, tr) }
+
+func instrument(n Node, tr *obs.Trace) *Instrumented {
+	kids := children(n)
+	wrapped := make([]*Instrumented, len(kids))
+	asNodes := make([]Node, len(kids))
+	for i, k := range kids {
+		wrapped[i] = instrument(k, tr)
+		asNodes[i] = wrapped[i]
+	}
+	inner := n
+	if len(kids) > 0 {
+		inner = replaceChildren(n, asNodes)
+	}
+	return &Instrumented{Origin: n, Inner: inner, Kids: wrapped, Stats: &obs.OpStats{}, Trace: tr}
+}
+
+// replaceChildren returns a shallow copy of n with its children — in
+// the order reported by children — replaced by kids. Nodes without
+// children are returned unchanged. The switch must mirror children.
+func replaceChildren(n Node, kids []Node) Node {
+	switch t := n.(type) {
+	case *Filter:
+		cp := *t
+		cp.Input = kids[0]
+		return &cp
+	case *Project:
+		cp := *t
+		cp.Input = kids[0]
+		return &cp
+	case *Aggregate:
+		cp := *t
+		cp.Input = kids[0]
+		return &cp
+	case *Sort:
+		cp := *t
+		cp.Input = kids[0]
+		return &cp
+	case *Limit:
+		cp := *t
+		cp.Input = kids[0]
+		return &cp
+	case *HashJoin:
+		cp := *t
+		cp.Build, cp.Probe = kids[0], kids[1]
+		return &cp
+	case *MergeJoin:
+		cp := *t
+		cp.Left, cp.Right = kids[0], kids[1]
+		return &cp
+	case *INLJoin:
+		cp := *t
+		cp.Outer = kids[0]
+		return &cp
+	case *StarSemiJoin:
+		cp := *t
+		cp.Dims = append([]StarDim(nil), t.Dims...)
+		for i := range cp.Dims {
+			cp.Dims[i].Scan = kids[i]
+		}
+		return &cp
+	default:
+		return n
+	}
+}
+
+// OpName returns the operator-type name of a plan node, used as the
+// label for per-operator-type metrics and trace spans.
+func OpName(n Node) string {
+	switch t := n.(type) {
+	case *SeqScan:
+		return "SeqScan"
+	case *IndexRangeScan:
+		return "IndexRangeScan"
+	case *IndexIntersect:
+		return "IndexIntersect"
+	case *HashJoin:
+		return "HashJoin"
+	case *MergeJoin:
+		return "MergeJoin"
+	case *INLJoin:
+		return "INLJoin"
+	case *StarSemiJoin:
+		return "StarSemiJoin"
+	case *Filter:
+		return "Filter"
+	case *Project:
+		return "Project"
+	case *Aggregate:
+		return "Aggregate"
+	case *Sort:
+		return "Sort"
+	case *Limit:
+		return "Limit"
+	case *Instrumented:
+		return OpName(t.Inner)
+	default:
+		d := n.Describe()
+		if i := strings.IndexByte(d, '('); i > 0 {
+			return d[:i]
+		}
+		return d
+	}
+}
+
+// LeafTables returns the base tables of a plan in left-to-right leaf
+// order — the join-order signature used for plan-choice metrics.
+func LeafTables(root Node) []string {
+	switch t := root.(type) {
+	case *SeqScan:
+		return []string{t.Table}
+	case *IndexRangeScan:
+		return []string{t.Table}
+	case *IndexIntersect:
+		return []string{t.Table}
+	case *INLJoin:
+		return append(LeafTables(t.Outer), t.InnerTable)
+	case *StarSemiJoin:
+		out := []string{t.Fact}
+		for _, d := range t.Dims {
+			out = append(out, LeafTables(d.Scan)...)
+		}
+		return out
+	case *Instrumented:
+		return LeafTables(t.Inner)
+	default:
+		var out []string
+		for _, c := range children(root) {
+			out = append(out, LeafTables(c)...)
+		}
+		return out
+	}
+}
+
+// Schema implements Node.
+func (n *Instrumented) Schema(ctx *Context) (expr.RelSchema, error) {
+	return n.Inner.Schema(ctx)
+}
+
+// Execute implements Node.
+func (n *Instrumented) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	return execStream(ctx, n, counters)
+}
+
+// Stream implements Node.
+func (n *Instrumented) Stream() Operator { return &instrumentedOp{node: n} }
+
+// Describe implements Node.
+func (n *Instrumented) Describe() string { return n.Inner.Describe() }
+
+// instrumentedOp is the pass-through streaming wrapper: it forwards
+// every call to the wrapped operator unchanged — same context, same
+// counters pointer, same batches — while timing the calls and counting
+// what flows through.
+type instrumentedOp struct {
+	node   *Instrumented
+	inner  Operator
+	span   *obs.Span
+	closed bool
+}
+
+func (o *instrumentedOp) Open(ctx *Context, counters *cost.Counters) error {
+	o.span = o.node.Trace.StartSpan("op:" + OpName(o.node.Inner))
+	start := time.Now()
+	o.inner = o.node.Inner.Stream()
+	err := o.inner.Open(ctx, counters)
+	o.node.Stats.OpenTime += time.Since(start)
+	o.node.Stats.Opens++
+	return err
+}
+
+func (o *instrumentedOp) Next() (*Batch, error) {
+	start := time.Now()
+	b, err := o.inner.Next()
+	st := o.node.Stats
+	st.NextTime += time.Since(start)
+	if b != nil {
+		st.Batches++
+		st.Rows += int64(b.Len())
+	}
+	return b, err
+}
+
+func (o *instrumentedOp) Close() {
+	if o.inner != nil {
+		start := time.Now()
+		o.inner.Close()
+		if !o.closed {
+			o.closed = true
+			o.node.Stats.CloseTime += time.Since(start)
+			if o.span != nil {
+				o.span.SetAttr("rows", fmt.Sprintf("%d", o.node.Stats.Rows))
+				o.span.SetAttr("batches", fmt.Sprintf("%d", o.node.Stats.Batches))
+			}
+		}
+	}
+	o.span.End()
+}
+
+// AnalyzeOptions configures ExplainAnalyze rendering.
+type AnalyzeOptions struct {
+	// EstimateOf returns the optimizer's planning-time snapshot for an
+	// original (pre-instrumentation) node; typically
+	// optimizer.Plan.EstimateOf. Nil renders actuals only.
+	EstimateOf func(Node) (obs.EstimateSnapshot, bool)
+	// Timings appends wall-clock open/next/close times per operator.
+	// Leave it off for deterministic output (golden tests).
+	Timings bool
+	// Totals, when non-nil, appends the plan-wide cost counters as a
+	// trailing line.
+	Totals *cost.Counters
+}
+
+// ExplainAnalyze renders the instrumented plan tree with, per operator,
+// the estimated rows, actual rows, and Q-error — the EXPLAIN ANALYZE
+// output. When the estimate carries a posterior percentile T, it is
+// shown so runs at different confidence thresholds are comparable.
+func ExplainAnalyze(root *Instrumented, opts AnalyzeOptions) string {
+	var b strings.Builder
+	var walk func(n *Instrumented, depth int)
+	walk = func(n *Instrumented, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(n.Describe())
+		st := n.Stats
+		b.WriteString("  (")
+		wroteEst := false
+		if opts.EstimateOf != nil {
+			if est, ok := opts.EstimateOf(n.Origin); ok {
+				fmt.Fprintf(&b, "est=%.1f act=%d q=%.2f", est.Rows, st.Rows, obs.QError(est.Rows, float64(st.Rows)))
+				if est.Percentile > 0 {
+					fmt.Fprintf(&b, " T=%g%%", math.Round(est.Percentile*10000)/100)
+				}
+				wroteEst = true
+			}
+		}
+		if !wroteEst {
+			fmt.Fprintf(&b, "est=? act=%d", st.Rows)
+		}
+		fmt.Fprintf(&b, " batches=%d", st.Batches)
+		if opts.Timings {
+			fmt.Fprintf(&b, " open=%s next=%s close=%s",
+				st.OpenTime.Round(time.Microsecond),
+				st.NextTime.Round(time.Microsecond),
+				st.CloseTime.Round(time.Microsecond))
+		}
+		b.WriteString(")\n")
+		for _, kid := range n.Kids {
+			walk(kid, depth+1)
+		}
+	}
+	walk(root, 0)
+	if opts.Totals != nil {
+		fmt.Fprintf(&b, "counters: %s\n", opts.Totals)
+	}
+	return b.String()
+}

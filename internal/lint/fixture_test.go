@@ -148,6 +148,8 @@ func TestFloatCmpFixture(t *testing.T) { testFixture(t, FloatCmp, "floatcmp") }
 
 func TestMapOrderFixture(t *testing.T) { testFixture(t, MapOrder, "maporder") }
 
+func TestSpanEndFixture(t *testing.T) { testFixture(t, SpanEnd, "spanend") }
+
 func TestNoPanicFixture(t *testing.T) {
 	testFixture(t, NoPanic, "internal/np")
 	testFixture(t, NoPanic, "internal/allowed") // whole-file suppression

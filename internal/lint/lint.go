@@ -11,6 +11,8 @@
 //   - nopanic: no panic(...) in internal/ library code; return errors.
 //   - ctxcounters: operators must not construct fresh cost.Counters;
 //     they accumulate into the pointer handed to them.
+//   - spanend: every span opened with obs.StartSpan is ended on all
+//     return paths (unended spans corrupt trace parent inference).
 //
 // The package is a small, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis model (Analyzer, Pass, diagnostics,
@@ -161,6 +163,7 @@ func All() []*Analyzer {
 		FloatCmp,
 		MapOrder,
 		NoPanic,
+		SpanEnd,
 	}
 }
 

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd keeps the tracing layer honest: a span returned by
+// obs.Trace.StartSpan that is never ended stays on the trace's open
+// stack forever, corrupting parent inference for every later span and
+// producing truncated exports. The analyzer flags StartSpan calls whose
+// result is discarded, span variables with no End call in the enclosing
+// function, and plain (non-deferred) End calls that an early return can
+// skip. Spans stored into struct fields are exempt: they hand lifecycle
+// ownership to a longer-lived object (the engine's instrumented
+// operators end theirs in Close).
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "flag obs.StartSpan calls whose span is discarded, never ended, " +
+		"or ended only on some return paths",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpanScope(pass, fn.Body)
+		}
+	}
+}
+
+// checkSpanScope analyzes one function body; nested function literals
+// are recursed into as independent scopes.
+func checkSpanScope(pass *Pass, body *ast.BlockStmt) {
+	type spanVar struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var spans []spanVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			checkSpanScope(pass, st.Body)
+			return false
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isStartSpan(pass, call) {
+				pass.Reportf(call.Pos(), "span from StartSpan is discarded; assign it and defer End")
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isStartSpan(pass, call) {
+				return true
+			}
+			id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+			if !ok {
+				// Field or index assignment: the span's lifecycle belongs
+				// to the assigned-to owner, not this function.
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "span from StartSpan is discarded; assign it and defer End")
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				spans = append(spans, spanVar{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	for _, sv := range spans {
+		deferred, firstEnd := findEnds(pass, body, sv.obj)
+		switch {
+		case !deferred && firstEnd == token.NoPos:
+			pass.Reportf(sv.pos, "span %q is never ended; defer %s.End()", sv.obj.Name(), sv.obj.Name())
+		case !deferred && returnBetween(body, sv.pos, firstEnd):
+			pass.Reportf(sv.pos, "a return path can skip %s.End(); use defer", sv.obj.Name())
+		}
+	}
+}
+
+// isStartSpan reports whether the call is a StartSpan method returning
+// an obs *Span (matched by package name so fixtures can stand in).
+func isStartSpan(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	ptr, ok := pass.TypeOf(call).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Span" && o.Pkg() != nil && o.Pkg().Name() == "obs"
+}
+
+// findEnds locates End calls on the span object: whether any is
+// deferred (directly or via a deferred closure), and the position of
+// the first plain End call.
+func findEnds(pass *Pass, body *ast.BlockStmt, obj types.Object) (deferred bool, first token.Pos) {
+	first = token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(d, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && endsSpan(pass, call, obj) {
+					deferred = true
+				}
+				return true
+			})
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && endsSpan(pass, call, obj) {
+			if first == token.NoPos || call.Pos() < first {
+				first = call.Pos()
+			}
+		}
+		return true
+	})
+	return deferred, first
+}
+
+func endsSpan(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// returnBetween reports whether a return statement of this function
+// (not of a nested literal) sits between the span assignment and the
+// first plain End call — the window where an early return leaks it.
+func returnBetween(body *ast.BlockStmt, start, end token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > start && r.Pos() < end {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,26 @@
+// Package obs is a miniature stand-in for robustqo/internal/obs: the
+// spanend analyzer matches the StartSpan method returning *Span in a
+// package named obs, so fixtures can exercise it without importing the
+// real module.
+package obs
+
+// Trace collects spans.
+type Trace struct{ spans []*Span }
+
+// Span is one timed region.
+type Span struct{ name string }
+
+// StartSpan opens a span.
+func (t *Trace) StartSpan(name string) *Span {
+	s := &Span{name: name}
+	if t != nil {
+		t.spans = append(t.spans, s)
+	}
+	return s
+}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetAttr attaches a key/value pair.
+func (s *Span) SetAttr(k, v string) { _ = k; _ = v }

@@ -1,0 +1,83 @@
+// Package spanend exercises the spanend analyzer: spans must be
+// assigned and ended on every return path, ideally via defer.
+package spanend
+
+import "obs"
+
+func okDeferred(tr *obs.Trace) {
+	sp := tr.StartSpan("phase")
+	defer sp.End()
+	work()
+}
+
+func okPlain(tr *obs.Trace) {
+	sp := tr.StartSpan("phase")
+	work()
+	sp.End()
+}
+
+func okDeferredClosure(tr *obs.Trace) {
+	sp := tr.StartSpan("phase")
+	defer func() { sp.End() }()
+	work()
+}
+
+func okChained(tr *obs.Trace) {
+	defer tr.StartSpan("phase").End()
+	work()
+}
+
+func discardedStmt(tr *obs.Trace) {
+	tr.StartSpan("phase") // want "discarded"
+	work()
+}
+
+func discardedBlank(tr *obs.Trace) {
+	_ = tr.StartSpan("phase") // want "discarded"
+}
+
+func neverEnded(tr *obs.Trace) {
+	sp := tr.StartSpan("phase") // want "never ended"
+	sp.SetAttr("k", "v")
+}
+
+func returnSkipsEnd(tr *obs.Trace, fail bool) bool {
+	sp := tr.StartSpan("phase") // want "use defer"
+	if fail {
+		return false
+	}
+	sp.End()
+	return true
+}
+
+func returnAfterEndIsFine(tr *obs.Trace, fail bool) bool {
+	sp := tr.StartSpan("phase")
+	work()
+	sp.End()
+	if fail {
+		return false
+	}
+	return true
+}
+
+type holder struct{ sp *obs.Span }
+
+// Field assignments hand the span to a longer-lived owner (the engine's
+// instrumented operators end theirs in Close): not flagged.
+func fieldAssigned(h *holder, tr *obs.Trace) {
+	h.sp = tr.StartSpan("phase")
+}
+
+func closureScopesAreIndependent(tr *obs.Trace) func() {
+	return func() {
+		sp := tr.StartSpan("inner") // want "never ended"
+		sp.SetAttr("k", "v")
+	}
+}
+
+func suppressed(tr *obs.Trace) {
+	//qolint:allow-spanend
+	tr.StartSpan("phase")
+}
+
+func work() {}

@@ -1,0 +1,66 @@
+// Package obs is the observability substrate for the optimizer and the
+// streaming engine: per-query trace spans (exportable as plain JSON or
+// Chrome trace-event format), a process-wide metrics registry with a
+// deterministic text exposition, and the plan-feedback types behind
+// EXPLAIN ANALYZE — the optimizer's estimate snapshots and the executed
+// operators' actual row counts, compared through the Q-error metric.
+//
+// The package is stdlib-only and sits below both internal/engine and
+// internal/optimizer: the engine's Instrumented wrapper fills OpStats,
+// the optimizer records an EstimateSnapshot per plan node, and the
+// renderer joins them per operator. Because the snapshot carries the
+// posterior percentile T the estimate was taken at, EXPLAIN ANALYZE
+// output from runs at different confidence thresholds is directly
+// comparable — the repository's executable version of the paper's
+// predictability experiments.
+package obs
+
+import "time"
+
+// EstimateSnapshot is the optimizer's cardinality prediction for one
+// plan node, captured at planning time so it can later be compared with
+// the actual rows the operator produced. Percentile is the posterior
+// percentile T the estimate was taken at (the paper's robustness knob);
+// zero means a point estimate with no posterior attached.
+type EstimateSnapshot struct {
+	Rows       float64
+	Percentile float64
+	Estimator  string
+}
+
+// OpStats accumulates actual execution feedback for one operator in an
+// instrumented plan. Counts and durations accumulate across executions
+// of the same instrumented tree, so repeated runs (benchmarks, the
+// serve endpoint) fold into one record.
+type OpStats struct {
+	Opens   int64 // times the operator was opened
+	Batches int64 // non-nil batches returned from Next
+	Rows    int64 // total rows across those batches
+
+	OpenTime  time.Duration // wall time inside Open (includes blocking builds)
+	NextTime  time.Duration // wall time across all Next calls
+	CloseTime time.Duration // wall time inside Close
+}
+
+// QError is the standard cardinality-estimation error metric: the
+// multiplicative distance max(est/actual, actual/est). Both sides are
+// clamped to at least one row first, so empty results and sub-row
+// estimates yield a finite, well-ordered error instead of a division by
+// zero; a perfect estimate scores exactly 1.
+func QError(est, actual float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if actual < 1 {
+		actual = 1
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
+// QErrorBuckets is the histogram bucketing used for per-operator-type
+// Q-error distributions: tight around 1 (good estimates), geometric in
+// the tail where misestimates blow up plans.
+var QErrorBuckets = []float64{1, 1.25, 1.5, 2, 3, 5, 10, 30, 100}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed amount per reading, making span durations
+// deterministic.
+func fakeClock(stepMicros int64) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Duration(stepMicros) * time.Microsecond)
+		return t
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, act, want float64
+	}{
+		{100, 100, 1},
+		{100, 50, 2},
+		{50, 100, 2},
+		{0, 0, 1},      // both sides clamped to one row
+		{0.25, 10, 10}, // sub-row estimate clamps to 1
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.act); got != c.want {
+			t.Errorf("QError(%g, %g) = %g, want %g", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestTraceNestingAndRecords(t *testing.T) {
+	tr := NewTrace("q1")
+	tr.Now = fakeClock(10)
+	root := tr.StartSpan("optimize")
+	child := tr.StartSpan("estimate")
+	child.SetAttr("tables", "lineitem")
+	child.End()
+	sib := tr.StartSpan("enumerate")
+	sib.End()
+	root.End()
+	leftover := tr.StartSpan("render")
+	leftover.End()
+
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	if recs[0].Parent != 0 {
+		t.Errorf("root has parent %d", recs[0].Parent)
+	}
+	if recs[1].Parent != recs[0].ID || recs[2].Parent != recs[0].ID {
+		t.Errorf("children not nested under root: %+v", recs)
+	}
+	if recs[3].Parent != 0 {
+		t.Errorf("post-root span should be top-level, got parent %d", recs[3].Parent)
+	}
+	if recs[1].Attrs["tables"] != "lineitem" {
+		t.Errorf("attr lost: %+v", recs[1])
+	}
+	if recs[0].DurMicros <= recs[1].DurMicros {
+		t.Errorf("root duration %d not longer than child %d", recs[0].DurMicros, recs[1].DurMicros)
+	}
+	if recs[0].StartMicros != 0 {
+		t.Errorf("first span should start at the epoch, got %d", recs[0].StartMicros)
+	}
+}
+
+func TestTraceEndIdempotentAndNilSafe(t *testing.T) {
+	var nilTrace *Trace
+	sp := nilTrace.StartSpan("noop")
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.End()
+	if nilTrace.Len() != 0 {
+		t.Error("nil trace recorded spans")
+	}
+
+	tr := NewTrace("q")
+	tr.Now = fakeClock(5)
+	s := tr.StartSpan("x")
+	s.End()
+	d1 := tr.Records()[0].DurMicros
+	s.End() // second End must not extend the duration
+	if d2 := tr.Records()[0].DurMicros; d2 != d1 {
+		t.Errorf("duration changed on double End: %d -> %d", d1, d2)
+	}
+}
+
+func TestTraceExportFormats(t *testing.T) {
+	tr := NewTrace("q1")
+	tr.Now = fakeClock(100)
+	sp := tr.StartSpan("op:SeqScan")
+	sp.SetAttr("rows", "42")
+	sp.End()
+
+	var plain strings.Builder
+	if err := tr.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"trace": "q1"`, `"name": "op:SeqScan"`, `"rows": "42"`} {
+		if !strings.Contains(plain.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, plain.String())
+		}
+	}
+
+	var chrome strings.Builder
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"dur": 100`, `"name": "op:SeqScan"`} {
+		if !strings.Contains(chrome.String(), want) {
+			t.Errorf("chrome trace missing %s:\n%s", want, chrome.String())
+		}
+	}
+}
+
+func TestRegistryCountersAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Inc()
+	r.Counter("queries_total").Add(2)
+	r.Counter("plans_total", Label{Key: "t", Value: "0.8"}, Label{Key: "order", Value: "a,b"}).Inc()
+	if got := r.Counter("queries_total").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+
+	h := r.Histogram("qerror", []float64{1, 2, 10}, Label{Key: "op", Value: "SeqScan"})
+	h.Observe(1)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(1000)
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `plans_total{order="a,b",t="0.8"} 1
+queries_total 3
+qerror_bucket{le="1",op="SeqScan"} 1
+qerror_bucket{le="2",op="SeqScan"} 2
+qerror_bucket{le="10",op="SeqScan"} 3
+qerror_bucket{le="+Inf",op="SeqScan"} 4
+qerror_sum{op="SeqScan"} 1005.5
+qerror_count{op="SeqScan"} 4
+`
+	if got != want {
+		t.Errorf("text exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace collects the spans of one query: optimizer phases, estimator
+// calls, and operator lifetimes. Spans nest by start/end order — a span
+// started while another is open becomes its child — which matches the
+// strictly nested Open/Close discipline of the streaming engine and the
+// optimizer's phase structure.
+//
+// A nil *Trace is a valid no-op sink: StartSpan returns a nil *Span
+// whose methods are all no-ops, so instrumentation points never need a
+// nil check.
+type Trace struct {
+	Name string
+	// Now supplies timestamps; tests inject a fixed clock here. Nil
+	// means time.Now.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	open  []*Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace(name string) *Trace { return &Trace{Name: name} }
+
+func (t *Trace) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// StartSpan opens a new span nested under the innermost unended span.
+// Every started span must be ended on all return paths — idiomatically
+// `sp := tr.StartSpan(...); defer sp.End()` — which the qolint spanend
+// analyzer enforces for locally scoped spans.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: len(t.spans) + 1, name: name, start: t.now()}
+	if n := len(t.open); n > 0 {
+		s.parent = t.open[n-1].id
+	}
+	t.spans = append(t.spans, s)
+	t.open = append(t.open, s)
+	return s
+}
+
+// Len returns the number of spans started so far.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Span is one timed region of a trace. The zero of *Span (nil) is a
+// valid no-op span.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+	attrs  []Attr
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct{ Key, Value string }
+
+// SetAttr attaches an annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span, fixing its duration. End is idempotent and safe
+// on a nil span, so operator Close paths that may run twice stay
+// correct.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = t.now().Sub(s.start)
+	// In well-nested use the span is on top of the open stack, but a
+	// missed child End must not corrupt the parent chain.
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] == s {
+			t.open = append(t.open[:i], t.open[i+1:]...)
+			break
+		}
+	}
+}
+
+// SpanRecord is the export shape of one span. Timestamps are
+// microseconds relative to the trace's first span, so exported traces
+// are stable under wall-clock shifts.
+type SpanRecord struct {
+	ID          int               `json:"id"`
+	Parent      int               `json:"parent,omitempty"`
+	Name        string            `json:"name"`
+	StartMicros int64             `json:"start_us"`
+	DurMicros   int64             `json:"dur_us"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// Records returns all spans in start order. Unended spans export with
+// zero duration.
+func (t *Trace) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var epoch time.Time
+	if len(t.spans) > 0 {
+		epoch = t.spans[0].start
+	}
+	out := make([]SpanRecord, len(t.spans))
+	for i, s := range t.spans {
+		r := SpanRecord{
+			ID:          s.id,
+			Parent:      s.parent,
+			Name:        s.name,
+			StartMicros: s.start.Sub(epoch).Microseconds(),
+			DurMicros:   s.dur.Microseconds(),
+		}
+		if len(s.attrs) > 0 {
+			r.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				r.Attrs[a.Key] = a.Value
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// WriteJSON writes the trace as a single JSON object with the span list
+// under "spans".
+func (t *Trace) WriteJSON(w io.Writer) error {
+	name := ""
+	if t != nil {
+		name = t.Name
+	}
+	doc := struct {
+		Trace string       `json:"trace"`
+		Spans []SpanRecord `json:"spans"`
+	}{Trace: name, Spans: t.Records()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome trace-event
+// format understood by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event format: load the
+// file via chrome://tracing or ui.perfetto.dev to see the query as a
+// flame chart.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	recs := t.Records()
+	events := make([]chromeEvent, len(recs))
+	for i, r := range recs {
+		events[i] = chromeEvent{
+			Name: r.Name,
+			Ph:   "X",
+			Ts:   r.StartMicros,
+			Dur:  r.DurMicros,
+			Pid:  1,
+			Tid:  1,
+			Args: r.Attrs,
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return nil
+}

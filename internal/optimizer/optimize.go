@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"robustqo/internal/core"
 	"robustqo/internal/cost"
 	"robustqo/internal/engine"
 	"robustqo/internal/expr"
+	"robustqo/internal/obs"
 )
 
 // keepPerSubset bounds how many candidate plans survive pruning for each
@@ -23,16 +25,37 @@ type Plan struct {
 	EstCost   float64 // estimated execution seconds under the cost model
 	EstRows   float64 // estimated final result cardinality
 	Estimator string  // name of the cardinality estimator used
+
+	// estimates holds the per-node cardinality snapshots captured while
+	// the plan was built; EstimateOf serves EXPLAIN ANALYZE lookups.
+	estimates  map[engine.Node]obs.EstimateSnapshot
+	confidence float64
 }
 
 // Explain renders the chosen plan tree.
 func (p *Plan) Explain() string { return engine.Explain(p.Root) }
+
+// EstimateOf returns the optimizer's planning-time cardinality snapshot
+// for a node of the plan tree. It is the EstimateOf callback
+// engine.ExplainAnalyze expects.
+func (p *Plan) EstimateOf(n engine.Node) (obs.EstimateSnapshot, bool) {
+	s, ok := p.estimates[n]
+	return s, ok
+}
+
+// Confidence returns the posterior percentile T the plan's estimates
+// were taken at, or zero when the estimator uses point estimates.
+func (p *Plan) Confidence() float64 { return p.confidence }
 
 // Optimizer searches the plan space of a query using the engine's cost
 // model and a pluggable cardinality estimator.
 type Optimizer struct {
 	Ctx *engine.Context
 	Est core.Estimator
+	// Trace, when non-nil, receives spans for the optimizer's phases
+	// (analyze, access-path seeding, join enumeration, finalization)
+	// and each uncached estimator call.
+	Trace *obs.Trace
 }
 
 // New returns an optimizer over the execution context using the given
@@ -67,26 +90,88 @@ type planner struct {
 	a        *analysis
 	selCache map[string]float64
 	rowCache map[uint32]float64
+	// estimates remembers, per constructed plan node, the cardinality the
+	// optimizer believed when it built that node; snap is the template
+	// (estimator name, confidence percentile) each record starts from.
+	estimates map[engine.Node]obs.EstimateSnapshot
+	snap      obs.EstimateSnapshot
+}
+
+// record captures the optimizer's cardinality belief for a plan node.
+// Losing candidates leave harmless extra entries: lookups are by node
+// pointer and only the chosen tree's nodes are ever queried.
+func (p *planner) record(n engine.Node, rows float64) {
+	s := p.snap
+	s.Rows = rows
+	p.estimates[n] = s
 }
 
 // Optimize selects the cheapest plan for the query under the estimator.
 func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
-	a, err := analyze(o.Ctx.DB.Catalog, q)
+	sp := o.Trace.StartSpan("optimize")
+	defer sp.End()
+	a, err := o.analyzeQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	p := &planner{opt: o, a: a, selCache: make(map[string]float64), rowCache: make(map[uint32]float64)}
-	full := uint32(1<<len(a.tables)) - 1
-
+	p := &planner{
+		opt: o, a: a,
+		selCache:  make(map[string]float64),
+		rowCache:  make(map[uint32]float64),
+		estimates: make(map[engine.Node]obs.EstimateSnapshot),
+		snap:      obs.EstimateSnapshot{Estimator: o.Est.Name()},
+	}
+	if cl, ok := o.Est.(interface{ ConfidenceLevel() (float64, bool) }); ok {
+		if t, ok := cl.ConfidenceLevel(); ok {
+			p.snap.Percentile = t
+		}
+	}
 	best := make(map[uint32][]candidate)
-	// Seed single tables with their access paths.
-	for i := range a.tables {
+	if err := p.seedAccessPaths(best); err != nil {
+		return nil, err
+	}
+	winner, err := p.enumerateJoins(best)
+	if err != nil {
+		return nil, err
+	}
+	root, finalCost, finalRows, err := p.finish(winner)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Root: root, EstCost: finalCost, EstRows: finalRows, Estimator: o.Est.Name(),
+		estimates: p.estimates, confidence: p.snap.Percentile,
+	}, nil
+}
+
+// analyzeQuery is the semantic-analysis phase under its trace span.
+func (o *Optimizer) analyzeQuery(q *Query) (*analysis, error) {
+	sp := o.Trace.StartSpan("optimize/analyze")
+	defer sp.End()
+	return analyze(o.Ctx.DB.Catalog, q)
+}
+
+// seedAccessPaths fills best with the pruned single-table access paths.
+func (p *planner) seedAccessPaths(best map[uint32][]candidate) error {
+	sp := p.opt.Trace.StartSpan("optimize/access-paths")
+	defer sp.End()
+	for i := range p.a.tables {
 		cands, err := p.accessPaths(i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		best[1<<uint(i)] = prune(cands)
 	}
+	return nil
+}
+
+// enumerateJoins runs the dynamic program over connected table subsets
+// and returns the cheapest candidate covering every table.
+func (p *planner) enumerateJoins(best map[uint32][]candidate) (candidate, error) {
+	sp := p.opt.Trace.StartSpan("optimize/join-enumeration")
+	defer sp.End()
+	a := p.a
+	full := uint32(1<<len(a.tables)) - 1
 	// Grow subsets by size.
 	for size := 2; size <= len(a.tables); size++ {
 		for mask := uint32(1); mask <= full; mask++ {
@@ -106,18 +191,18 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 				}
 				joins, err := p.joinCandidates(rest, i, best)
 				if err != nil {
-					return nil, err
+					return candidate{}, err
 				}
 				cands = append(cands, joins...)
 			}
 			// Star strategies for this subset, when applicable.
 			stars, err := p.starCandidates(mask, best)
 			if err != nil {
-				return nil, err
+				return candidate{}, err
 			}
 			cands = append(cands, stars...)
 			if len(cands) == 0 {
-				return nil, fmt.Errorf("optimizer: no plan for table subset %v", a.tablesOf(mask))
+				return candidate{}, fmt.Errorf("optimizer: no plan for table subset %v", a.tablesOf(mask))
 			}
 			best[mask] = prune(cands)
 		}
@@ -128,17 +213,16 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 			winner = c
 		}
 	}
-	root, finalCost, finalRows, err := p.finish(winner)
-	if err != nil {
-		return nil, err
-	}
-	return &Plan{Root: root, EstCost: finalCost, EstRows: finalRows, Estimator: o.Est.Name()}, nil
+	sp.SetAttr("subsets", fmt.Sprint(len(best)))
+	return winner, nil
 }
 
 // finish layers aggregation, ordering, limiting, and projection on top of
 // the join winner, following SQL evaluation order. It returns the plan
 // root, its estimated total cost, and the estimated final row count.
 func (p *planner) finish(c candidate) (engine.Node, float64, float64, error) {
+	sp := p.opt.Trace.StartSpan("optimize/finalize")
+	defer sp.End()
 	q := p.a.q
 	m := p.opt.Ctx.Model
 	node := c.node
@@ -148,6 +232,7 @@ func (p *planner) finish(c candidate) (engine.Node, float64, float64, error) {
 		node = &engine.Aggregate{Input: node, GroupBy: q.GroupBy, Aggs: q.Aggs}
 		total += rows * (m.HashBuild + m.Tuple)
 		rows = p.estimateGroups(rows)
+		p.record(node, rows)
 	}
 	if len(q.OrderBy) > 0 {
 		// Skip the sort when the winner is already ordered by the first
@@ -161,6 +246,7 @@ func (p *planner) finish(c candidate) (engine.Node, float64, float64, error) {
 			// materializing the full sorted input.
 			node = &engine.Sort{Input: node, By: q.OrderBy, TopK: q.Limit}
 			total += rows * m.SortTuple
+			p.record(node, rows)
 		}
 	}
 	if q.Limit > 0 {
@@ -168,10 +254,12 @@ func (p *planner) finish(c candidate) (engine.Node, float64, float64, error) {
 		if float64(q.Limit) < rows {
 			rows = float64(q.Limit)
 		}
+		p.record(node, rows)
 	}
 	if len(q.Project) > 0 && len(q.Aggs) == 0 && len(q.GroupBy) == 0 {
 		node = &engine.Project{Input: node, Cols: q.Project}
 		total += rows * m.Tuple
+		p.record(node, rows)
 	}
 	total += rows * m.Output
 	return node, total, rows, nil
@@ -239,6 +327,12 @@ func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
 	key := fmt.Sprintf("%d|%v", mask, pred)
 	if s, ok := p.selCache[key]; ok {
 		return s, nil
+	}
+	sp := p.opt.Trace.StartSpan("estimate")
+	defer sp.End()
+	sp.SetAttr("tables", strings.Join(p.a.tablesOf(mask), ","))
+	if pred != nil {
+		sp.SetAttr("pred", fmt.Sprint(pred))
 	}
 	est, err := p.opt.Est.Estimate(core.Request{Tables: p.a.tablesOf(mask), Pred: pred})
 	if err != nil {

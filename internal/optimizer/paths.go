@@ -39,6 +39,7 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 		rows:    outRows,
 		ordered: ordered,
 	}}
+	p.record(cands[0].node, outRows)
 
 	// Collect sargable ranges per indexed column, remembering which
 	// conjuncts each range consumed.
@@ -117,6 +118,7 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 			rows:    outRows,
 			ordered: ordered, // RID-ordered fetch preserves heap order
 		})
+		p.record(cands[len(cands)-1].node, outRows)
 	}
 
 	// Index intersection over all sargable columns.
@@ -156,6 +158,7 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 			rows:    outRows,
 			ordered: ordered,
 		})
+		p.record(cands[len(cands)-1].node, outRows)
 	}
 	return cands, nil
 }
@@ -181,9 +184,13 @@ func (p *planner) joinCandidates(rest uint32, i int, best map[uint32][]candidate
 	crossPred := expr.Conj(crossTerms...)
 	withCross := func(node engine.Node, joinOut float64, base float64) (engine.Node, float64) {
 		if crossPred == nil {
+			p.record(node, outRows)
 			return node, base
 		}
-		return &engine.Filter{Input: node, Pred: crossPred}, base + joinOut*m.Tuple
+		p.record(node, joinOut)
+		f := &engine.Filter{Input: node, Pred: crossPred}
+		p.record(f, outRows)
+		return f, base + joinOut*m.Tuple
 	}
 
 	var out []candidate
@@ -437,6 +444,7 @@ func (p *planner) starCandidates(mask uint32, best map[uint32][]candidate) ([]ca
 			rows:    outRows,
 			ordered: ordered,
 		})
+		p.record(cands[len(cands)-1].node, outRows)
 	}
 	return cands, nil
 }
