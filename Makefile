@@ -23,5 +23,6 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=BenchmarkExecStreamVsMaterialize -benchtime=1x -benchmem ./internal/engine/
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
+	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
 
 ci: build lint race fuzz-smoke bench-smoke

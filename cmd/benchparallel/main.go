@@ -1,0 +1,275 @@
+// Command benchparallel measures what the morsel-driven Exchange
+// operator buys and proves what it must not change. It times a
+// scan-heavy and a join-heavy full drain at DOP 1, 2, and 4, checks the
+// rows and cost counters are identical at every DOP (the engine's
+// counter-exactness contract — always enforced), drives the optimizer's
+// star-join enumeration to measure the posterior-quantile cache hit
+// rate, and writes the lot to a JSON report (BENCH_parallel.json in
+// CI). The speedup gate only bites on machines with enough cores to
+// make it meaningful; the identity and cache gates bite everywhere.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"robustqo/internal/core"
+	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/sqlparse"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/tpch"
+)
+
+type workload struct {
+	Name              string  `json:"name"`
+	SerialNsPerOp     float64 `json:"serial_ns_per_op"`
+	DOP2NsPerOp       float64 `json:"dop2_ns_per_op"`
+	DOP4NsPerOp       float64 `json:"dop4_ns_per_op"`
+	SpeedupDOP2       float64 `json:"speedup_dop2"`
+	SpeedupDOP4       float64 `json:"speedup_dop4"`
+	Rows              int     `json:"rows"`
+	IdenticalRows     bool    `json:"identical_rows"`
+	IdenticalCounters bool    `json:"identical_counters"`
+}
+
+type report struct {
+	CPUs            int      `json:"cpus"`
+	Lines           int      `json:"lines"`
+	Reps            int      `json:"reps"`
+	ScanHeavy       workload `json:"scan_heavy"`
+	JoinHeavy       workload `json:"join_heavy"`
+	MinSpeedup      float64  `json:"min_speedup"`
+	SpeedupEnforced bool     `json:"speedup_enforced"`
+	SpeedupWaiver   string   `json:"speedup_waiver,omitempty"`
+	CacheHits       int64    `json:"quantile_cache_hits"`
+	CacheMisses     int64    `json:"quantile_cache_misses"`
+	CacheHitRate    float64  `json:"quantile_cache_hit_rate"`
+	MinHitRate      float64  `json:"min_hit_rate"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "report file path")
+	lines := flag.Int("lines", 60000, "lineitem rows to generate")
+	reps := flag.Int("reps", 3, "benchmark repetitions (best-of)")
+	minSpeedup := flag.Float64("min-speedup", 1.8, "fail when the DOP=4 scan speedup is below this (needs >=4 CPUs)")
+	minHitRate := flag.Float64("min-hit-rate", 0.90, "fail when the quantile-cache hit rate is below this")
+	flag.Parse()
+	if err := run(*out, *lines, *reps, *minSpeedup, *minHitRate); err != nil {
+		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, lines, reps int, minSpeedup, minHitRate float64) error {
+	db, err := tpch.Generate(tpch.Config{Lines: lines, Seed: 2005})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+
+	// Scan-heavy: the predicate is evaluated for every lineitem row, and
+	// under Exchange that evaluation is what the workers split. It is
+	// deliberately selective — the parallel work is the full-table scan
+	// and filter, while the serial merge only carries the survivors.
+	pred, err := expr.Parse("l_quantity >= 45 AND l_extendedprice BETWEEN 100 AND 20000")
+	if err != nil {
+		return err
+	}
+	scanPlan := func(dop int) engine.Node {
+		var n engine.Node = &engine.SeqScan{Table: "lineitem", Filter: pred}
+		if dop > 1 {
+			n = &engine.Exchange{Source: n, DOP: dop}
+		}
+		return n
+	}
+	// Join-heavy: both hash-join inputs are Exchange-wrapped, so the
+	// build partitions across workers before the shared probe phase.
+	joinPlan := func(dop int) engine.Node {
+		var build engine.Node = &engine.SeqScan{Table: "orders"}
+		var probe engine.Node = &engine.SeqScan{Table: "lineitem", Filter: pred}
+		if dop > 1 {
+			build = &engine.Exchange{Source: build, DOP: dop}
+			probe = &engine.Exchange{Source: probe, DOP: dop}
+		}
+		return &engine.HashJoin{
+			Build:    build,
+			Probe:    probe,
+			BuildCol: expr.ColumnRef{Table: "orders", Column: "o_orderkey"},
+			ProbeCol: expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
+		}
+	}
+
+	scan, err := measureWorkload(ctx, "scan-heavy seqscan+filter", scanPlan, reps)
+	if err != nil {
+		return err
+	}
+	join, err := measureWorkload(ctx, "join-heavy hashjoin", joinPlan, reps)
+	if err != nil {
+		return err
+	}
+
+	hits, misses, err := cacheWorkload(db)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		CPUs:            runtime.NumCPU(),
+		Lines:           lines,
+		Reps:            reps,
+		ScanHeavy:       scan,
+		JoinHeavy:       join,
+		MinSpeedup:      minSpeedup,
+		SpeedupEnforced: runtime.NumCPU() >= 4,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheHitRate:    float64(hits) / float64(hits+misses),
+		MinHitRate:      minHitRate,
+	}
+	if !rep.SpeedupEnforced {
+		rep.SpeedupWaiver = fmt.Sprintf("only %d CPUs; a DOP=4 wall-clock gate needs at least 4", rep.CPUs)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scan-heavy: %.0f ns serial, speedup %.2fx @2, %.2fx @4\n",
+		scan.SerialNsPerOp, scan.SpeedupDOP2, scan.SpeedupDOP4)
+	fmt.Printf("join-heavy: %.0f ns serial, speedup %.2fx @2, %.2fx @4\n",
+		join.SerialNsPerOp, join.SpeedupDOP2, join.SpeedupDOP4)
+	fmt.Printf("quantile cache: %d hits / %d misses (%.1f%% hit rate); report: %s\n",
+		hits, misses, rep.CacheHitRate*100, out)
+
+	for _, w := range []workload{scan, join} {
+		if !w.IdenticalRows {
+			return fmt.Errorf("%s: parallel rows diverge from serial", w.Name)
+		}
+		if !w.IdenticalCounters {
+			return fmt.Errorf("%s: parallel counters diverge from serial", w.Name)
+		}
+	}
+	if rep.SpeedupEnforced && scan.SpeedupDOP4 < minSpeedup {
+		return fmt.Errorf("scan-heavy DOP=4 speedup %.2fx below the %.1fx floor", scan.SpeedupDOP4, minSpeedup)
+	}
+	if rep.CacheHitRate < minHitRate {
+		return fmt.Errorf("quantile-cache hit rate %.1f%% below the %.0f%% floor",
+			rep.CacheHitRate*100, minHitRate*100)
+	}
+	return nil
+}
+
+// measureWorkload drains the plan at DOP 1, 2, and 4, requiring the
+// rows and counters to be identical, and times each DOP best-of-reps.
+func measureWorkload(ctx *engine.Context, name string, plan func(dop int) engine.Node, reps int) (workload, error) {
+	w := workload{Name: name, IdenticalRows: true, IdenticalCounters: true}
+	var baseHash uint64
+	var baseCounters cost.Counters
+	for i, dop := range []int{1, 2, 4} {
+		var c cost.Counters
+		res, err := plan(dop).Execute(ctx, &c)
+		if err != nil {
+			return w, fmt.Errorf("%s dop=%d: %v", name, dop, err)
+		}
+		h := fnv.New64a()
+		for _, r := range res.Rows {
+			for _, v := range r {
+				fmt.Fprint(h, v.String(), "\x1f")
+			}
+			fmt.Fprint(h, "\x1e")
+		}
+		if i == 0 {
+			baseHash, baseCounters, w.Rows = h.Sum64(), c, len(res.Rows)
+			continue
+		}
+		if h.Sum64() != baseHash {
+			w.IdenticalRows = false
+		}
+		if c != baseCounters {
+			w.IdenticalCounters = false
+		}
+	}
+	times := make([]float64, 3)
+	for i, dop := range []int{1, 2, 4} {
+		n := plan(dop)
+		best := math.MaxFloat64
+		for r := 0; r < reps; r++ {
+			var execErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var c cost.Counters
+					if _, err := n.Execute(ctx, &c); err != nil {
+						execErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if execErr != nil {
+				return w, execErr
+			}
+			if v := float64(res.NsPerOp()); v < best {
+				best = v
+			}
+		}
+		times[i] = best
+	}
+	w.SerialNsPerOp, w.DOP2NsPerOp, w.DOP4NsPerOp = times[0], times[1], times[2]
+	w.SpeedupDOP2 = times[0] / times[1]
+	w.SpeedupDOP4 = times[0] / times[2]
+	return w, nil
+}
+
+// cacheWorkload reruns the optimizer's enumeration of a three-table
+// star join against one shared robust estimator: after the first pass
+// fills the posterior-quantile cache, every later pass should answer
+// its quantile lookups from memory.
+func cacheWorkload(db *storage.Database) (hits, misses int64, err error) {
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return 0, 0, err
+	}
+	syn, err := sample.BuildAll(db, sample.DefaultSize, stats.NewRNG(2005^0xbeef))
+	if err != nil {
+		return 0, 0, err
+	}
+	est, err := core.NewBayesEstimator(syn, core.ConfidenceThreshold(0.8))
+	if err != nil {
+		return 0, 0, err
+	}
+	q, err := sqlparse.Parse("SELECT COUNT(*) FROM lineitem, orders, part " +
+		"WHERE l_shipdate >= DATE '1997-01-01' AND o_totalprice < 40000 AND p_size < 30")
+	if err != nil {
+		return 0, 0, err
+	}
+	const enumerations = 12
+	for i := 0; i < enumerations; i++ {
+		opt, err := optimizer.New(ctx, est)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := opt.Optimize(q); err != nil {
+			return 0, 0, err
+		}
+	}
+	hits, misses = est.Quantiles.Stats()
+	if hits+misses == 0 {
+		return 0, 0, fmt.Errorf("star-join enumeration never consulted the quantile cache")
+	}
+	return hits, misses, nil
+}

@@ -21,6 +21,7 @@ import (
 	"robustqo/internal/engine"
 	"robustqo/internal/experiments"
 	"robustqo/internal/expr"
+	"robustqo/internal/obs"
 	"robustqo/internal/optimizer"
 	"robustqo/internal/sample"
 	"robustqo/internal/sqlparse"
@@ -146,6 +147,7 @@ func runQuery(args []string, out io.Writer) error {
 	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
 	seed := fs.Uint64("seed", 2005, "random seed")
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
+	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
 	var of obsFlags
 	of.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -178,6 +180,8 @@ func runQuery(args []string, out io.Writer) error {
 	}
 	tr := of.trace()
 	opt.Trace = tr
+	opt.MaxDOP = *dop
+	opt.Metrics = obs.Default
 	q := &optimizer.Query{
 		Tables: []string{"lineitem"},
 		Pred:   pred,
@@ -223,6 +227,7 @@ func runSQL(args []string, out io.Writer) error {
 	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
 	seed := fs.Uint64("seed", 2005, "random seed")
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
+	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
 	maxRows := fs.Int("maxrows", 20, "print at most this many result rows")
 	var of obsFlags
 	of.register(fs)
@@ -255,6 +260,8 @@ func runSQL(args []string, out io.Writer) error {
 	}
 	tr := of.trace()
 	opt.Trace = tr
+	opt.MaxDOP = *dop
+	opt.Metrics = obs.Default
 	plan, err := opt.Optimize(q)
 	if err != nil {
 		return err

@@ -32,9 +32,10 @@ type server struct {
 	est   core.Estimator
 	bayes *core.BayesEstimator // non-nil when est is the robust estimator
 	reg   *obs.Registry
+	dop   int // max degree of parallelism for eligible scans
 }
 
-func newServer(lines int, estimator string, threshold float64, sampleSize int, seed uint64) (*server, error) {
+func newServer(lines int, estimator string, threshold float64, sampleSize int, seed uint64, parallelism int) (*server, error) {
 	db, err := tpch.Generate(tpch.Config{Lines: lines, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -47,7 +48,7 @@ func newServer(lines int, estimator string, threshold float64, sampleSize int, s
 	if err != nil {
 		return nil, err
 	}
-	s := &server{ctx: ctx, est: est, reg: obs.NewRegistry()}
+	s := &server{ctx: ctx, est: est, reg: obs.NewRegistry(), dop: parallelism}
 	if b, ok := est.(*core.BayesEstimator); ok {
 		s.bayes = b
 	}
@@ -126,6 +127,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	opt.MaxDOP = s.dop
+	opt.Metrics = s.reg
 	plan, err := opt.Optimize(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -166,6 +169,7 @@ func runServe(args []string, out io.Writer) error {
 	estimator := fs.String("estimator", "robust", "cardinality estimator: robust or histogram")
 	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
 	seed := fs.Uint64("seed", 2005, "random seed")
+	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,7 +177,7 @@ func runServe(args []string, out io.Writer) error {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
 	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
-	s, err := newServer(*lines, *estimator, *threshold, *sampleSize, *seed)
+	s, err := newServer(*lines, *estimator, *threshold, *sampleSize, *seed, *dop)
 	if err != nil {
 		return err
 	}

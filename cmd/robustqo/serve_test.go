@@ -11,7 +11,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s, err := newServer(5000, "robust", 0.8, 500, 2005)
+	s, err := newServer(5000, "robust", 0.8, 500, 2005, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

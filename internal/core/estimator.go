@@ -78,6 +78,10 @@ type BayesEstimator struct {
 	Prior     Prior
 	Threshold ConfidenceThreshold
 	Rule      EstimationRule
+	// Quantiles memoizes posterior inverse-CDF evaluations across
+	// estimates (and across WithThreshold copies, which share the
+	// pointer). Nil disables memoization.
+	Quantiles *QuantileCache
 }
 
 // NewBayesEstimator returns a robust estimator with the paper's defaults
@@ -89,7 +93,7 @@ func NewBayesEstimator(synopses *sample.Set, t ConfidenceThreshold) (*BayesEstim
 	if synopses == nil {
 		return nil, fmt.Errorf("core: nil synopsis set")
 	}
-	return &BayesEstimator{Synopses: synopses, Prior: Jeffreys, Threshold: t}, nil
+	return &BayesEstimator{Synopses: synopses, Prior: Jeffreys, Threshold: t, Quantiles: NewQuantileCache()}, nil
 }
 
 // Name implements Estimator.
@@ -180,7 +184,7 @@ func (e *BayesEstimator) Estimate(req Request) (Estimate, error) {
 	var sel float64
 	switch e.Rule {
 	case RuleQuantile:
-		sel, err = post.Quantile(float64(e.Threshold))
+		sel, err = e.Quantiles.Quantile(post, float64(e.Threshold))
 	case RuleMean:
 		sel = post.Mean()
 	case RuleML:

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"robustqo/internal/stats"
+)
+
+// QuantileCache memoizes Beta posterior quantile inversions. The inverse
+// CDF is by far the most expensive step of a quantile-rule estimate
+// (bisection plus Newton refinement per call), and join enumeration asks
+// for the same (k, n, T) combinations over and over — every subexpression
+// sharing a synopsis observation repeats the identical inversion. The key
+// is the posterior's (alpha, beta) pair plus the probability: alpha and
+// beta are k+a and n-k+b, so for a fixed prior this is exactly the
+// (sample hits, sample size, threshold) triple.
+//
+// The cache is safe for concurrent use and is shared across estimator
+// copies: WithThreshold clones the estimator struct but keeps the same
+// cache pointer, so per-query threshold hints still reuse whatever
+// overlapping inversions exist.
+type QuantileCache struct {
+	mu     sync.Mutex
+	m      map[quantKey]float64
+	hits   int64
+	misses int64
+}
+
+type quantKey struct {
+	alpha, beta, p float64
+}
+
+// NewQuantileCache returns an empty cache.
+func NewQuantileCache() *QuantileCache {
+	return &QuantileCache{m: make(map[quantKey]float64)}
+}
+
+// Quantile returns d.Quantile(p), memoized. A nil cache degrades to the
+// uncached computation.
+func (c *QuantileCache) Quantile(d stats.Beta, p float64) (float64, error) {
+	if c == nil {
+		return d.Quantile(p)
+	}
+	k := quantKey{alpha: d.Alpha, beta: d.Beta, p: p}
+	c.mu.Lock()
+	if v, ok := c.m[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	v, err := d.Quantile(p)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[quantKey]float64)
+	}
+	c.m[k] = v
+	c.misses++
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *QuantileCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"robustqo/internal/stats"
+)
+
+func TestQuantileCacheMemoizes(t *testing.T) {
+	c := NewQuantileCache()
+	d, err := stats.NewBeta(3.5, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Quantile(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := c.Quantile(d, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cached quantile %g, want %g", got, want)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+	// Distinct keys miss independently.
+	if _, err := c.Quantile(d, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Quantile(stats.Beta{Alpha: 1, Beta: 1}, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = c.Stats()
+	if hits != 4 || misses != 3 {
+		t.Fatalf("after new keys: hits=%d misses=%d, want 4/3", hits, misses)
+	}
+}
+
+func TestQuantileCacheNilSafe(t *testing.T) {
+	var c *QuantileCache
+	d := stats.Beta{Alpha: 2, Beta: 2}
+	got, err := c.Quantile(d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nil cache quantile %g, want %g", got, want)
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil cache stats %d/%d", h, m)
+	}
+}
+
+func TestQuantileCacheConcurrent(t *testing.T) {
+	c := NewQuantileCache()
+	d := stats.Beta{Alpha: 4, Beta: 9}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Quantile(d, 0.8); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 400 {
+		t.Fatalf("hits+misses = %d, want 400", hits+misses)
+	}
+	if misses < 1 || misses > 8 {
+		// Racing first fills may each compute once, but the steady state
+		// must be hits.
+		t.Fatalf("misses = %d, want a handful at most", misses)
+	}
+}
+
+// TestWithThresholdSharesCache pins the sharing property the optimizer
+// relies on: per-query threshold copies reuse the same memoization.
+func TestWithThresholdSharesCache(t *testing.T) {
+	base := &BayesEstimator{Prior: Jeffreys, Threshold: 0.8, Quantiles: NewQuantileCache()}
+	cp, err := base.WithThreshold(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Quantiles != base.Quantiles {
+		t.Fatal("WithThreshold copy does not share the quantile cache")
+	}
+}

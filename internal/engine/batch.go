@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync"
+
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
 	"robustqo/internal/value"
@@ -106,6 +108,55 @@ func (b *Batch) Truncate(n int) {
 		b.cols[c] = b.cols[c][:n]
 	}
 	b.n = n
+}
+
+// batchPool recycles Batch structs and their column backing arrays
+// between operator lifetimes. An operator that owns its output batch
+// takes one with getBatch at Open and returns it with putBatch at Close;
+// batches that merely alias a child's columns (Filter, the non-duplicating
+// Project view) are never pooled. Pooled columns keep their last values
+// until overwritten, so retention is bounded by the pool's own lifetime —
+// the same bound NewBatch-per-Open had, minus the reallocations.
+var batchPool = sync.Pool{New: func() any { return &Batch{} }}
+
+// getBatch returns an empty batch for the schema, reusing pooled column
+// storage when available. Pair with putBatch at operator Close.
+func getBatch(schema expr.RelSchema) *Batch {
+	b, ok := batchPool.Get().(*Batch)
+	if !ok {
+		b = &Batch{}
+	}
+	b.Schema = schema
+	n := len(schema.Fields)
+	if cap(b.cols) < n {
+		old := b.cols
+		b.cols = make([][]value.Value, n)
+		copy(b.cols, old)
+	}
+	b.cols = b.cols[:n]
+	for i := range b.cols {
+		if b.cols[i] == nil {
+			b.cols[i] = make([]value.Value, 0, BatchSize)
+		} else {
+			b.cols[i] = b.cols[i][:0]
+		}
+	}
+	b.n = 0
+	return b
+}
+
+// putBatch returns a batch to the pool. Safe on nil, so Close paths can
+// call it unconditionally.
+func putBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.n = 0
+	b.Schema = expr.RelSchema{}
+	batchPool.Put(b)
 }
 
 // identSel returns the identity selection vector [0, n), reusing buf's

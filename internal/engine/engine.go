@@ -109,6 +109,8 @@ func children(n Node) []Node {
 		return []Node{t.Input}
 	case *Limit:
 		return []Node{t.Input}
+	case *Exchange:
+		return []Node{t.Source}
 	case *HashJoin:
 		return []Node{t.Build, t.Probe}
 	case *MergeJoin:

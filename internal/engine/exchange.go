@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/obs"
+	"robustqo/internal/value"
+)
+
+// Exchange runs a morselizable source on DOP worker goroutines and merges
+// their output back into the serial Open/Next/Close contract. Workers
+// claim morsels from a shared counter, accumulate into private
+// cost.Counters, and ship (morsel index, rows, counters) back to the
+// coordinator, which re-sequences morsels by index — so rows come out in
+// the source's serial order — and folds the per-worker counters into the
+// shared counters exactly once, in worker order. A full drain is
+// therefore byte-identical, in both rows and counters, to running the
+// source serially.
+//
+// With DOP < 2, or over a source that cannot be morselized, Exchange
+// degrades to a pure pass-through of the source's own operator.
+type Exchange struct {
+	Source Node
+	DOP    int
+	// Trace, when non-nil, receives one worker-N span per worker carrying
+	// the morsel and row totals it processed.
+	Trace *obs.Trace
+}
+
+// Schema implements Node.
+func (e *Exchange) Schema(ctx *Context) (expr.RelSchema, error) {
+	return e.Source.Schema(ctx)
+}
+
+// Describe implements Node.
+func (e *Exchange) Describe() string {
+	return fmt.Sprintf("Exchange(dop=%d, %s)", e.DOP, e.Source.Describe())
+}
+
+// Execute implements Node.
+func (e *Exchange) Execute(ctx *Context, counters *cost.Counters) (*Result, error) {
+	return execStream(ctx, e, counters)
+}
+
+// Stream implements Node.
+func (e *Exchange) Stream() Operator { return &exchangeOp{node: e} }
+
+// morselResult carries one finished morsel from a worker to the
+// coordinator.
+type morselResult struct {
+	m    int
+	rows []value.Row
+	err  error
+}
+
+// workerReport is each worker's final accounting: the counters it
+// accumulated privately, shipped to the coordinator at the barrier.
+type workerReport struct {
+	w        int
+	counters cost.Counters
+	morsels  int
+	rows     int64
+}
+
+type exchangeOp struct {
+	node     *Exchange
+	counters *cost.Counters
+
+	// passthrough is set when the source runs serially (DOP < 2 or not
+	// morselizable); every call then delegates to it.
+	passthrough Operator
+
+	nMorsels int
+	nWorkers int
+	claim    atomic.Int64
+	stopCh   chan struct{}
+	stopped  bool
+	results  chan morselResult
+	reports  chan workerReport
+	wg       sync.WaitGroup
+	spans    []*obs.Span
+
+	next    int                  // next morsel index to emit
+	pending map[int]morselResult // received out-of-order morsels
+	cur     []value.Row
+	curPos  int
+	out     *Batch
+	merged  bool
+}
+
+func (o *exchangeOp) Open(ctx *Context, counters *cost.Counters) error {
+	o.counters = counters
+	src, ok := morselSourceOf(o.node.Source)
+	if o.node.DOP < 2 || !ok {
+		o.passthrough = o.node.Source.Stream()
+		return o.passthrough.Open(ctx, counters)
+	}
+	runner, err := src.openMorsels(ctx, counters)
+	if err != nil {
+		return err
+	}
+	schema, err := o.node.Source.Schema(ctx)
+	if err != nil {
+		return err
+	}
+	o.nMorsels = runner.numMorsels()
+	o.nWorkers = min(o.node.DOP, o.nMorsels)
+	o.out = getBatch(schema)
+	o.pending = make(map[int]morselResult, o.nWorkers)
+	if o.nWorkers == 0 {
+		return nil
+	}
+	o.stopCh = make(chan struct{})
+	o.results = make(chan morselResult, o.nWorkers*2)
+	o.reports = make(chan workerReport, o.nWorkers)
+	o.spans = make([]*obs.Span, o.nWorkers)
+	for w := 0; w < o.nWorkers; w++ {
+		mw, err := runner.newWorker()
+		if err != nil {
+			o.finish()
+			return err
+		}
+		o.spans[w] = o.node.Trace.StartSpan(fmt.Sprintf("worker-%d", w))
+		o.wg.Add(1)
+		go func(w int, mw morselWorker) {
+			defer o.wg.Done()
+			defer mw.release()
+			// Counters stay goroutine-local; they reach the shared
+			// counters only via the report channel, merged at the
+			// coordinator's barrier.
+			var wc cost.Counters
+			var rows int64
+			morsels := 0
+			for {
+				select {
+				case <-o.stopCh:
+					o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows}
+					return
+				default:
+				}
+				m := int(o.claim.Add(1)) - 1
+				if m >= o.nMorsels {
+					break
+				}
+				out, err := mw.runMorsel(m, &wc)
+				rows += int64(len(out))
+				morsels++
+				select {
+				case o.results <- morselResult{m: m, rows: out, err: err}:
+				case <-o.stopCh:
+					o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows}
+					return
+				}
+				if err != nil {
+					// Stop claiming; the coordinator surfaces the error
+					// when emission order reaches this morsel.
+					break
+				}
+			}
+			o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows}
+		}(w, mw)
+	}
+	return nil
+}
+
+func (o *exchangeOp) Next() (*Batch, error) {
+	if o.passthrough != nil {
+		return o.passthrough.Next()
+	}
+	for {
+		// Emit the current morsel's survivors in batch-sized chunks.
+		if o.curPos < len(o.cur) {
+			end := min(o.curPos+BatchSize, len(o.cur))
+			o.out.Reset()
+			for _, r := range o.cur[o.curPos:end] {
+				o.out.AppendRow(r)
+			}
+			o.curPos = end
+			return o.out, nil
+		}
+		if o.next >= o.nMorsels {
+			o.finish()
+			return nil, nil
+		}
+		// Block until the next in-order morsel arrives; stash any that
+		// arrive ahead of their turn. Every morsel index gets exactly one
+		// result, so this always terminates.
+		res, ok := o.pending[o.next]
+		for !ok {
+			r := <-o.results
+			o.pending[r.m] = r
+			res, ok = o.pending[o.next]
+		}
+		delete(o.pending, o.next)
+		o.next = o.next + 1
+		if res.err != nil {
+			return nil, res.err
+		}
+		o.cur, o.curPos = res.rows, 0
+	}
+}
+
+func (o *exchangeOp) Close() {
+	if o.passthrough != nil {
+		o.passthrough.Close()
+		return
+	}
+	o.finish()
+	putBatch(o.out)
+	o.out = nil
+	o.cur = nil
+	o.pending = nil
+}
+
+// finish stops the pool, waits for every worker, and merges the
+// per-worker counters into the shared counters — exactly once, in worker
+// order, so repeated drains and early Closes both account every charge
+// deterministically.
+func (o *exchangeOp) finish() {
+	if o.merged {
+		return
+	}
+	o.merged = true
+	if o.stopCh != nil && !o.stopped {
+		o.stopped = true
+		close(o.stopCh)
+	}
+	o.wg.Wait()
+	for {
+		// Release any undelivered morsels (nil channel: skipped).
+		select {
+		case <-o.results:
+			continue
+		default:
+		}
+		break
+	}
+	reps := make([]workerReport, o.nWorkers)
+	got := make([]bool, o.nWorkers)
+	for {
+		select {
+		case r := <-o.reports:
+			reps[r.w] = r
+			got[r.w] = true
+			continue
+		default:
+		}
+		break
+	}
+	var totalRows, totalMorsels int64
+	for w := range reps {
+		if got[w] {
+			o.counters.Add(reps[w].counters)
+			totalRows += reps[w].rows
+			totalMorsels += int64(reps[w].morsels)
+			if sp := o.spans[w]; sp != nil {
+				sp.SetAttr("morsels", fmt.Sprintf("%d", reps[w].morsels))
+				sp.SetAttr("rows", fmt.Sprintf("%d", reps[w].rows))
+			}
+		}
+		if w < len(o.spans) {
+			o.spans[w].End()
+		}
+	}
+	// The workers bypass an instrumented source's pass-through wrapper,
+	// so feed the actual totals into its stats here; EXPLAIN ANALYZE then
+	// reports the scan's actuals as usual.
+	if inst, ok := o.node.Source.(*Instrumented); ok && inst.Stats != nil {
+		inst.Stats.Rows += totalRows
+		inst.Stats.Batches += totalMorsels
+	}
+}

@@ -79,6 +79,10 @@ func replaceChildren(n Node, kids []Node) Node {
 		cp := *t
 		cp.Input = kids[0]
 		return &cp
+	case *Exchange:
+		cp := *t
+		cp.Source = kids[0]
+		return &cp
 	case *HashJoin:
 		cp := *t
 		cp.Build, cp.Probe = kids[0], kids[1]
@@ -131,6 +135,8 @@ func OpName(n Node) string {
 		return "Sort"
 	case *Limit:
 		return "Limit"
+	case *Exchange:
+		return "Exchange"
 	case *Instrumented:
 		return OpName(t.Inner)
 	default:

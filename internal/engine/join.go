@@ -94,7 +94,7 @@ func (o *hashJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 		return err
 	}
 	o.pBuf = make(value.Row, len(probeSchema.Fields))
-	o.out = NewBatch(buildSchema.Concat(probeSchema))
+	o.out = getBatch(buildSchema.Concat(probeSchema))
 	return nil
 }
 
@@ -126,6 +126,8 @@ func (o *hashJoinOp) Close() {
 	if o.probe != nil {
 		o.probe.Close()
 	}
+	putBatch(o.out)
+	o.out = nil
 }
 
 // MergeJoin sort-merges its inputs on integer-valued join keys. Inputs
@@ -217,7 +219,7 @@ func (o *mergeJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	counters.Tuples += int64(len(lRows) + len(rRows))
 	o.counters = counters
 	o.rows = mergeRows(lRows, rRows, lIdx, rIdx)
-	o.out = NewBatch(lSchema.Concat(rSchema))
+	o.out = getBatch(lSchema.Concat(rSchema))
 	return nil
 }
 
@@ -238,7 +240,10 @@ func (o *mergeJoinOp) Next() (*Batch, error) {
 	return o.out, nil
 }
 
-func (o *mergeJoinOp) Close() {}
+func (o *mergeJoinOp) Close() {
+	putBatch(o.out)
+	o.out = nil
+}
 
 // mergeRows joins two inputs already ordered by their integer keys,
 // pairing the full equal-key groups. Output rows are left-row followed by
@@ -405,7 +410,7 @@ func (o *inlJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	o.oBuf = make(value.Row, len(outerSchema.Fields))
 	o.innerBuf = make(value.Row, len(innerSchema.Fields))
 	o.combined = make(value.Row, 0, len(outSchema.Fields))
-	o.out = NewBatch(outSchema)
+	o.out = getBatch(outSchema)
 	return nil
 }
 
@@ -475,6 +480,8 @@ func (o *inlJoinOp) Close() {
 	if o.outer != nil {
 		o.outer.Close()
 	}
+	putBatch(o.out)
+	o.out = nil
 }
 
 // StarDim describes one dimension arm of a StarSemiJoin: the (filtered)
@@ -624,7 +631,7 @@ func (o *starSemiJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	o.surviving = intersectSorted(ridLists)
 	o.factBuf = make(value.Row, len(factSchema.Fields))
 	o.combined = make(value.Row, 0, len(outSchema.Fields))
-	o.out = NewBatch(outSchema)
+	o.out = getBatch(outSchema)
 	return nil
 }
 
@@ -668,7 +675,10 @@ func (o *starSemiJoinOp) Next() (*Batch, error) {
 	return nil, nil
 }
 
-func (o *starSemiJoinOp) Close() {}
+func (o *starSemiJoinOp) Close() {
+	putBatch(o.out)
+	o.out = nil
+}
 
 func intersectSorted(lists [][]int32) []int32 {
 	if len(lists) == 0 {

@@ -48,6 +48,10 @@ func ExecuteMaterialized(ctx *Context, n Node, counters *cost.Counters) (*Result
 		return t.runMaterialized(ctx, counters)
 	case *StarSemiJoin:
 		return t.runMaterialized(ctx, counters)
+	case *Exchange:
+		// Exchange only changes who executes the source, never what it
+		// computes; the materialized reference has no parallel analogue.
+		return ExecuteMaterialized(ctx, t.Source, counters)
 	default:
 		return nil, fmt.Errorf("engine: no materialized implementation for %T", n)
 	}

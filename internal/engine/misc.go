@@ -168,7 +168,7 @@ func (o *projectOp) Open(ctx *Context, counters *cost.Counters) error {
 	o.counters, o.idxs, o.dup = counters, idxs, dup
 	schema := expr.RelSchema{Fields: fields}
 	if dup {
-		o.out = NewBatch(schema)
+		o.out = getBatch(schema)
 	} else {
 		o.view = Batch{Schema: schema, cols: make([][]value.Value, len(idxs))}
 	}
@@ -203,6 +203,8 @@ func (o *projectOp) Close() {
 	if o.input != nil {
 		o.input.Close()
 	}
+	putBatch(o.out)
+	o.out = nil
 }
 
 // AggFunc enumerates the supported aggregate functions.
@@ -507,7 +509,7 @@ func (o *aggregateOp) Open(ctx *Context, counters *cost.Counters) error {
 	for _, k := range order {
 		o.rows = append(o.rows, a.finalize(groups[k], len(outSchema.Fields)))
 	}
-	o.out = NewBatch(outSchema)
+	o.out = getBatch(outSchema)
 	return nil
 }
 
@@ -527,4 +529,7 @@ func (o *aggregateOp) Next() (*Batch, error) {
 	return o.out, nil
 }
 
-func (o *aggregateOp) Close() {}
+func (o *aggregateOp) Close() {
+	putBatch(o.out)
+	o.out = nil
+}

@@ -1,0 +1,286 @@
+package engine
+
+// Morsel-driven parallelism for the leaf scans. A morselizable source
+// splits its streaming work into fixed-size contiguous morsels that an
+// Exchange worker pool consumes; the blocking Open-phase work (catalog
+// resolution, index seeks, RID intersection) stays on the coordinator and
+// is charged to the shared counters exactly once, just as the serial
+// operator's Open would charge it.
+//
+// Counter exactness is the load-bearing property: a full parallel drain
+// must produce byte-identical cost.Counters to the serial pipeline. That
+// holds because every per-morsel charge is tiling-invariant:
+//
+//   - SeqScan charges pages whose first tuple falls inside the current
+//     row window; morsel boundaries are multiples of BatchSize, so the
+//     windows are exactly the serial pipeline's windows, merely
+//     partitioned across workers.
+//   - RID fetches charge one random page and one tuple per RID, which is
+//     independent of how the RID list is partitioned.
+//
+// int64 addition is commutative, so merging per-worker counters in any
+// order reproduces the serial totals.
+
+import (
+	"fmt"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/index"
+	"robustqo/internal/storage"
+	"robustqo/internal/value"
+)
+
+// MorselSize is the number of rows (or RIDs) one morsel covers. It is a
+// multiple of BatchSize so parallel sub-batch windows coincide with the
+// serial pipeline's windows, which is what keeps the per-window page
+// charges byte-identical under any partitioning.
+const MorselSize = 4 * BatchSize
+
+// morselSource is implemented by leaf nodes whose streaming phase can be
+// partitioned into morsels. openMorsels performs the serial operator's
+// blocking Open work — charged to the shared counters on the coordinator
+// — and returns a runner over the remaining row-fetch work.
+type morselSource interface {
+	Node
+	openMorsels(ctx *Context, counters *cost.Counters) (morselRunner, error)
+}
+
+// morselRunner partitions a source's streaming work into numMorsels
+// contiguous morsels. newWorker returns an independent worker context;
+// workers run disjoint morsels concurrently, each charging its own
+// counters (bound predicates carry per-evaluation scratch, so every
+// worker binds its own copy).
+type morselRunner interface {
+	numMorsels() int
+	newWorker() (morselWorker, error)
+}
+
+// morselWorker processes single morsels. runMorsel charges the morsel's
+// page and tuple work into counters and returns the surviving rows,
+// freshly cloned (they outlive the worker's scratch batch). release
+// returns worker-owned scratch to the batch pool.
+type morselWorker interface {
+	runMorsel(m int, counters *cost.Counters) ([]value.Row, error)
+	release()
+}
+
+// morselSourceOf unwraps instrumentation and reports whether a node can
+// feed an Exchange worker pool.
+func morselSourceOf(n Node) (morselSource, bool) {
+	for {
+		inst, ok := n.(*Instrumented)
+		if !ok {
+			break
+		}
+		n = inst.Inner
+	}
+	ms, ok := n.(morselSource)
+	return ms, ok
+}
+
+// --- SeqScan ---
+
+// openMorsels implements morselSource. The serial SeqScan charges nothing
+// at Open; the filter is bound once here so malformed predicates fail at
+// Open exactly as they do serially.
+func (s *SeqScan) openMorsels(ctx *Context, _ *cost.Counters) (morselRunner, error) {
+	t, schema, err := tableAndSchema(ctx, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bindFilter(s.Filter, schema); err != nil {
+		return nil, err
+	}
+	return &seqMorselRunner{node: s, t: t, schema: schema}, nil
+}
+
+type seqMorselRunner struct {
+	node   *SeqScan
+	t      *storage.Table
+	schema expr.RelSchema
+}
+
+func (r *seqMorselRunner) numMorsels() int {
+	return (r.t.NumRows() + MorselSize - 1) / MorselSize
+}
+
+func (r *seqMorselRunner) newWorker() (morselWorker, error) {
+	pred, err := bindFilter(r.node.Filter, r.schema)
+	if err != nil {
+		return nil, err
+	}
+	return &seqMorselWorker{r: r, pred: pred, out: getBatch(r.schema)}, nil
+}
+
+type seqMorselWorker struct {
+	r    *seqMorselRunner
+	pred *expr.Bound
+	out  *Batch
+	sel  []int
+}
+
+func (w *seqMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row, error) {
+	t := w.r.t
+	lo := m * MorselSize
+	hi := min(lo+MorselSize, t.NumRows())
+	var rows []value.Row
+	for next := lo; next < hi; {
+		end := min(next+BatchSize, hi)
+		w.out.Reset()
+		// Column-wise load of the row window [next, end) — the same
+		// windows, charges, and filter evaluation as seqScanOp.Next.
+		for c := range w.out.cols {
+			col := w.out.cols[c]
+			for r := next; r < end; r++ {
+				col = append(col, t.Value(r, c))
+			}
+			w.out.cols[c] = col
+		}
+		w.out.n = end - next
+		const per = storage.TuplesPerPage
+		counters.SeqPages += int64((end+per-1)/per - (next+per-1)/per)
+		counters.Tuples += int64(end - next)
+		w.sel = identSel(w.sel, w.out.Len())
+		keep, err := w.pred.EvalBatch(w.out.Cols(), w.sel)
+		if err != nil {
+			return nil, fmt.Errorf("engine: SeqScan(%s): %v", w.r.node.Table, err)
+		}
+		w.out.Gather(keep)
+		for i := 0; i < w.out.Len(); i++ {
+			rows = append(rows, w.out.CloneRow(i))
+		}
+		next = end
+	}
+	return rows, nil
+}
+
+func (w *seqMorselWorker) release() {
+	putBatch(w.out)
+	w.out = nil
+}
+
+// --- RID-list scans (IndexRangeScan, IndexIntersect) ---
+
+// openMorsels implements morselSource: the index seek happens here, on
+// the coordinator, with the same charges as the serial Open.
+func (s *IndexRangeScan) openMorsels(ctx *Context, counters *cost.Counters) (morselRunner, error) {
+	t, schema, err := tableAndSchema(ctx, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := ctx.Indexes.Lookup(s.Table, s.Range.Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: no index on %s.%s", s.Table, s.Range.Column)
+	}
+	if _, err := bindFilter(s.Residual, schema); err != nil {
+		return nil, err
+	}
+	counters.IndexSeeks++
+	rids, scanned := ix.Range(s.Range.Lo, s.Range.Hi)
+	counters.IndexEntries += int64(scanned)
+	return &ridMorselRunner{
+		t: t, schema: schema, residual: s.Residual, rids: rids,
+		errCtx: fmt.Sprintf("IndexRangeScan(%s)", s.Table),
+	}, nil
+}
+
+// openMorsels implements morselSource: all probes and the intersection
+// happen here, on the coordinator, with the same charges as the serial
+// Open.
+func (s *IndexIntersect) openMorsels(ctx *Context, counters *cost.Counters) (morselRunner, error) {
+	if len(s.Ranges) == 0 {
+		return nil, fmt.Errorf("engine: IndexIntersect(%s) with no ranges", s.Table)
+	}
+	t, schema, err := tableAndSchema(ctx, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bindFilter(s.Residual, schema); err != nil {
+		return nil, err
+	}
+	lists := make([][]int32, len(s.Ranges))
+	for i, r := range s.Ranges {
+		ix, ok := ctx.Indexes.Lookup(s.Table, r.Column)
+		if !ok {
+			return nil, fmt.Errorf("engine: no index on %s.%s", s.Table, r.Column)
+		}
+		counters.IndexSeeks++
+		rids, scanned := ix.Range(r.Lo, r.Hi)
+		counters.IndexEntries += int64(scanned)
+		counters.Tuples += int64(scanned) // intersection CPU
+		lists[i] = rids
+	}
+	rids := index.Intersect(lists...)
+	return &ridMorselRunner{
+		t: t, schema: schema, residual: s.Residual, rids: rids,
+		errCtx: fmt.Sprintf("IndexIntersect(%s)", s.Table),
+	}, nil
+}
+
+// ridMorselRunner partitions a RID list; each RID costs one random page
+// and one tuple wherever it lands, so any partition sums to the serial
+// charges.
+type ridMorselRunner struct {
+	t        *storage.Table
+	schema   expr.RelSchema
+	residual expr.Expr
+	rids     []int32
+	errCtx   string
+}
+
+func (r *ridMorselRunner) numMorsels() int {
+	return (len(r.rids) + MorselSize - 1) / MorselSize
+}
+
+func (r *ridMorselRunner) newWorker() (morselWorker, error) {
+	pred, err := bindFilter(r.residual, r.schema)
+	if err != nil {
+		return nil, err
+	}
+	return &ridMorselWorker{
+		r: r, pred: pred, out: getBatch(r.schema),
+		buf: make(value.Row, len(r.schema.Fields)),
+	}, nil
+}
+
+type ridMorselWorker struct {
+	r    *ridMorselRunner
+	pred *expr.Bound
+	out  *Batch
+	buf  value.Row
+	sel  []int
+}
+
+func (w *ridMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row, error) {
+	rids := w.r.rids
+	lo := m * MorselSize
+	hi := min(lo+MorselSize, len(rids))
+	var rows []value.Row
+	for next := lo; next < hi; {
+		end := min(next+BatchSize, hi)
+		w.out.Reset()
+		for _, rid := range rids[next:end] {
+			counters.RandPages++
+			counters.Tuples++
+			w.r.t.ReadRow(int(rid), w.buf)
+			w.out.AppendRow(w.buf)
+		}
+		w.sel = identSel(w.sel, w.out.Len())
+		keep, err := w.pred.EvalBatch(w.out.Cols(), w.sel)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %v", w.r.errCtx, err)
+		}
+		w.out.Gather(keep)
+		for i := 0; i < w.out.Len(); i++ {
+			rows = append(rows, w.out.CloneRow(i))
+		}
+		next = end
+	}
+	return rows, nil
+}
+
+func (w *ridMorselWorker) release() {
+	putBatch(w.out)
+	w.out = nil
+}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/stats"
+	"robustqo/internal/testkit"
+	"robustqo/internal/value"
+)
+
+// TestExchangeDifferentialDOPProperty extends the streaming/materialized
+// differential corpus to parallel execution: the same random SPJ plans,
+// with every base scan wrapped in an Exchange, run at DOP 1, 2, and 4 and
+// must produce identical rows in identical order AND byte-identical
+// cost.Counters versus both the serial streaming plan and the
+// materialized reference. The fixture is sized so scans span several
+// morsels and genuinely fan out. Run with -race, this is also the data
+// race proof for the worker pool.
+func TestExchangeDifferentialDOPProperty(t *testing.T) {
+	_, ctx := testDB(t, 3000, 3, 10)
+	rng := stats.NewRNG(9001)
+	okey := expr.ColumnRef{Table: "orders", Column: "o_orderkey"}
+	lkey := expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"}
+	for trial := 0; trial < 40; trial++ {
+		sLo := int64(testkit.Intn(rng, 110)) - 5
+		sHi := sLo + int64(testkit.Intn(rng, 70))
+		cut := rng.Float64() * 1000
+		linePred := expr.Between{E: expr.C("l_ship"), Lo: expr.IntLit(sLo), Hi: expr.IntLit(sHi)}
+		orderPred := expr.Cmp{Op: expr.LT, L: expr.TC("orders", "o_total"), R: expr.FloatLit(cut)}
+
+		// Same plan shapes as TestStreamMaterializedSPJProperty, built
+		// twice: once serial, once with each scan behind an Exchange.
+		build := func(dop int) Node {
+			wrap := func(n Node) Node {
+				if dop == 0 {
+					return n
+				}
+				return &Exchange{Source: n, DOP: dop}
+			}
+			var lineScan Node
+			switch trial % 3 {
+			case 0:
+				lineScan = &SeqScan{Table: "lineitem", Filter: linePred}
+			case 1:
+				lineScan = &IndexRangeScan{Table: "lineitem", Range: KeyRange{Column: "l_ship", Lo: sLo, Hi: sHi}}
+			default:
+				lineScan = &IndexIntersect{Table: "lineitem",
+					Ranges: []KeyRange{{Column: "l_ship", Lo: sLo, Hi: sHi}}}
+			}
+			lineScan = wrap(lineScan)
+			ordersScan := wrap(&SeqScan{Table: "orders", Filter: orderPred})
+			var join Node
+			switch (trial / 3) % 3 {
+			case 0:
+				join = &HashJoin{Build: ordersScan, Probe: lineScan, BuildCol: okey, ProbeCol: lkey}
+			case 1:
+				join = &MergeJoin{Left: ordersScan, Right: lineScan, LeftCol: okey, RightCol: lkey}
+			default:
+				join = &INLJoin{Outer: lineScan, OuterCol: lkey,
+					InnerTable: "orders", InnerCol: "o_orderkey", Residual: orderPred}
+			}
+			plan := join
+			if trial%2 == 0 {
+				plan = &Project{Input: plan, Cols: []expr.ColumnRef{
+					{Table: "lineitem", Column: "l_id"},
+					{Table: "orders", Column: "o_total"},
+					{Table: "lineitem", Column: "l_price"},
+				}}
+			}
+			if (trial/2)%2 == 0 {
+				plan = &Sort{Input: plan, By: []SortKey{
+					{Col: expr.ColumnRef{Table: "lineitem", Column: "l_id"}}}}
+			}
+			return plan
+		}
+
+		serial := build(0)
+		label := fmt.Sprintf("trial %d ship[%d,%d] cut %.1f plan %s", trial, sLo, sHi, cut, serial.Describe())
+		var sc cost.Counters
+		sres, err := serial.Execute(ctx, &sc)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", label, err)
+		}
+		var mc cost.Counters
+		mres, err := ExecuteMaterialized(ctx, build(4), &mc)
+		if err != nil {
+			t.Fatalf("%s: materialized: %v", label, err)
+		}
+		compare := func(res *Result, c cost.Counters, leg string) {
+			t.Helper()
+			if len(res.Rows) != len(sres.Rows) {
+				t.Fatalf("%s: %s %d rows, serial %d", label, leg, len(res.Rows), len(sres.Rows))
+			}
+			for i := range res.Rows {
+				if rowKey(res.Rows[i]) != rowKey(sres.Rows[i]) {
+					t.Fatalf("%s: %s row %d differs: %v vs %v", label, leg, i, res.Rows[i], sres.Rows[i])
+				}
+			}
+			if c != sc {
+				t.Fatalf("%s: %s counters diverged:\n%s %+v\nserial %+v", label, leg, leg, c, sc)
+			}
+		}
+		compare(mres, mc, "materialized")
+		for _, dop := range []int{1, 2, 4} {
+			var pc cost.Counters
+			pres, err := build(dop).Execute(ctx, &pc)
+			if err != nil {
+				t.Fatalf("%s: dop=%d: %v", label, dop, err)
+			}
+			compare(pres, pc, fmt.Sprintf("dop=%d", dop))
+		}
+	}
+}
+
+// TestExchangeSerialFallback pins the degradation contract: DOP < 2, or a
+// source that cannot be morselized, runs as a pure pass-through with the
+// source's own serial operator.
+func TestExchangeSerialFallback(t *testing.T) {
+	_, ctx := testDB(t, 300, 3, 10)
+	pred := expr.Between{E: expr.C("l_ship"), Lo: expr.IntLit(5), Hi: expr.IntLit(60)}
+	serial := &SeqScan{Table: "lineitem", Filter: pred}
+	var sc cost.Counters
+	sres, err := serial.Execute(ctx, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Node{
+		&Exchange{Source: &SeqScan{Table: "lineitem", Filter: pred}, DOP: 1},
+		&Exchange{Source: &SeqScan{Table: "lineitem", Filter: pred}, DOP: 0},
+		// Filter is not a morselSource, so this must fall back even at DOP 4.
+		&Exchange{Source: &Filter{Input: &SeqScan{Table: "lineitem"}, Pred: pred}, DOP: 4},
+	}
+	for i, n := range cases[:2] {
+		var c cost.Counters
+		res, err := n.Execute(ctx, &c)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(res.Rows) != len(sres.Rows) || c != sc {
+			t.Fatalf("case %d: rows %d vs %d, counters %+v vs %+v", i, len(res.Rows), len(sres.Rows), c, sc)
+		}
+	}
+	var c cost.Counters
+	res, err := cases[2].Execute(ctx, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowMultiset(t, res.Rows, sres.Rows, "filter fallback")
+}
+
+// TestExchangeEarlyClose pins that a LIMIT above an Exchange — the
+// pipeline stopping before the source is drained — shuts the worker pool
+// down without leaking goroutines or deadlocking, and still returns the
+// serial prefix of the output.
+func TestExchangeEarlyClose(t *testing.T) {
+	_, ctx := testDB(t, 3000, 3, 10)
+	serial := &Limit{Input: &SeqScan{Table: "lineitem"}, N: 7}
+	var sc cost.Counters
+	sres, err := serial.Execute(ctx, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		plan := &Limit{Input: &Exchange{Source: &SeqScan{Table: "lineitem"}, DOP: 4}, N: 7}
+		var pc cost.Counters
+		pres, err := plan.Execute(ctx, &pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pres.Rows) != len(sres.Rows) {
+			t.Fatalf("iter %d: %d rows, want %d", i, len(pres.Rows), len(sres.Rows))
+		}
+		for r := range pres.Rows {
+			if rowKey(pres.Rows[r]) != rowKey(sres.Rows[r]) {
+				t.Fatalf("iter %d: row %d differs", i, r)
+			}
+		}
+	}
+	// All pools were shut down at Close; allow the runtime a moment to
+	// retire the exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestBatchPoolReuse pins the sync.Pool plumbing: a batch released with
+// putBatch comes back from getBatch with its column capacity intact and
+// its contents cleared.
+func TestBatchPoolReuse(t *testing.T) {
+	_, ctx := testDB(t, 50, 2, 5)
+	schema, err := (&SeqScan{Table: "lineitem"}).Schema(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := getBatch(schema)
+	if b.Len() != 0 || len(b.Cols()) != len(schema.Fields) {
+		t.Fatalf("fresh batch: len=%d cols=%d", b.Len(), len(b.Cols()))
+	}
+	row := make(value.Row, len(schema.Fields))
+	for i := 0; i < 10; i++ {
+		b.AppendRow(row)
+	}
+	putBatch(b)
+	b2 := getBatch(schema)
+	if b2.Len() != 0 {
+		t.Fatalf("pooled batch not cleared: len=%d", b2.Len())
+	}
+	if cap(b2.Cols()[0]) < BatchSize {
+		t.Fatalf("pooled batch lost capacity: %d", cap(b2.Cols()[0]))
+	}
+	putBatch(b2)
+	putBatch(nil) // must be a no-op
+}

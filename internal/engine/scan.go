@@ -64,7 +64,7 @@ func (o *seqScanOp) Open(ctx *Context, counters *cost.Counters) error {
 		return err
 	}
 	o.counters, o.t, o.pred = counters, t, pred
-	o.out = NewBatch(schema)
+	o.out = getBatch(schema)
 	return nil
 }
 
@@ -103,7 +103,10 @@ func (o *seqScanOp) Next() (*Batch, error) {
 	return nil, nil
 }
 
-func (o *seqScanOp) Close() {}
+func (o *seqScanOp) Close() {
+	putBatch(o.out)
+	o.out = nil
+}
 
 // KeyRange is one indexed range condition lo <= column <= hi over an Int
 // or Date column.
@@ -177,7 +180,7 @@ func (o *indexRangeScanOp) Open(ctx *Context, counters *cost.Counters) error {
 
 func (o *indexRangeScanOp) Next() (*Batch, error) { return o.fetch.nextBatch() }
 
-func (o *indexRangeScanOp) Close() {}
+func (o *indexRangeScanOp) Close() { o.fetch.release() }
 
 // IndexIntersect is the paper's risky plan: probe one index per range
 // condition, intersect the RID lists, fetch only the surviving rows (one
@@ -255,7 +258,7 @@ func (o *indexIntersectOp) Open(ctx *Context, counters *cost.Counters) error {
 
 func (o *indexIntersectOp) Next() (*Batch, error) { return o.fetch.nextBatch() }
 
-func (o *indexIntersectOp) Close() {}
+func (o *indexIntersectOp) Close() { o.fetch.release() }
 
 // ridFetcher streams the rows behind a RID list in batches, charging one
 // random page and one tuple per RID as the row is actually fetched.
@@ -273,8 +276,15 @@ type ridFetcher struct {
 
 func (f *ridFetcher) init(counters *cost.Counters, t *storage.Table, schema expr.RelSchema, pred *expr.Bound, rids []int32, errCtx string) {
 	f.counters, f.t, f.pred, f.rids, f.errCtx = counters, t, pred, rids, errCtx
-	f.out = NewBatch(schema)
+	f.out = getBatch(schema)
 	f.buf = make(value.Row, len(schema.Fields))
+}
+
+// release returns the fetcher's batch to the pool; owners call it from
+// Close.
+func (f *ridFetcher) release() {
+	putBatch(f.out)
+	f.out = nil
 }
 
 func (f *ridFetcher) nextBatch() (*Batch, error) {

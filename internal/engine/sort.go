@@ -170,7 +170,7 @@ func (o *sortOp) Open(ctx *Context, counters *cost.Counters) error {
 	for i, it := range items {
 		o.rows[i] = it.row
 	}
-	o.out = NewBatch(schema)
+	o.out = getBatch(schema)
 	return nil
 }
 
@@ -221,7 +221,10 @@ func (o *sortOp) Next() (*Batch, error) {
 	return o.out, nil
 }
 
-func (o *sortOp) Close() {}
+func (o *sortOp) Close() {
+	putBatch(o.out)
+	o.out = nil
+}
 
 // Limit passes through at most N input rows. In the streaming pipeline it
 // stops pulling its input as soon as N rows have been emitted, which is

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -79,6 +80,131 @@ func countersRecvField(pass *Pass, fn *ast.FuncDecl) (types.Object, string) {
 	return nil, ""
 }
 
+// goroutineLits returns the function literals launched directly with a
+// go statement inside body — worker bodies, where the counter-threading
+// rules change: the shared counters must NOT be passed in (workers would
+// race on it); instead each worker declares its own cost.Counters and
+// ships it to a merge point (a channel send, or an Add call under a
+// mutex or at the barrier).
+func goroutineLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	lits := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			lits[fl] = true
+		}
+		return true
+	})
+	return lits
+}
+
+// localCounterVars returns the cost.Counters variables declared inside
+// the goroutine literal — the sanctioned per-worker accumulators.
+func localCounterVars(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	locals := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for _, name := range spec.Names {
+			if obj := pass.Info.Defs[name]; obj != nil && isCountersNamed(obj.Type()) {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// shippedLocals returns the per-worker counter variables the goroutine
+// literal ships to a merge point: mentioned in a channel send (typically
+// inside a report struct) or passed to an Add call (the mutex-guarded or
+// barrier merge shape).
+func shippedLocals(pass *Pass, lit *ast.FuncLit, locals map[types.Object]bool) map[types.Object]bool {
+	shipped := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && locals[obj] {
+					shipped[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				for _, a := range n.Args {
+					mark(a)
+				}
+			}
+		}
+		return true
+	})
+	return shipped
+}
+
+// checkGoroutineLit applies the worker-pool rules to one go-launched
+// function literal: calls taking a *cost.Counters must receive a
+// goroutine-local counter set that is shipped to a merge, never the
+// enclosing function's shared counters.
+func checkGoroutineLit(pass *Pass, lit *ast.FuncLit, shared types.Object, sharedName string) {
+	locals := localCounterVars(pass, lit)
+	shipped := shippedLocals(pass, lit, locals)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Params() == nil {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if !isCountersPtr(sig.Params().At(i).Type()) {
+				continue
+			}
+			arg := ast.Unparen(call.Args[i])
+			if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && locals[obj] {
+						if !shipped[obj] {
+							pass.Reportf(call.Args[i].Pos(),
+								"per-worker cost.Counters %q is charged but never merged; "+
+									"ship it on a channel or fold it with Add before the goroutine returns", id.Name)
+						}
+						continue
+					}
+				}
+			}
+			if id, ok := arg.(*ast.Ident); ok && shared != nil && pass.Info.Uses[id] == shared {
+				pass.Reportf(call.Args[i].Pos(),
+					"shared *cost.Counters %q passed into a goroutine; workers would race on it — "+
+						"give each worker its own counters and merge them at the barrier", sharedName)
+				continue
+			}
+			if se, ok := arg.(*ast.SelectorExpr); ok && shared != nil && pass.Info.Uses[se.Sel] == shared {
+				pass.Reportf(call.Args[i].Pos(),
+					"shared *cost.Counters %q passed into a goroutine; workers would race on it — "+
+						"give each worker its own counters and merge them at the barrier", sharedName)
+				continue
+			}
+			pass.Reportf(call.Args[i].Pos(),
+				"call inside a goroutine passes a *cost.Counters that is not a merged per-worker "+
+					"counter set; declare one inside the goroutine and ship it to the merge")
+		}
+		return true
+	})
+}
+
 // CounterThread enforces that a function holding a *cost.Counters —
 // either as a parameter (Execute/Open shape) or as a field captured on
 // its receiver (streaming Next/Close shape) — passes that same pointer to
@@ -110,7 +236,18 @@ func runCounterThread(pass *Pass) {
 					continue
 				}
 			}
+			shared, sharedName := param, paramName
+			if shared == nil {
+				shared, sharedName = field, fieldName
+			}
+			golits := goroutineLits(fn.Body)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && golits[fl] {
+					// Worker-pool shape: the goroutine body plays by its
+					// own rules — per-worker counters shipped to a merge.
+					checkGoroutineLit(pass, fl, shared, sharedName)
+					return false
+				}
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
@@ -171,7 +308,14 @@ func runCtxCounters(pass *Pass) {
 					continue
 				}
 			}
+			golits := goroutineLits(fn.Body)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && golits[fl] {
+					// A worker goroutine's private counter set is the
+					// sanctioned accumulator, not a leak; counterthread
+					// checks that it reaches the merge.
+					return false
+				}
 				switch n := n.(type) {
 				case *ast.CompositeLit:
 					if t := pass.TypeOf(n); t != nil && isCountersNamed(t) {

@@ -1,0 +1,84 @@
+package counterthread
+
+import "cost"
+
+// report mirrors the engine's worker report: per-worker counters travel
+// to the merge by value on a channel.
+type report struct {
+	counters cost.Counters
+	rows     int
+}
+
+// goodWorkers is the blessed morsel-pool shape: each worker charges a
+// private counter set and ships it on the reports channel; the
+// coordinator folds the reports into the shared counters at the barrier.
+func goodWorkers(ctx *Context, n Node, counters *cost.Counters) {
+	reports := make(chan report, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			var wc cost.Counters
+			if _, err := n.Execute(ctx, &wc); err != nil {
+				reports <- report{}
+				return
+			}
+			reports <- report{counters: wc}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		r := <-reports
+		counters.Add(r.counters)
+	}
+}
+
+// goodMutexMerge folds each worker's counters into the shared set under
+// a lock (a one-slot semaphore channel standing in for a mutex here)
+// instead of shipping a report.
+func goodMutexMerge(ctx *Context, n Node, counters *cost.Counters) {
+	mu := make(chan struct{}, 1)
+	done := make(chan struct{}, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			var wc cost.Counters
+			if _, err := n.Execute(ctx, &wc); err == nil {
+				mu <- struct{}{}
+				counters.Add(wc)
+				<-mu
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+// sharedIntoGoroutine hands every worker the caller's counter set: the
+// int64 bumps race and the totals come out garbage.
+func sharedIntoGoroutine(ctx *Context, n Node, counters *cost.Counters) {
+	done := make(chan struct{}, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			n.Execute(ctx, counters) // want "shared \*cost.Counters \"counters\" passed into a goroutine"
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+// neverMerged gives each worker its own counters but drops them on the
+// floor: the workers' charges vanish from the totals.
+func neverMerged(ctx *Context, n Node, counters *cost.Counters) {
+	done := make(chan struct{}, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			var wc cost.Counters
+			n.Execute(ctx, &wc) // want "per-worker cost.Counters \"wc\" is charged but never merged"
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,19 @@
+package ctxcounters
+
+import "cost"
+
+// workerPool declares per-worker counters inside a go-launched literal.
+// That is the sanctioned worker-pool shape — the private set is the
+// worker's accumulator, and counterthread (not ctxcounters) polices
+// that it reaches the merge.
+func workerPool(ctx *Context, n Node, counters *cost.Counters) {
+	done := make(chan cost.Counters, 1)
+	go func() {
+		var wc cost.Counters
+		if _, err := n.Execute(ctx, &wc); err != nil {
+			wc = cost.Counters{}
+		}
+		done <- wc
+	}()
+	counters.Add(<-done)
+}

@@ -56,6 +56,14 @@ type Optimizer struct {
 	// (analyze, access-path seeding, join enumeration, finalization)
 	// and each uncached estimator call.
 	Trace *obs.Trace
+	// MaxDOP caps the degree of parallelism the optimizer may assign to
+	// a plan's scans via Exchange operators; 0 or 1 keeps plans serial.
+	MaxDOP int
+	// Metrics, when non-nil, receives the optimizer's cache counters:
+	// selectivity-cache hits/misses (cache hits are recorded here
+	// span-free, so enumeration-heavy queries don't balloon traces) and
+	// the estimator's posterior-quantile cache totals.
+	Metrics *obs.Registry
 }
 
 // New returns an optimizer over the execution context using the given
@@ -138,6 +146,10 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.MaxDOP >= 2 {
+		root = p.parallelize(root)
+	}
+	exportQuantileCache(o.Metrics, quantileCacheOf(o.Est))
 	return &Plan{
 		Root: root, EstCost: finalCost, EstRows: finalRows, Estimator: o.Est.Name(),
 		estimates: p.estimates, confidence: p.snap.Percentile,
@@ -326,8 +338,12 @@ func orderKey(ordered []expr.ColumnRef) string {
 func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
 	key := fmt.Sprintf("%d|%v", mask, pred)
 	if s, ok := p.selCache[key]; ok {
+		// Hits are metric increments only — no span — so traces stay
+		// proportional to distinct estimates, not enumeration steps.
+		p.opt.countMetric("robustqo_estimate_cache_hits_total")
 		return s, nil
 	}
+	p.opt.countMetric("robustqo_estimate_cache_misses_total")
 	sp := p.opt.Trace.StartSpan("estimate")
 	defer sp.End()
 	sp.SetAttr("tables", strings.Join(p.a.tablesOf(mask), ","))

@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"robustqo/internal/core"
+	"robustqo/internal/cost"
+	"robustqo/internal/obs"
+	"robustqo/internal/sample"
+	"robustqo/internal/stats"
+	"robustqo/internal/testkit"
+)
+
+func bayesOpt(t *testing.T, nLines int, threshold float64) (*Optimizer, *Query) {
+	t.Helper()
+	db, ctx := optDB(t, nLines, 40)
+	set, err := sample.BuildAll(db, 200, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.NewBayesEstimator(set, core.ConfidenceThreshold(threshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(ctx, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{
+		Tables: []string{"lineitem", "orders"},
+		Pred:   testkit.Expr("l_ship BETWEEN 0 AND 900 AND orders.o_total < 800"),
+	}
+	return o, q
+}
+
+// TestParallelizeWrapsLargeScan checks the DOP decision end to end: over
+// a table past the cutoff the optimizer wraps the scan in an Exchange at
+// MaxDOP, and the parallel plan still returns exactly the serial plan's
+// rows and counters.
+func TestParallelizeWrapsLargeScan(t *testing.T) {
+	o, q := bayesOpt(t, 24000, 0.8)
+	serialPlan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.MaxDOP = 4
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "Exchange(dop=4") {
+		t.Fatalf("no Exchange in parallel plan:\n%s", plan.Explain())
+	}
+	if strings.Contains(serialPlan.Explain(), "Exchange") {
+		t.Fatalf("Exchange in serial plan:\n%s", serialPlan.Explain())
+	}
+	var sc, pc cost.Counters
+	sres, err := serialPlan.Root.Execute(o.Ctx, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := plan.Root.Execute(o.Ctx, &pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Rows) != len(pres.Rows) {
+		t.Fatalf("serial %d rows, parallel %d", len(sres.Rows), len(pres.Rows))
+	}
+	if sc != pc {
+		t.Fatalf("counters diverged:\nserial   %+v\nparallel %+v", sc, pc)
+	}
+}
+
+// TestParallelizeKeepsSmallScansSerial: below the cardinality cutoff the
+// fan-out cost isn't worth paying, so even at MaxDOP=4 the plan stays
+// serial.
+func TestParallelizeKeepsSmallScansSerial(t *testing.T) {
+	o, q := bayesOpt(t, 2000, 0.8)
+	o.MaxDOP = 4
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Explain(), "Exchange") {
+		t.Fatalf("small scans were parallelized:\n%s", plan.Explain())
+	}
+}
+
+// TestOptimizerCacheMetrics checks the satellite fix: selectivity-cache
+// hits surface as span-free metric increments, and the estimator's
+// posterior-quantile cache totals are mirrored into the registry. The
+// second Optimize of the same query must be all quantile hits — the
+// memoization that makes repeated enumeration cheap.
+func TestOptimizerCacheMetrics(t *testing.T) {
+	o, q := bayesOpt(t, 2000, 0.8)
+	reg := obs.NewRegistry()
+	o.Metrics = reg
+	if _, err := o.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	misses0 := reg.Counter("robustqo_quantile_cache_misses_total").Value()
+	if misses0 == 0 {
+		t.Fatal("no quantile-cache misses recorded on a cold cache")
+	}
+	if reg.Counter("robustqo_estimate_cache_misses_total").Value() == 0 {
+		t.Fatal("no estimate-cache misses recorded")
+	}
+	tr := obs.NewTrace("requery")
+	o.Trace = tr
+	if _, err := o.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter("robustqo_quantile_cache_hits_total").Value(); hits == 0 {
+		t.Fatal("re-optimizing the same query produced no quantile-cache hits")
+	}
+	if misses := reg.Counter("robustqo_quantile_cache_misses_total").Value(); misses != misses0 {
+		t.Fatalf("re-optimizing recomputed quantiles: misses %d -> %d", misses0, misses)
+	}
+	// The re-run answered repeated selectivity lookups from cache; those
+	// hits must not have spawned estimate spans (the trace balloon fix) —
+	// spans stay proportional to uncached estimator calls.
+	estSpans := 0
+	for _, r := range tr.Records() {
+		if r.Name == "estimate" {
+			estSpans++
+		}
+	}
+	hits := reg.Counter("robustqo_estimate_cache_hits_total").Value()
+	if hits == 0 {
+		t.Fatal("no estimate-cache hits recorded")
+	}
+	if int64(estSpans) >= hits+reg.Counter("robustqo_estimate_cache_misses_total").Value() {
+		t.Fatalf("estimate spans (%d) not reduced by caching", estSpans)
+	}
+}
