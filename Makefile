@@ -22,7 +22,9 @@ fuzz-smoke:
 
 bench-smoke:
 	$(GO) test -run=^$$ -bench=BenchmarkExecStreamVsMaterialize -benchtime=1x -benchmem ./internal/engine/
+	$(GO) test -run=^$$ -bench=BenchmarkHashJoinProbe -benchtime=1x -benchmem ./internal/engine/
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
 	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
+	$(GO) run ./cmd/benchjoin -out BENCH_join.json
 
 ci: build lint race fuzz-smoke bench-smoke

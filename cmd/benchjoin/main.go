@@ -1,0 +1,233 @@
+// Command benchjoin measures what the parallel partitioned hash join
+// buys and proves what it must not change. It drains a whole
+// scan→hashjoin pipeline under one Exchange — the shape the optimizer's
+// parallelize post-pass emits — at DOP 1, 2, and 4, checks rows and
+// cost counters are identical to the serial plan at every DOP (always
+// enforced), and times the serial-vs-DOP=4 speedup (enforced only on
+// machines with at least 4 CPUs, waived with an explanation otherwise).
+// It also pins the posterior pre-sizing contract through the
+// robustqo_hashjoin_* metrics: a build estimate within 2x of the actual
+// cardinality must record zero modeled rehashes and a pre-size hit,
+// while a wild underestimate must record growth. The report lands in
+// BENCH_join.json in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/obs"
+	"robustqo/internal/tpch"
+)
+
+type report struct {
+	CPUs              int     `json:"cpus"`
+	Lines             int     `json:"lines"`
+	BuildRows         int     `json:"build_rows"`
+	Reps              int     `json:"reps"`
+	SerialNsPerOp     float64 `json:"serial_ns_per_op"`
+	DOP2NsPerOp       float64 `json:"dop2_ns_per_op"`
+	DOP4NsPerOp       float64 `json:"dop4_ns_per_op"`
+	SpeedupDOP2       float64 `json:"speedup_dop2"`
+	SpeedupDOP4       float64 `json:"speedup_dop4"`
+	Rows              int     `json:"rows"`
+	IdenticalRows     bool    `json:"identical_rows"`
+	IdenticalCounters bool    `json:"identical_counters"`
+	MinSpeedup        float64 `json:"min_speedup"`
+	SpeedupEnforced   bool    `json:"speedup_enforced"`
+	SpeedupWaiver     string  `json:"speedup_waiver,omitempty"`
+	// Pre-sizing gate: the estimated run carries BuildRowsEst within 2x
+	// of the actual build cardinality and must not grow; the unsized run
+	// models a hand-built plan and must.
+	PresizeHits           int64 `json:"presize_hits"`
+	PresizeRehashes       int64 `json:"presize_rehashes"`
+	ParallelBuilds        int64 `json:"parallel_builds"`
+	UnderestimateRehashes int64 `json:"underestimate_rehashes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_join.json", "report file path")
+	lines := flag.Int("lines", 60000, "lineitem rows to generate")
+	reps := flag.Int("reps", 3, "benchmark repetitions (best-of)")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "fail when the DOP=4 join speedup is below this (needs >=4 CPUs)")
+	flag.Parse()
+	if err := run(*out, *lines, *reps, *minSpeedup); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, lines, reps int, minSpeedup float64) error {
+	db, err := tpch.Generate(tpch.Config{Lines: lines, Seed: 2005})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+	orders, ok := db.Table("orders")
+	if !ok {
+		return fmt.Errorf("generated database has no orders table")
+	}
+	buildRows := orders.NumRows()
+
+	// The probe side carries a selective filter, so the parallel work is
+	// the full lineitem scan, filter, and probe — split across workers —
+	// while the serial merge only carries the survivors. The build side
+	// (all of orders) is big enough to cross the partitioned-build
+	// threshold, so DOP>1 also exercises the two-phase parallel build.
+	pred, err := expr.Parse("l_quantity >= 45 AND l_extendedprice BETWEEN 100 AND 20000")
+	if err != nil {
+		return err
+	}
+	plan := func(dop int, est float64) engine.Node {
+		var n engine.Node = &engine.HashJoin{
+			Build:        &engine.SeqScan{Table: "orders"},
+			Probe:        &engine.SeqScan{Table: "lineitem", Filter: pred},
+			BuildCol:     expr.ColumnRef{Table: "orders", Column: "o_orderkey"},
+			ProbeCol:     expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
+			BuildRowsEst: est,
+		}
+		if dop > 0 {
+			n = &engine.Exchange{Source: n, DOP: dop}
+		}
+		return n
+	}
+	est := 0.6 * float64(buildRows) // within the 2x pre-size headroom
+
+	rep := report{
+		CPUs:              runtime.NumCPU(),
+		Lines:             lines,
+		BuildRows:         buildRows,
+		Reps:              reps,
+		IdenticalRows:     true,
+		IdenticalCounters: true,
+		MinSpeedup:        minSpeedup,
+		SpeedupEnforced:   runtime.NumCPU() >= 4,
+	}
+
+	// Identity gate: the serial plan is the reference; Exchange at DOP
+	// 1, 2, and 4 must reproduce its rows (in order) and its counters.
+	var baseHash uint64
+	var baseCounters cost.Counters
+	for i, dop := range []int{0, 1, 2, 4} {
+		var c cost.Counters
+		res, err := plan(dop, est).Execute(ctx, &c)
+		if err != nil {
+			return fmt.Errorf("dop=%d: %v", dop, err)
+		}
+		h := fnv.New64a()
+		for _, r := range res.Rows {
+			for _, v := range r {
+				fmt.Fprint(h, v.String(), "\x1f")
+			}
+			fmt.Fprint(h, "\x1e")
+		}
+		if i == 0 {
+			baseHash, baseCounters, rep.Rows = h.Sum64(), c, len(res.Rows)
+			continue
+		}
+		if h.Sum64() != baseHash {
+			rep.IdenticalRows = false
+		}
+		if c != baseCounters {
+			rep.IdenticalCounters = false
+		}
+	}
+
+	// Pre-sizing gate, measured through the metrics registry. One
+	// estimated parallel run: zero rehashes, a pre-size hit, and a
+	// partitioned build. One unsized run: modeled growth.
+	sized := obs.NewRegistry()
+	ctx.Metrics = sized
+	if _, err := plan(4, est).Execute(ctx, &cost.Counters{}); err != nil {
+		return err
+	}
+	rep.PresizeHits = sized.Counter("robustqo_hashjoin_presize_hits_total").Value()
+	rep.PresizeRehashes = sized.Counter("robustqo_hashjoin_rehashes_total").Value()
+	rep.ParallelBuilds = sized.Counter("robustqo_hashjoin_parallel_builds_total").Value()
+	unsized := obs.NewRegistry()
+	ctx.Metrics = unsized
+	if _, err := plan(0, 0).Execute(ctx, &cost.Counters{}); err != nil {
+		return err
+	}
+	rep.UnderestimateRehashes = unsized.Counter("robustqo_hashjoin_rehashes_total").Value()
+	ctx.Metrics = nil
+
+	// Timing, best-of-reps per DOP.
+	times := make([]float64, 3)
+	for i, dop := range []int{0, 2, 4} {
+		n := plan(dop, est)
+		best := math.MaxFloat64
+		for r := 0; r < reps; r++ {
+			var execErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					var c cost.Counters
+					if _, err := n.Execute(ctx, &c); err != nil {
+						execErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if execErr != nil {
+				return execErr
+			}
+			if v := float64(res.NsPerOp()); v < best {
+				best = v
+			}
+		}
+		times[i] = best
+	}
+	rep.SerialNsPerOp, rep.DOP2NsPerOp, rep.DOP4NsPerOp = times[0], times[1], times[2]
+	rep.SpeedupDOP2 = times[0] / times[1]
+	rep.SpeedupDOP4 = times[0] / times[2]
+	if !rep.SpeedupEnforced {
+		rep.SpeedupWaiver = fmt.Sprintf("only %d CPUs; a DOP=4 wall-clock gate needs at least 4", rep.CPUs)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("join pipeline: %.0f ns serial, speedup %.2fx @2, %.2fx @4 (%d rows)\n",
+		rep.SerialNsPerOp, rep.SpeedupDOP2, rep.SpeedupDOP4, rep.Rows)
+	fmt.Printf("pre-sizing: %d hits, %d rehashes sized, %d rehashes unsized, %d parallel builds; report: %s\n",
+		rep.PresizeHits, rep.PresizeRehashes, rep.UnderestimateRehashes, rep.ParallelBuilds, out)
+
+	if !rep.IdenticalRows {
+		return fmt.Errorf("parallel join rows diverge from serial")
+	}
+	if !rep.IdenticalCounters {
+		return fmt.Errorf("parallel join counters diverge from serial")
+	}
+	if rep.PresizeRehashes != 0 {
+		return fmt.Errorf("estimate within 2x of %d build rows still recorded %d rehashes", buildRows, rep.PresizeRehashes)
+	}
+	if rep.PresizeHits < 1 {
+		return fmt.Errorf("estimated build recorded no pre-size hit")
+	}
+	if rep.ParallelBuilds < 1 {
+		return fmt.Errorf("DOP=4 build over %d rows did not partition", buildRows)
+	}
+	if rep.UnderestimateRehashes == 0 {
+		return fmt.Errorf("unsized build recorded no modeled rehashes")
+	}
+	if rep.SpeedupEnforced && rep.SpeedupDOP4 < minSpeedup {
+		return fmt.Errorf("DOP=4 speedup %.2fx below the %.1fx floor", rep.SpeedupDOP4, minSpeedup)
+	}
+	return nil
+}

@@ -170,6 +170,7 @@ func runQuery(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx.Metrics = obs.Default
 	est, err := buildEstimator(db, *estimator, *threshold, *sampleSize, *seed)
 	if err != nil {
 		return err
@@ -250,6 +251,7 @@ func runSQL(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx.Metrics = obs.Default
 	est, err := buildEstimator(db, *estimator, *threshold, *sampleSize, *seed)
 	if err != nil {
 		return err

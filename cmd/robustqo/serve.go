@@ -49,6 +49,9 @@ func newServer(lines int, estimator string, threshold float64, sampleSize int, s
 		return nil, err
 	}
 	s := &server{ctx: ctx, est: est, reg: obs.NewRegistry(), dop: parallelism}
+	// Engine-side metering (hash-join builds, pre-size hits, modeled
+	// rehashes) lands in the same registry /metrics serves.
+	ctx.Metrics = s.reg
 	if b, ok := est.(*core.BayesEstimator); ok {
 		s.bayes = b
 	}

@@ -118,3 +118,64 @@ func TestServeConcurrentQueries(t *testing.T) {
 		t.Errorf("metrics missing quantile cache counters:\n%s", body)
 	}
 }
+
+// TestServeParallelJoinStress hammers a join query at parallelism 4: the
+// lineitem scan is past the parallel cutoff, so the optimizer wraps the
+// whole scan→hashjoin pipeline in one Exchange and every request runs
+// the partitioned build and shared-table probe concurrently with its
+// siblings. Under -race this covers the two-phase parallel build, the
+// read-only probe sharing, and the hash-join metrics all at once.
+func TestServeParallelJoinStress(t *testing.T) {
+	s, err := newServer(25000, "robust", 0.8, 500, 2005, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	joinSQL := "SELECT COUNT(*) FROM lineitem, part WHERE p_size < 30"
+	const clients, reqsPerClient = 6, 4
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reqsPerClient; i++ {
+				u := ts.URL + "/query?sql=" + url.QueryEscape(joinSQL)
+				if (g+i)%2 == 0 {
+					u += "&analyze=1"
+				}
+				resp, err := http.Get(u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d req %d: code %d body %q", g, i, resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("final metrics: code %d", code)
+	}
+	want := fmt.Sprintf("robustqo_queries_total %d", clients*reqsPerClient)
+	if !strings.Contains(body, want) {
+		t.Errorf("metrics missing %q:\n%s", want, body)
+	}
+	// The engine's metering is wired into the server registry: every
+	// request built a hash table, so the build counter must be exported.
+	if !strings.Contains(body, "robustqo_hashjoin_builds_total") {
+		t.Errorf("metrics missing hash-join build counters:\n%s", body)
+	}
+}

@@ -104,6 +104,18 @@ func (e *BayesEstimator) Name() string {
 	return fmt.Sprintf("bayes(%s, prior=Beta(%g,%g))", e.Threshold, e.Prior.A, e.Prior.B)
 }
 
+// ConfidenceReporter is implemented by estimators whose point estimates
+// are posterior quantiles at a confidence threshold T. Consumers — the
+// optimizer tagging EXPLAIN ANALYZE snapshots, the parallelize post-pass
+// gating DOP decisions — use it to learn which T an estimate was produced
+// under without knowing the concrete estimator type.
+type ConfidenceReporter interface {
+	// ConfidenceLevel returns the posterior percentile point estimates are
+	// taken at; the bool is false when the estimator does not condense
+	// through a quantile.
+	ConfidenceLevel() (float64, bool)
+}
+
 // ConfidenceLevel reports the posterior percentile the estimator takes
 // its point estimates at, for observability snapshots (EXPLAIN ANALYZE
 // tags every estimate with the T it was produced under). The bool is
@@ -119,7 +131,7 @@ func (e *BayesEstimator) ConfidenceLevel() (float64, bool) {
 // that exposes one.
 func (c *Chain) ConfidenceLevel() (float64, bool) {
 	for _, e := range c.Estimators {
-		if cl, ok := e.(interface{ ConfidenceLevel() (float64, bool) }); ok {
+		if cl, ok := e.(ConfidenceReporter); ok {
 			if t, ok := cl.ConfidenceLevel(); ok {
 				return t, true
 			}

@@ -72,6 +72,20 @@ func (b *Batch) appendConcat(left, right value.Row) {
 	b.n++
 }
 
+// appendConcatFrom appends the concatenation of a row fragment and row r
+// of src as one row, reading src's columns directly so the right-hand
+// fragment never has to be materialized as a value.Row first.
+func (b *Batch) appendConcatFrom(left value.Row, src *Batch, r int) {
+	for i, v := range left {
+		b.cols[i] = append(b.cols[i], v)
+	}
+	n := len(left)
+	for c := range src.cols {
+		b.cols[n+c] = append(b.cols[n+c], src.cols[c][r])
+	}
+	b.n++
+}
+
 // Row copies row i into dst, which must have one slot per column.
 func (b *Batch) Row(i int, dst value.Row) {
 	for c := range b.cols {
@@ -238,4 +252,43 @@ func openAndDrain(ctx *Context, n Node, counters *cost.Counters) ([]value.Row, e
 		return nil, err
 	}
 	return drainRows(op)
+}
+
+// arenaChunk is the value count of one arena slab in openAndDrainArena.
+const arenaChunk = 8192
+
+// openAndDrainArena is openAndDrain for consumers that keep the whole row
+// set alive together (the hash-join build side): instead of one heap
+// allocation per row, row storage comes from shared arena slabs — one
+// allocation per arenaChunk values. Rows are views into a slab and must be
+// treated as immutable; a slab is never grown once rows point into it.
+func openAndDrainArena(ctx *Context, n Node, counters *cost.Counters) ([]value.Row, error) {
+	op := n.Stream()
+	defer op.Close()
+	if err := op.Open(ctx, counters); err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	var arena []value.Value
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		cols := b.Cols()
+		w := len(cols)
+		if need := b.Len() * w; cap(arena)-len(arena) < need {
+			arena = make([]value.Value, 0, max(arenaChunk, need))
+		}
+		for i := 0; i < b.Len(); i++ {
+			start := len(arena)
+			for c := 0; c < w; c++ {
+				arena = append(arena, cols[c][i])
+			}
+			rows = append(rows, arena[start:len(arena):len(arena)])
+		}
+	}
 }

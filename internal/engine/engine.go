@@ -24,6 +24,7 @@ import (
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
 	"robustqo/internal/index"
+	"robustqo/internal/obs"
 	"robustqo/internal/storage"
 	"robustqo/internal/value"
 )
@@ -33,6 +34,10 @@ type Context struct {
 	DB      *storage.Database
 	Indexes *index.Set
 	Model   cost.Model
+	// Metrics, when non-nil, receives engine-level operational counters
+	// (robustqo_hashjoin_* build pre-sizing outcomes). Nil disables
+	// metering; it never affects results or cost.Counters.
+	Metrics *obs.Registry
 }
 
 // NewContext builds a Context with the default cost model, constructing

@@ -74,6 +74,7 @@ type exchangeOp struct {
 	// morselizable); every call then delegates to it.
 	passthrough Operator
 
+	runner   morselRunner
 	nMorsels int
 	nWorkers int
 	claim    atomic.Int64
@@ -99,10 +100,11 @@ func (o *exchangeOp) Open(ctx *Context, counters *cost.Counters) error {
 		o.passthrough = o.node.Source.Stream()
 		return o.passthrough.Open(ctx, counters)
 	}
-	runner, err := src.openMorsels(ctx, counters)
+	runner, err := src.openMorsels(ctx, counters, o.node.DOP)
 	if err != nil {
 		return err
 	}
+	o.runner = runner
 	schema, err := o.node.Source.Schema(ctx)
 	if err != nil {
 		return err
@@ -272,5 +274,10 @@ func (o *exchangeOp) finish() {
 	if inst, ok := o.node.Source.(*Instrumented); ok && inst.Stats != nil {
 		inst.Stats.Rows += totalRows
 		inst.Stats.Batches += totalMorsels
+	}
+	// Runners that bypass further Instrumented wrappers inside the source
+	// subtree (HashJoin over an instrumented probe) feed those here too.
+	if f, ok := o.runner.(morselStatsFeeder); ok {
+		f.feedStats()
 	}
 }

@@ -19,6 +19,11 @@ type HashJoin struct {
 	Probe    Node
 	BuildCol expr.ColumnRef
 	ProbeCol expr.ColumnRef
+	// BuildRowsEst is the optimizer's posterior T-quantile estimate of the
+	// build cardinality, used to pre-size the hash table. Zero (a
+	// hand-built plan) falls back to growing from the minimum capacity; it
+	// never affects results.
+	BuildRowsEst float64
 }
 
 // Schema implements Node.
@@ -49,14 +54,16 @@ func (j *HashJoin) Stream() Operator { return &hashJoinOp{node: j} }
 
 // hashJoinOp drains the build side into a hash table at Open (the build is
 // inherently blocking) and then streams the probe side, emitting matches a
-// probe batch at a time.
+// probe batch at a time. The probe is vectorized: it walks the probe
+// batch's key column directly — no per-row materialization into a scratch
+// row, and no boxing the key into an interface — and copies matching rows
+// column-wise out of the batch.
 type hashJoinOp struct {
 	node     *HashJoin
 	counters *cost.Counters
 	probe    Operator
-	table    map[any][]value.Row
+	table    *joinTable
 	pIdx     int
-	pBuf     value.Row
 	out      *Batch
 }
 
@@ -78,22 +85,18 @@ func (o *hashJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	if err != nil {
 		return fmt.Errorf("engine: HashJoin probe key: %v", err)
 	}
-	buildRows, err := openAndDrain(ctx, j.Build, counters)
+	buildRows, err := openAndDrainArena(ctx, j.Build, counters)
 	if err != nil {
 		return err
 	}
-	o.table = make(map[any][]value.Row, len(buildRows))
-	for _, row := range buildRows {
-		k := row[bIdx].Key()
-		o.table[k] = append(o.table[k], row)
-	}
+	o.table = buildJoinTable(buildRows, bIdx, j.BuildRowsEst, 1)
+	o.table.recordMetrics(ctx.Metrics)
 	counters.HashBuilds += int64(len(buildRows))
 	o.counters = counters
 	o.probe = j.Probe.Stream()
 	if err := o.probe.Open(ctx, counters); err != nil {
 		return err
 	}
-	o.pBuf = make(value.Row, len(probeSchema.Fields))
 	o.out = getBatch(buildSchema.Concat(probeSchema))
 	return nil
 }
@@ -109,11 +112,11 @@ func (o *hashJoinOp) Next() (*Batch, error) {
 		}
 		o.counters.HashProbes += int64(b.Len())
 		o.out.Reset()
+		keys := b.Cols()[o.pIdx]
 		for r := 0; r < b.Len(); r++ {
-			b.Row(r, o.pBuf)
-			for _, bRow := range o.table[o.pBuf[o.pIdx].Key()] {
+			for idx := o.table.first(keys[r]); idx >= 0; idx = o.table.next[idx] {
 				o.counters.Tuples++
-				o.out.appendConcat(bRow, o.pBuf)
+				o.out.appendConcatFrom(o.table.rows[idx], b, r)
 			}
 		}
 		if o.out.Len() > 0 {
@@ -165,15 +168,26 @@ func (j *MergeJoin) Execute(ctx *Context, counters *cost.Counters) (*Result, err
 // Stream implements Node.
 func (j *MergeJoin) Stream() Operator { return &mergeJoinOp{node: j} }
 
-// mergeJoinOp is a pipeline breaker on both sides: it drains and merges at
-// Open, then emits the joined rows in batches, charging the output tuple
-// work only as rows are actually pulled.
+// mergeJoinOp is a pipeline breaker on both sides: it drains and sorts at
+// Open, then merges incrementally as batches are pulled — output tuples
+// are concatenated straight into the pooled output batch, never
+// materialized as standalone rows, and the tuple charge lands only as
+// rows are actually pulled. (ExecuteMaterialized still uses mergeRows,
+// which builds the full row slice; their outputs and charges are
+// identical.)
+//
+// Merge cursor state between pulls: [i, iEnd) x [k, kEnd) is the current
+// equal-key group, and (a, b) is the next pair to emit within it.
 type mergeJoinOp struct {
-	node     *MergeJoin
-	counters *cost.Counters
-	rows     []value.Row
-	next     int
-	out      *Batch
+	node       *MergeJoin
+	counters   *cost.Counters
+	lRows      []value.Row
+	rRows      []value.Row
+	lIdx, rIdx int
+	i, k       int
+	iEnd, kEnd int
+	a, b       int
+	out        *Batch
 }
 
 func (o *mergeJoinOp) Open(ctx *Context, counters *cost.Counters) error {
@@ -218,25 +232,64 @@ func (o *mergeJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	}
 	counters.Tuples += int64(len(lRows) + len(rRows))
 	o.counters = counters
-	o.rows = mergeRows(lRows, rRows, lIdx, rIdx)
+	o.lRows, o.rRows = lRows, rRows
+	o.lIdx, o.rIdx = lIdx, rIdx
 	o.out = getBatch(lSchema.Concat(rSchema))
 	return nil
 }
 
 func (o *mergeJoinOp) Next() (*Batch, error) {
-	if o.next >= len(o.rows) {
+	o.out.Reset()
+	for o.out.Len() < BatchSize {
+		if o.a < o.iEnd {
+			// Emit the next pair of the current equal-key group: the
+			// cross product in left-major order, exactly as mergeRows
+			// enumerates it.
+			o.counters.Tuples++
+			o.out.appendConcat(o.lRows[o.a], o.rRows[o.b])
+			if o.b++; o.b == o.kEnd {
+				o.b = o.k
+				o.a++
+			}
+			continue
+		}
+		// Current group exhausted: advance both cursors past it and find
+		// the next key match.
+		o.i, o.k = o.iEnd, o.kEnd
+		found := false
+		for o.i < len(o.lRows) && o.k < len(o.rRows) {
+			lk, rk := o.lRows[o.i][o.lIdx].I, o.rRows[o.k][o.rIdx].I
+			if lk < rk {
+				o.i++
+				continue
+			}
+			if lk > rk {
+				o.k++
+				continue
+			}
+			o.iEnd = o.i
+			for o.iEnd < len(o.lRows) && o.lRows[o.iEnd][o.lIdx].I == lk {
+				o.iEnd++
+			}
+			o.kEnd = o.k
+			for o.kEnd < len(o.rRows) && o.rRows[o.kEnd][o.rIdx].I == lk {
+				o.kEnd++
+			}
+			o.a, o.b = o.i, o.k
+			found = true
+			break
+		}
+		if !found {
+			// No further matches: park every cursor at the scan position so
+			// the emit branch stays dead on later pulls.
+			o.iEnd, o.kEnd = o.i, o.k
+			o.a, o.b = o.i, o.k
+			break
+		}
+	}
+	if o.out.Len() == 0 {
 		return nil, nil
 	}
-	end := o.next + BatchSize
-	if end > len(o.rows) {
-		end = len(o.rows)
-	}
-	o.out.Reset()
-	for _, r := range o.rows[o.next:end] {
-		o.counters.Tuples++
-		o.out.AppendRow(r)
-	}
-	o.next = end
 	return o.out, nil
 }
 
@@ -283,31 +336,29 @@ func mergeRows(lRows, rRows []value.Row, lIdx, rIdx int) []value.Row {
 	return rows
 }
 
-// sortedByKey returns rows ordered by the integer key at idx. When
-// alreadySorted, it verifies the order rather than trusting it blindly and
-// sorts a copy if the claim is wrong (keeping results correct even if a
-// plan mislabels its inputs).
+// sortedByKey returns rows ordered by the integer key at idx. The order
+// check is fused into the numeric-validation pass the function must make
+// anyway, so a genuinely sorted input (whether or not alreadySorted says
+// so) costs exactly one scan and zero allocations; an out-of-order input
+// is sorted in place — callers own the drained row slices — which keeps
+// results correct even when a plan mislabels its inputs, while the
+// alreadySorted flag only controls the caller's SortTuples charge.
 func sortedByKey(rows []value.Row, idx int, alreadySorted bool) ([]value.Row, error) {
-	for _, r := range rows {
+	_ = alreadySorted // cost attribution only; see above
+	inOrder := true
+	for i, r := range rows {
 		if !r[idx].Numeric() {
 			return nil, fmt.Errorf("engine: merge join over non-numeric key %s", r[idx])
 		}
+		if inOrder && i > 0 && rows[i-1][idx].I > r[idx].I {
+			inOrder = false
+		}
 	}
-	inOrder := sort.SliceIsSorted(rows, func(a, b int) bool { return rows[a][idx].I < rows[b][idx].I })
 	if inOrder {
 		return rows, nil
 	}
-	if alreadySorted {
-		// Mislabelled input: fall through to sorting (correctness first).
-		cp := make([]value.Row, len(rows))
-		copy(cp, rows)
-		sort.SliceStable(cp, func(a, b int) bool { return cp[a][idx].I < cp[b][idx].I })
-		return cp, nil
-	}
-	cp := make([]value.Row, len(rows))
-	copy(cp, rows)
-	sort.SliceStable(cp, func(a, b int) bool { return cp[a][idx].I < cp[b][idx].I })
-	return cp, nil
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a][idx].I < rows[b][idx].I })
+	return rows, nil
 }
 
 // INLJoin is an indexed nested-loop join: for every outer row it probes an

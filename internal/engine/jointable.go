@@ -1,0 +1,346 @@
+package engine
+
+// The hash-join build table: partitioned, type-specialized, chained, and
+// pre-sized.
+//
+// Four properties matter and each is pinned by a test:
+//
+//   - Type specialization. value.Value keys fall into exactly three key
+//     classes — string, float64, and int64 (Int, Date, and everything
+//     else share the I payload, mirroring value.Key) — so each partition
+//     keeps one native-keyed map per class and probes never box a key
+//     into an interface. Key equality is exactly the old map[any]
+//     table's: Int and Date share the int64 class, floats compare as
+//     float64 map keys (NaN matches nothing, -0 equals +0), numeric keys
+//     never match strings.
+//   - Chained storage. Rows live once in a flat build-order slice; each
+//     key maps to a (head, tail) chain threaded through a next-index
+//     array. Inserting N rows costs zero per-key slice allocations, and
+//     walking a chain yields the key's rows in build-input order — the
+//     order the per-key slices used to preserve.
+//   - Partitioning. The table is split into a power-of-two number of
+//     partitions by a hash of the key, so a parallel build can scatter
+//     row indices morsel-by-morsel and then let each worker own whole
+//     partitions, lock-free: a partition's chains only ever touch next[]
+//     slots of its own rows. Equal keys always land in the same
+//     partition, so the partition count can never change join output.
+//   - Pre-sizing. The optimizer's posterior T-quantile estimate of the
+//     build cardinality (HashJoin.BuildRowsEst) sizes the table before
+//     the first insert, with 2x headroom: an estimate within a factor of
+//     two of the actual build size never triggers modeled growth. Go maps
+//     do not expose their rehash count, so growth is modeled — the number
+//     of capacity doublings a pre-sized table would need to reach the
+//     rows actually inserted — and exported as robustqo_hashjoin_*
+//     metrics when a registry is attached to the Context.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/obs"
+	"robustqo/internal/value"
+)
+
+// minJoinTableCap is the modeled capacity of an unsized table; it matches
+// the scale at which Go map growth starts to matter.
+const minJoinTableCap = 16
+
+// maxJoinTablePresize bounds how far a wild overestimate can pre-allocate.
+const maxJoinTablePresize = 1 << 22
+
+// joinPartitionThreshold is the build size below which a parallel
+// partitioned build is not worth its scatter pass; smaller builds insert
+// serially even when the join runs at DOP > 1.
+const joinPartitionThreshold = 2 * MorselSize
+
+// joinChain is one key's row list: indices into joinTable.rows threaded
+// through joinTable.next, walked head-first in build-input order.
+type joinChain struct {
+	head, tail int32
+}
+
+// joinPart is one partition of a joinTable: lazily-created native-keyed
+// chain maps, one per key class. A build column is homogeneous in
+// practice, so usually exactly one of the three is non-nil.
+type joinPart struct {
+	ints map[int64]joinChain
+	flts map[float64]joinChain
+	strs map[string]joinChain
+}
+
+// joinTable is the build side of a hash join. Built once (serially or by
+// a partitioned worker pool), then read-only: lookups are safe from any
+// number of goroutines.
+type joinTable struct {
+	parts []joinPart
+	mask  uint64 // len(parts)-1; 0 means unpartitioned
+	// rows holds every build row in input order; next[i] is the index of
+	// the next row sharing row i's key, or -1 at the end of a chain.
+	rows []value.Row
+	next []int32
+	// capRows is the modeled row capacity the table was pre-sized to;
+	// hint is the per-partition make() hint derived from it.
+	capRows  int
+	hint     int
+	presized bool
+}
+
+// newJoinTable returns an empty table with nParts partitions (a power of
+// two) pre-sized for est build rows. The 2x headroom means an estimate no
+// worse than 2x under the actual build size still avoids modeled growth.
+func newJoinTable(est float64, nParts int) *joinTable {
+	if nParts < 1 {
+		nParts = 1
+	}
+	t := &joinTable{parts: make([]joinPart, nParts), mask: uint64(nParts - 1), capRows: minJoinTableCap}
+	if est > 0 {
+		t.presized = true
+		need := 2 * est
+		for float64(t.capRows) < need && t.capRows < maxJoinTablePresize {
+			t.capRows <<= 1
+		}
+	}
+	t.hint = t.capRows / nParts
+	if t.hint < 8 {
+		t.hint = 8
+	}
+	return t
+}
+
+// insert links row index i (whose key is v) onto its chain in partition p.
+func (p *joinPart) insert(t *joinTable, v value.Value, i int32) {
+	switch v.Kind {
+	case catalog.String:
+		if p.strs == nil {
+			p.strs = make(map[string]joinChain, t.hint)
+		}
+		if c, ok := p.strs[v.S]; ok {
+			t.next[c.tail] = i
+			c.tail = i
+			p.strs[v.S] = c
+		} else {
+			p.strs[v.S] = joinChain{head: i, tail: i}
+		}
+	case catalog.Float:
+		if p.flts == nil {
+			p.flts = make(map[float64]joinChain, t.hint)
+		}
+		if c, ok := p.flts[v.F]; ok {
+			t.next[c.tail] = i
+			c.tail = i
+			p.flts[v.F] = c
+		} else {
+			p.flts[v.F] = joinChain{head: i, tail: i}
+		}
+	default:
+		if p.ints == nil {
+			p.ints = make(map[int64]joinChain, t.hint)
+		}
+		if c, ok := p.ints[v.I]; ok {
+			t.next[c.tail] = i
+			c.tail = i
+			p.ints[v.I] = c
+		} else {
+			p.ints[v.I] = joinChain{head: i, tail: i}
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer for the partition hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64str hashes a string key for partitioning (FNV-1a).
+func fnv64str(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// partIndex maps a key to its partition. Values that compare equal as map
+// keys must hash equally: -0 and +0 are the same float64 map key, so they
+// are folded before hashing. (NaN never equals anything, so any partition
+// is correct for it.)
+func (t *joinTable) partIndex(v value.Value) int {
+	if t.mask == 0 {
+		return 0
+	}
+	var h uint64
+	switch v.Kind {
+	case catalog.String:
+		h = fnv64str(v.S)
+	case catalog.Float:
+		f := v.F
+		if f == 0 {
+			f = 0
+		}
+		h = mix64(math.Float64bits(f))
+	default:
+		h = mix64(uint64(v.I))
+	}
+	return int(h & t.mask)
+}
+
+// first returns the head row index of v's chain, or -1 when no build row
+// has that key. Continue with t.next[idx]; rows come out in build-input
+// order.
+func (t *joinTable) first(v value.Value) int32 {
+	p := &t.parts[t.partIndex(v)]
+	switch v.Kind {
+	case catalog.String:
+		if c, ok := p.strs[v.S]; ok {
+			return c.head
+		}
+	case catalog.Float:
+		if c, ok := p.flts[v.F]; ok {
+			return c.head
+		}
+	default:
+		if c, ok := p.ints[v.I]; ok {
+			return c.head
+		}
+	}
+	return -1
+}
+
+// growCount returns the modeled number of hash-table doublings the build
+// incurred: how many times the pre-sized capacity had to double to hold
+// the rows actually inserted. Zero when the pre-size (or the minimum
+// capacity) covered the build.
+func (t *joinTable) growCount() int {
+	g := 0
+	for c := t.capRows; c < len(t.rows); c <<= 1 {
+		g++
+	}
+	return g
+}
+
+// recordMetrics exports the build's pre-size outcome. Nil registries cost
+// nothing, so hand-built plans and tests run unmetered.
+func (t *joinTable) recordMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("robustqo_hashjoin_builds_total").Inc()
+	if len(t.parts) > 1 {
+		reg.Counter("robustqo_hashjoin_parallel_builds_total").Inc()
+	}
+	if g := t.growCount(); g > 0 {
+		reg.Counter("robustqo_hashjoin_rehashes_total").Add(int64(g))
+	} else if t.presized {
+		reg.Counter("robustqo_hashjoin_presize_hits_total").Inc()
+	}
+}
+
+// buildJoinTable builds the join table over buildRows keyed by column
+// bIdx. est is the optimizer's posterior T-quantile estimate of the build
+// cardinality (zero when the plan was built by hand); dop > 1 partitions
+// the build across a worker pool once it is large enough to pay for the
+// scatter pass. The resulting table is identical — same keys, same
+// per-key chain order — whichever path built it.
+func buildJoinTable(buildRows []value.Row, bIdx int, est float64, dop int) *joinTable {
+	if dop > 1 && len(buildRows) >= joinPartitionThreshold {
+		return buildJoinTableParallel(buildRows, bIdx, est, dop)
+	}
+	t := newJoinTable(est, 1)
+	t.rows = buildRows
+	t.next = newChainArray(len(buildRows))
+	p := &t.parts[0]
+	for i, r := range buildRows {
+		p.insert(t, r[bIdx], int32(i))
+	}
+	return t
+}
+
+// newChainArray returns a next-index array with every slot at -1 (end of
+// chain).
+func newChainArray(n int) []int32 {
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = -1
+	}
+	return next
+}
+
+// buildJoinTableParallel partitions the build across dop workers in two
+// phases. Phase 1 (scatter): workers claim fixed-size morsels of the
+// build rows off an atomic counter and bucket each morsel's row indices
+// by partition into a per-morsel slot — every slot is written by exactly
+// one worker, so the phase is lock-free. Phase 2 (build): workers claim
+// whole partitions off a second counter; the owning worker walks the
+// morsel slots in order, chaining its partition's rows into the
+// partition-local maps. A chain only ever writes next[] slots of rows in
+// its own partition, so the phase is lock-free too, and walking morsels
+// in order preserves build-input order per key — which is what keeps
+// parallel join output byte-identical to serial.
+//
+// The workers charge no counters: the build work is the serial operator's
+// HashBuilds charge, which the coordinator applies once, outside this
+// function — exactly as the serial Open does.
+func buildJoinTableParallel(buildRows []value.Row, bIdx int, est float64, dop int) *joinTable {
+	nParts := 1
+	for nParts < dop {
+		nParts <<= 1
+	}
+	t := newJoinTable(est, nParts)
+	t.rows = buildRows
+	t.next = newChainArray(len(buildRows))
+	nMorsels := (len(buildRows) + MorselSize - 1) / MorselSize
+	scattered := make([][][]int32, nMorsels)
+	var claim atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(dop, nMorsels); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(claim.Add(1)) - 1
+				if m >= nMorsels {
+					return
+				}
+				lo := m * MorselSize
+				hi := min(lo+MorselSize, len(buildRows))
+				buckets := make([][]int32, nParts)
+				for i := lo; i < hi; i++ {
+					p := t.partIndex(buildRows[i][bIdx])
+					buckets[p] = append(buckets[p], int32(i))
+				}
+				scattered[m] = buckets
+			}
+		}()
+	}
+	wg.Wait()
+	var pclaim atomic.Int64
+	for w := 0; w < min(dop, nParts); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pi := int(pclaim.Add(1)) - 1
+				if pi >= nParts {
+					return
+				}
+				part := &t.parts[pi]
+				for m := 0; m < nMorsels; m++ {
+					for _, i := range scattered[m][pi] {
+						part.insert(t, buildRows[i][bIdx], i)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}

@@ -37,13 +37,16 @@ import (
 // charges byte-identical under any partitioning.
 const MorselSize = 4 * BatchSize
 
-// morselSource is implemented by leaf nodes whose streaming phase can be
+// morselSource is implemented by nodes whose streaming phase can be
 // partitioned into morsels. openMorsels performs the serial operator's
 // blocking Open work — charged to the shared counters on the coordinator
-// — and returns a runner over the remaining row-fetch work.
+// — and returns a runner over the remaining row-fetch work. dop is the
+// worker count the Exchange will run; leaf scans ignore it, while
+// HashJoin uses it to partition its build across that many workers before
+// the probe morsels start.
 type morselSource interface {
 	Node
-	openMorsels(ctx *Context, counters *cost.Counters) (morselRunner, error)
+	openMorsels(ctx *Context, counters *cost.Counters, dop int) (morselRunner, error)
 }
 
 // morselRunner partitions a source's streaming work into numMorsels
@@ -75,8 +78,27 @@ func morselSourceOf(n Node) (morselSource, bool) {
 		}
 		n = inst.Inner
 	}
+	// A HashJoin is morselizable exactly when its probe side is: the
+	// build is blocking Open-phase work either way. Checked before the
+	// plain interface assertion so an ineligible probe disqualifies the
+	// join instead of panicking later.
+	if hj, ok := n.(*HashJoin); ok {
+		if _, ok := morselSourceOf(hj.Probe); !ok {
+			return nil, false
+		}
+		return hj, true
+	}
 	ms, ok := n.(morselSource)
 	return ms, ok
+}
+
+// morselStatsFeeder is implemented by runners that bypass Instrumented
+// wrappers inside their subtree (a HashJoin's probe runs through the
+// worker pool, not through the probe node's own Stream). Exchange calls
+// feedStats at its barrier so EXPLAIN ANALYZE still reports the bypassed
+// operators' actual row counts.
+type morselStatsFeeder interface {
+	feedStats()
 }
 
 // --- SeqScan ---
@@ -84,7 +106,7 @@ func morselSourceOf(n Node) (morselSource, bool) {
 // openMorsels implements morselSource. The serial SeqScan charges nothing
 // at Open; the filter is bound once here so malformed predicates fail at
 // Open exactly as they do serially.
-func (s *SeqScan) openMorsels(ctx *Context, _ *cost.Counters) (morselRunner, error) {
+func (s *SeqScan) openMorsels(ctx *Context, _ *cost.Counters, _ int) (morselRunner, error) {
 	t, schema, err := tableAndSchema(ctx, s.Table)
 	if err != nil {
 		return nil, err
@@ -164,7 +186,7 @@ func (w *seqMorselWorker) release() {
 
 // openMorsels implements morselSource: the index seek happens here, on
 // the coordinator, with the same charges as the serial Open.
-func (s *IndexRangeScan) openMorsels(ctx *Context, counters *cost.Counters) (morselRunner, error) {
+func (s *IndexRangeScan) openMorsels(ctx *Context, counters *cost.Counters, _ int) (morselRunner, error) {
 	t, schema, err := tableAndSchema(ctx, s.Table)
 	if err != nil {
 		return nil, err
@@ -188,7 +210,7 @@ func (s *IndexRangeScan) openMorsels(ctx *Context, counters *cost.Counters) (mor
 // openMorsels implements morselSource: all probes and the intersection
 // happen here, on the coordinator, with the same charges as the serial
 // Open.
-func (s *IndexIntersect) openMorsels(ctx *Context, counters *cost.Counters) (morselRunner, error) {
+func (s *IndexIntersect) openMorsels(ctx *Context, counters *cost.Counters, _ int) (morselRunner, error) {
 	if len(s.Ranges) == 0 {
 		return nil, fmt.Errorf("engine: IndexIntersect(%s) with no ranges", s.Table)
 	}

@@ -152,11 +152,101 @@ func shippedLocals(pass *Pass, lit *ast.FuncLit, locals map[types.Object]bool) m
 	return shipped
 }
 
+// sharedMapRoot reports the root identifier of e when e indexes into a
+// map declared outside the goroutine literal — the partitioned-build
+// hazard. Writing such a map from a worker races with its siblings; the
+// sanctioned shapes keep shared state either read-only (a finished build
+// table) or slice-indexed with disjoint slots (the scatter phase), and
+// publish worker-built maps by assigning whole partition slots.
+func sharedMapRoot(pass *Pass, lit *ast.FuncLit, e ast.Expr) (*ast.Ident, bool) {
+	x := ast.Unparen(e)
+	isMap := false
+	for {
+		ie, ok := x.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		if t := pass.TypeOf(ie.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				isMap = true
+			}
+		}
+		x = ast.Unparen(ie.X)
+	}
+	if !isMap {
+		return nil, false
+	}
+	var id *ast.Ident
+	switch x := x.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil, false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+		return nil, false // goroutine-local map: the worker owns it
+	}
+	return id, true
+}
+
+// checkSharedMapWrites flags hash-table mutations that escape the
+// partitioned-build discipline: a goroutine writing (assigning,
+// incrementing, or deleting) through a map declared outside its own body
+// races with the other workers. Reads of a shared map stay unflagged — a
+// finished build table is read-only and safe to probe from any worker —
+// and so do slice-index writes, which is what sanctions the scatter
+// phase's disjoint per-morsel slots and the publish of a worker-built
+// partition map into its slot.
+func checkSharedMapWrites(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := sharedMapRoot(pass, lit, lhs); ok {
+					pass.Reportf(lhs.Pos(),
+						"goroutine writes shared map %q; workers race on it — give each worker "+
+							"its own partition and publish whole partitions at the merge", id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := sharedMapRoot(pass, lit, n.X); ok {
+				pass.Reportf(n.X.Pos(),
+					"goroutine writes shared map %q; workers race on it — give each worker "+
+						"its own partition and publish whole partitions at the merge", id.Name)
+			}
+		case *ast.CallExpr:
+			fid, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || fid.Name != "delete" || len(n.Args) != 2 {
+				return true
+			}
+			if b, isBuiltin := pass.Info.Uses[fid].(*types.Builtin); !isBuiltin || b.Name() != "delete" {
+				return true
+			}
+			// delete(m, k) mutates m directly; wrap the map in a synthetic
+			// index so sharedMapRoot sees the same shape as m[k] = v.
+			if id, ok := sharedMapRoot(pass, lit, &ast.IndexExpr{X: n.Args[0], Index: n.Args[1]}); ok {
+				pass.Reportf(n.Args[0].Pos(),
+					"goroutine deletes from shared map %q; workers race on it — give each worker "+
+						"its own partition and publish whole partitions at the merge", id.Name)
+			}
+		}
+		return true
+	})
+}
+
 // checkGoroutineLit applies the worker-pool rules to one go-launched
 // function literal: calls taking a *cost.Counters must receive a
 // goroutine-local counter set that is shipped to a merge, never the
-// enclosing function's shared counters.
+// enclosing function's shared counters; and shared maps must not be
+// written from worker bodies (the partitioned-build rule).
 func checkGoroutineLit(pass *Pass, lit *ast.FuncLit, shared types.Object, sharedName string) {
+	checkSharedMapWrites(pass, lit)
 	locals := localCounterVars(pass, lit)
 	shipped := shippedLocals(pass, lit, locals)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {

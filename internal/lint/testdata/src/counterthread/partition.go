@@ -1,0 +1,120 @@
+package counterthread
+
+import "cost"
+
+// Partitioned hash-join build shapes: workers may read a shared table,
+// write disjoint slice slots, and publish whole worker-built partition
+// maps — but never write a shared map in place.
+
+// goodPartitionedBuild is the blessed two-phase shape. Phase 1 scatters
+// row indices into per-morsel slice slots (slice-index writes are
+// disjoint by construction and stay unflagged); phase 2 gives each worker
+// a goroutine-local map and publishes it by assigning its partition slot.
+func goodPartitionedBuild(ctx *Context, n Node, counters *cost.Counters, keys []int64) {
+	const nParts = 4
+	scattered := make([][]int64, nParts)
+	tables := make([]map[int64]int64, nParts)
+	reports := make(chan cost.Counters, nParts)
+	for w := 0; w < nParts; w++ {
+		go func(pi int) {
+			var wc cost.Counters
+			bucket := make([]int64, 0, len(keys))
+			for _, k := range keys {
+				if int(k)%nParts == pi {
+					bucket = append(bucket, k)
+				}
+			}
+			scattered[pi] = bucket // disjoint slice slot: sanctioned
+			part := make(map[int64]int64, len(bucket))
+			for _, k := range bucket {
+				wc.Tuples++
+				part[k] = k // goroutine-local map: the worker owns it
+			}
+			tables[pi] = part // publishing a whole partition: sanctioned
+			reports <- wc
+		}(w)
+	}
+	for w := 0; w < nParts; w++ {
+		counters.Add(<-reports)
+	}
+}
+
+// goodSharedProbe reads a finished, read-only build table from every
+// worker — the probe phase — which is safe and stays unflagged.
+func goodSharedProbe(ctx *Context, n Node, counters *cost.Counters, table map[int64]int64, keys []int64) {
+	reports := make(chan cost.Counters, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			var wc cost.Counters
+			for _, k := range keys {
+				if _, ok := table[k]; ok {
+					wc.Tuples++
+				}
+			}
+			reports <- wc
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		counters.Add(<-reports)
+	}
+}
+
+// badSharedTableBuild has every worker inserting into one shared map: the
+// writes race and the table comes out corrupted.
+func badSharedTableBuild(ctx *Context, n Node, counters *cost.Counters, keys []int64) {
+	table := make(map[int64][]int64, len(keys))
+	reports := make(chan cost.Counters, 4)
+	for w := 0; w < 4; w++ {
+		go func(pi int) {
+			var wc cost.Counters
+			for _, k := range keys {
+				if int(k)%4 == pi {
+					wc.Tuples++
+					table[k] = append(table[k], k) // want "goroutine writes shared map \"table\""
+				}
+			}
+			reports <- wc
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		counters.Add(<-reports)
+	}
+}
+
+// badSharedCounts increments through a shared map — the same race in
+// IncDecStmt clothing.
+func badSharedCounts(ctx *Context, n Node, counters *cost.Counters, keys []int64) {
+	counts := make(map[int64]int64, len(keys))
+	reports := make(chan cost.Counters, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			var wc cost.Counters
+			for _, k := range keys {
+				wc.Tuples++
+				counts[k]++ // want "goroutine writes shared map \"counts\""
+			}
+			reports <- wc
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		counters.Add(<-reports)
+	}
+}
+
+// badSharedEviction deletes from the shared table while siblings read it.
+func badSharedEviction(ctx *Context, n Node, counters *cost.Counters, table map[int64]int64, keys []int64) {
+	reports := make(chan cost.Counters, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			var wc cost.Counters
+			for _, k := range keys {
+				wc.Tuples++
+				delete(table, k) // want "goroutine deletes from shared map \"table\""
+			}
+			reports <- wc
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		counters.Add(<-reports)
+	}
+}

@@ -1,0 +1,51 @@
+package ctxcounters
+
+import "cost"
+
+// The partitioned-build coordinator shape, as ctxcounters sees it: the
+// per-worker counter sets declared inside go-launched literals are the
+// sanctioned accumulators (counterthread checks they reach the merge),
+// while the coordinator itself must still charge the *cost.Counters it
+// was handed — a fresh set outside the goroutines hides the build.
+
+// goodPartitionedCoordinator builds partitions in workers with private
+// counters and never constructs a fresh set on the coordinator path.
+func goodPartitionedCoordinator(ctx *Context, n Node, counters *cost.Counters, keys []int64) {
+	const nParts = 4
+	tables := make([]map[int64]int64, nParts)
+	reports := make(chan cost.Counters, nParts)
+	for w := 0; w < nParts; w++ {
+		go func(pi int) {
+			var wc cost.Counters // worker-local: sanctioned
+			part := make(map[int64]int64)
+			for _, k := range keys {
+				if int(k)%nParts == pi {
+					wc.Tuples++
+					part[k] = k
+				}
+			}
+			tables[pi] = part
+			reports <- wc
+		}(w)
+	}
+	for w := 0; w < nParts; w++ {
+		counters.Add(<-reports)
+	}
+}
+
+// badCoordinatorScratch charges the coordinator's own build bookkeeping
+// to a fresh counter set it then drops: the workers merge correctly but
+// the scatter pass vanishes from the totals.
+func badCoordinatorScratch(ctx *Context, n Node, counters *cost.Counters, keys []int64) {
+	var scratch cost.Counters // want "fresh cost.Counters declared"
+	for range keys {
+		scratch.Tuples++
+	}
+	reports := make(chan cost.Counters, 1)
+	go func() {
+		var wc cost.Counters
+		wc.Tuples++
+		reports <- wc
+	}()
+	counters.Add(<-reports)
+}

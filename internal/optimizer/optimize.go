@@ -129,7 +129,7 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 		estimates: make(map[engine.Node]obs.EstimateSnapshot),
 		snap:      obs.EstimateSnapshot{Estimator: o.Est.Name()},
 	}
-	if cl, ok := o.Est.(interface{ ConfidenceLevel() (float64, bool) }); ok {
+	if cl, ok := o.Est.(core.ConfidenceReporter); ok {
 		if t, ok := cl.ConfidenceLevel(); ok {
 			p.snap.Percentile = t
 		}

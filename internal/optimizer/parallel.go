@@ -41,6 +41,21 @@ func (p *planner) parallelize(n engine.Node) engine.Node {
 		t.Input = p.parallelize(t.Input)
 	case *engine.HashJoin:
 		t.Build = p.parallelize(t.Build)
+		if p.probeChainEligible(t.Probe) {
+			// Wrap the whole scan→hashjoin pipeline in one Exchange: the
+			// engine morselizes the probe chain itself, so inner Exchanges
+			// along it would only add pointless merge barriers. Build sides
+			// hanging off the chain still parallelize independently.
+			for pr := t.Probe; ; {
+				hj, ok := pr.(*engine.HashJoin)
+				if !ok {
+					break
+				}
+				hj.Build = p.parallelize(hj.Build)
+				pr = hj.Probe
+			}
+			return p.wrapExchange(t)
+		}
 		t.Probe = p.parallelize(t.Probe)
 	case *engine.MergeJoin:
 		t.Left = p.parallelize(t.Left)
@@ -65,6 +80,25 @@ func (p *planner) parallelize(n engine.Node) engine.Node {
 		}
 	}
 	return n
+}
+
+// probeChainEligible reports whether a HashJoin probe side is worth
+// running through the Exchange worker pool: a chain of hash joins ending
+// in a scan that clears the parallel cutoff, judged by the same
+// estimates that gate standalone scans — exact row counts for SeqScan,
+// the posterior T-quantile estimate for the RID-list scans.
+func (p *planner) probeChainEligible(n engine.Node) bool {
+	switch t := n.(type) {
+	case *engine.SeqScan:
+		tab, ok := p.opt.Ctx.DB.Table(t.Table)
+		return ok && tab.NumRows() >= DefaultParallelCutoff
+	case *engine.IndexRangeScan, *engine.IndexIntersect:
+		est, ok := p.estimates[n]
+		return ok && est.Rows >= DefaultParallelCutoff
+	case *engine.HashJoin:
+		return p.probeChainEligible(t.Probe)
+	}
+	return false
 }
 
 func (p *planner) wrapExchange(n engine.Node) engine.Node {

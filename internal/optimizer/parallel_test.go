@@ -6,6 +6,8 @@ import (
 
 	"robustqo/internal/core"
 	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
 	"robustqo/internal/obs"
 	"robustqo/internal/sample"
 	"robustqo/internal/stats"
@@ -133,4 +135,147 @@ func TestOptimizerCacheMetrics(t *testing.T) {
 	if int64(estSpans) >= hits+reg.Counter("robustqo_estimate_cache_misses_total").Value() {
 		t.Fatalf("estimate spans (%d) not reduced by caching", estSpans)
 	}
+}
+
+// TestParallelizeWrapsJoinPipeline is a unit test of the post-pass over a
+// hand-built multi-way join: an eligible probe chain gets exactly one
+// Exchange around the whole pipeline — no inner Exchanges along the chain
+// — and the wrapped plan reproduces the serial rows and counters.
+func TestParallelizeWrapsJoinPipeline(t *testing.T) {
+	o, _ := bayesOpt(t, 24000, 0.8)
+	o.MaxDOP = 4
+	col := func(tab, c string) expr.ColumnRef { return expr.ColumnRef{Table: tab, Column: c} }
+	mkPlan := func() *engine.HashJoin {
+		inner := &engine.HashJoin{
+			Build:    &engine.SeqScan{Table: "orders"},
+			Probe:    &engine.SeqScan{Table: "lineitem"},
+			BuildCol: col("orders", "o_orderkey"),
+			ProbeCol: col("lineitem", "l_orderkey"),
+		}
+		return &engine.HashJoin{
+			Build:    &engine.SeqScan{Table: "part"},
+			Probe:    inner,
+			BuildCol: col("part", "p_partkey"),
+			ProbeCol: col("lineitem", "l_partkey"),
+		}
+	}
+	p := &planner{opt: o, estimates: make(map[engine.Node]obs.EstimateSnapshot)}
+	outer := mkPlan()
+	got := p.parallelize(outer)
+	ex, ok := got.(*engine.Exchange)
+	if !ok {
+		t.Fatalf("eligible join pipeline not wrapped: %T", got)
+	}
+	if ex.DOP != 4 || ex.Source != engine.Node(outer) {
+		t.Fatalf("Exchange wraps %T at dop=%d, want the outer join at 4", ex.Source, ex.DOP)
+	}
+	if strings.Contains(engine.Explain(outer), "Exchange") {
+		t.Fatalf("inner Exchange inside the wrapped pipeline:\n%s", engine.Explain(outer))
+	}
+	var sc, pc cost.Counters
+	sres, err := mkPlan().Execute(o.Ctx, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := got.Execute(o.Ctx, &pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Rows) != len(pres.Rows) {
+		t.Fatalf("serial %d rows, parallel %d", len(sres.Rows), len(pres.Rows))
+	}
+	if sc != pc {
+		t.Fatalf("counters diverged:\nserial   %+v\nparallel %+v", sc, pc)
+	}
+}
+
+// TestParallelizeKeepsSmallJoinSerial: a probe chain ending in a scan
+// below the cutoff stays serial even at MaxDOP=4.
+func TestParallelizeKeepsSmallJoinSerial(t *testing.T) {
+	o, _ := bayesOpt(t, 2000, 0.8)
+	o.MaxDOP = 4
+	p := &planner{opt: o, estimates: make(map[engine.Node]obs.EstimateSnapshot)}
+	hj := &engine.HashJoin{
+		Build:    &engine.SeqScan{Table: "orders"},
+		Probe:    &engine.SeqScan{Table: "lineitem"},
+		BuildCol: expr.ColumnRef{Table: "orders", Column: "o_orderkey"},
+		ProbeCol: expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
+	}
+	if got := p.parallelize(hj); got != engine.Node(hj) {
+		t.Fatalf("small join pipeline was wrapped: %T", got)
+	}
+}
+
+// TestOptimizedHashJoinsCarryBuildEstimate: every HashJoin the optimizer
+// emits records the posterior build-cardinality estimate that priced it,
+// so the engine can pre-size the hash table — and at MaxDOP=4 the whole
+// scan→hashjoin pipeline lands under one Exchange.
+func TestOptimizedHashJoinsCarryBuildEstimate(t *testing.T) {
+	o, _ := bayesOpt(t, 24000, 0.8)
+	// part⋈lineitem on l_partkey: lineitem is not ordered by the join key,
+	// so the sort-free merge join is not available and hash join wins.
+	q := &Query{
+		Tables: []string{"lineitem", "part"},
+		Pred:   testkit.Expr("p_size < 40"),
+	}
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.MaxDOP = 4
+	pplan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pplan.Explain(), "Exchange(dop=4, HashJoin") {
+		t.Fatalf("join pipeline not wrapped at MaxDOP=4:\n%s", pplan.Explain())
+	}
+	found := 0
+	var walk func(n engine.Node)
+	walk = func(n engine.Node) {
+		if hj, ok := n.(*engine.HashJoin); ok {
+			found++
+			if hj.BuildRowsEst <= 0 {
+				t.Errorf("HashJoin %s has BuildRowsEst %g, want > 0", hj.Describe(), hj.BuildRowsEst)
+			}
+		}
+		for _, k := range planKids(n) {
+			walk(k)
+		}
+	}
+	walk(plan.Root)
+	if found == 0 {
+		t.Fatalf("winning plan uses no hash join:\n%s", plan.Explain())
+	}
+}
+
+// planKids enumerates the children of the node kinds the optimizer emits.
+func planKids(n engine.Node) []engine.Node {
+	switch t := n.(type) {
+	case *engine.Filter:
+		return []engine.Node{t.Input}
+	case *engine.Project:
+		return []engine.Node{t.Input}
+	case *engine.Aggregate:
+		return []engine.Node{t.Input}
+	case *engine.Sort:
+		return []engine.Node{t.Input}
+	case *engine.Limit:
+		return []engine.Node{t.Input}
+	case *engine.Exchange:
+		return []engine.Node{t.Source}
+	case *engine.HashJoin:
+		return []engine.Node{t.Build, t.Probe}
+	case *engine.MergeJoin:
+		return []engine.Node{t.Left, t.Right}
+	case *engine.INLJoin:
+		return []engine.Node{t.Outer}
+	case *engine.StarSemiJoin:
+		out := make([]engine.Node, 0, len(t.Dims))
+		for _, d := range t.Dims {
+			out = append(out, d.Scan)
+		}
+		return out
+	}
+	return nil
 }
