@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 lint: vet
-	$(GO) run ./cmd/qolint ./...
+	$(GO) run ./cmd/qolint -json qolint-report.json ./...
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/

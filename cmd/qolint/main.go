@@ -4,8 +4,10 @@
 //	go run ./cmd/qolint ./...
 //
 // It prints one line per finding and exits nonzero when any invariant
-// is violated. Use -analyzers to run a subset and -list to see the
-// suite. Findings are suppressed in source with //qolint:allow-<name>
+// is violated. Use -analyzers to run a subset, -list to see the suite,
+// and -json to additionally write the findings as a JSON report ("-"
+// for stdout) — written even when clean, so CI can always archive it.
+// Findings are suppressed in source with //qolint:allow-<name>
 // comments; see DESIGN.md ("Machine-checked invariants").
 package main
 
@@ -20,6 +22,7 @@ import (
 func main() {
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.String("json", "", "write findings as a JSON report to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -42,8 +45,35 @@ func main() {
 	for _, d := range diags {
 		fmt.Println(d)
 	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qolint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// writeReport writes the JSON report to path, or to stdout for "-". An
+// empty findings list still produces a report (an empty array), so a
+// clean run leaves an artifact behind.
+func writeReport(path string, diags []lint.Diagnostic) error {
+	if path == "-" {
+		return lint.WriteJSON(os.Stdout, diags)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("qolint: %v", err)
+	}
+	if err := lint.WriteJSON(f, diags); err != nil {
+		f.Close()
+		return fmt.Errorf("qolint: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("qolint: %v", err)
+	}
+	return nil
 }

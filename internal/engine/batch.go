@@ -54,6 +54,8 @@ func (b *Batch) Reset() {
 }
 
 // AppendRow appends one row, copying its values into the columns.
+//
+//qo:hotpath
 func (b *Batch) AppendRow(row value.Row) {
 	for i, v := range row {
 		b.cols[i] = append(b.cols[i], v)
@@ -62,6 +64,8 @@ func (b *Batch) AppendRow(row value.Row) {
 }
 
 // appendConcat appends the concatenation of two row fragments as one row.
+//
+//qo:hotpath
 func (b *Batch) appendConcat(left, right value.Row) {
 	for i, v := range left {
 		b.cols[i] = append(b.cols[i], v)
@@ -75,6 +79,8 @@ func (b *Batch) appendConcat(left, right value.Row) {
 // appendConcatFrom appends the concatenation of a row fragment and row r
 // of src as one row, reading src's columns directly so the right-hand
 // fragment never has to be materialized as a value.Row first.
+//
+//qo:hotpath
 func (b *Batch) appendConcatFrom(left value.Row, src *Batch, r int) {
 	for i, v := range left {
 		b.cols[i] = append(b.cols[i], v)
@@ -102,6 +108,8 @@ func (b *Batch) CloneRow(i int) value.Row {
 
 // Gather compacts the batch in place to the rows named by the selection
 // vector sel, which must be strictly increasing row indices < Len().
+//
+//qo:hotpath
 func (b *Batch) Gather(sel []int) {
 	for c := range b.cols {
 		col := b.cols[c]
@@ -174,7 +182,10 @@ func putBatch(b *Batch) {
 }
 
 // identSel returns the identity selection vector [0, n), reusing buf's
-// storage when it is large enough.
+// storage when it is large enough. The make runs once per high-water
+// mark, not per call.
+//
+//qo:hotpath
 func identSel(buf []int, n int) []int {
 	if cap(buf) < n {
 		buf = make([]int, n)
@@ -278,17 +289,29 @@ func openAndDrainArena(ctx *Context, n Node, counters *cost.Counters) ([]value.R
 		if b == nil {
 			return rows, nil
 		}
-		cols := b.Cols()
-		w := len(cols)
-		if need := b.Len() * w; cap(arena)-len(arena) < need {
-			arena = make([]value.Value, 0, max(arenaChunk, need))
-		}
-		for i := 0; i < b.Len(); i++ {
-			start := len(arena)
-			for c := 0; c < w; c++ {
-				arena = append(arena, cols[c][i])
-			}
-			rows = append(rows, arena[start:len(arena):len(arena)])
-		}
+		rows, arena = appendArenaRows(rows, arena, b)
 	}
+}
+
+// appendArenaRows clones the batch's rows onto rows, drawing row storage
+// from shared arena slabs — one allocation per arenaChunk values instead
+// of one per row. The appended rows are immutable views into the slab;
+// callers thread the returned arena through successive calls so a slab's
+// free tail carries across batches.
+//
+//qo:hotpath
+func appendArenaRows(rows []value.Row, arena []value.Value, b *Batch) ([]value.Row, []value.Value) {
+	cols := b.Cols()
+	w := len(cols)
+	if need := b.Len() * w; cap(arena)-len(arena) < need {
+		arena = make([]value.Value, 0, max(arenaChunk, need))
+	}
+	for i := 0; i < b.Len(); i++ {
+		start := len(arena)
+		for c := 0; c < w; c++ {
+			arena = append(arena, cols[c][i])
+		}
+		rows = append(rows, arena[start:len(arena):len(arena)])
+	}
+	return rows, arena
 }

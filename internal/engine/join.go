@@ -101,6 +101,10 @@ func (o *hashJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	return nil
 }
 
+// Next probes the table with each surviving probe row, emitting matches
+// column-wise into the operator's pooled batch.
+//
+//qo:hotpath
 func (o *hashJoinOp) Next() (*Batch, error) {
 	for {
 		b, err := o.probe.Next()
@@ -238,6 +242,9 @@ func (o *mergeJoinOp) Open(ctx *Context, counters *cost.Counters) error {
 	return nil
 }
 
+// Next emits the sorted groups' cross products into the pooled batch.
+//
+//qo:hotpath
 func (o *mergeJoinOp) Next() (*Batch, error) {
 	o.out.Reset()
 	for o.out.Len() < BatchSize {

@@ -214,3 +214,48 @@ func TestHashJoinPresizeMetrics(t *testing.T) {
 		t.Errorf("rehashes = %d on an exact estimate, want 0", v)
 	}
 }
+
+// TestMorselProbeAllocs pins the arena discipline of the parallel join
+// path (found by qolint's hotalloc analyzer): hashJoinMorselWorker used
+// to build one fresh value.Row per match, costing an allocation per
+// output row across a drain. With slab-backed output rows and a
+// pre-sized row-header slice, a full drain allocates per arena slab —
+// the ceiling here is one allocation per eight output rows, and the
+// old code exceeded one per row.
+func TestMorselProbeAllocs(t *testing.T) {
+	_, ctx := testDB(t, 4000, 4, 40)
+	node := &HashJoin{
+		Build:    &SeqScan{Table: "orders"},
+		Probe:    &SeqScan{Table: "lineitem"},
+		BuildCol: expr.ColumnRef{Table: "orders", Column: "o_orderkey"},
+		ProbeCol: expr.ColumnRef{Table: "lineitem", Column: "l_orderkey"},
+	}
+	var c cost.Counters
+	runner, err := node.openMorsels(ctx, &c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := runner.newWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.release()
+	const wantRows = 4000 * 4
+	allocs := testing.AllocsPerRun(5, func() {
+		total := 0
+		for m := 0; m < runner.numMorsels(); m++ {
+			rows, err := w.runMorsel(m, &c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(rows)
+		}
+		if total != wantRows {
+			t.Fatalf("drained %d joined rows, want %d", total, wantRows)
+		}
+	})
+	if ceiling := float64(wantRows) / 8; allocs > ceiling {
+		t.Fatalf("parallel probe drain allocs %.0f, want <= %.0f (arena slabs, not per-row)", allocs, ceiling)
+	}
+	t.Logf("allocs per full drain: %.0f for %d joined rows", allocs, wantRows)
+}

@@ -111,6 +111,13 @@ type hashJoinMorselWorker struct {
 	probe morselWorker
 }
 
+// runMorsel joins one probe morsel against the shared table. Output rows
+// are concatenated into arena slabs — one allocation per arenaChunk
+// values rather than one per match — and the row-header slice is sized
+// to the probe count up front, which covers the common at-most-one-match
+// joins without a single growth step.
+//
+//qo:hotpath
 func (w *hashJoinMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row, error) {
 	probeRows, err := w.probe.runMorsel(m, counters)
 	if err != nil {
@@ -122,15 +129,20 @@ func (w *hashJoinMorselWorker) runMorsel(m int, counters *cost.Counters) ([]valu
 	// one tuple per match; totals are independent of the morsel tiling.
 	counters.HashProbes += int64(len(probeRows))
 	table := w.r.table
-	var rows []value.Row
+	rows := make([]value.Row, 0, len(probeRows))
+	var arena []value.Value
 	for _, pRow := range probeRows {
 		for idx := table.first(pRow[w.r.pIdx]); idx >= 0; idx = table.next[idx] {
 			counters.Tuples++
 			bRow := table.rows[idx]
-			out := make(value.Row, 0, len(bRow)+len(pRow))
-			out = append(out, bRow...)
-			out = append(out, pRow...)
-			rows = append(rows, out)
+			if need := len(bRow) + len(pRow); cap(arena)-len(arena) < need {
+				//qo:alloc-ok one slab per arenaChunk values, amortized across matches
+				arena = make([]value.Value, 0, max(arenaChunk, need))
+			}
+			start := len(arena)
+			arena = append(arena, bRow...)
+			arena = append(arena, pRow...)
+			rows = append(rows, arena[start:len(arena):len(arena)])
 		}
 	}
 	return rows, nil

@@ -109,7 +109,11 @@ func newJoinTable(est float64, nParts int) *joinTable {
 	return t
 }
 
-// insert links row index i (whose key is v) onto its chain in partition p.
+// insert links row index i (whose key is v) onto its chain in partition
+// p. The lazily created per-kind maps allocate once per partition, not
+// per row; the chains themselves live in the shared next array.
+//
+//qo:hotpath
 func (p *joinPart) insert(t *joinTable, v value.Value, i int32) {
 	switch v.Kind {
 	case catalog.String:
@@ -173,6 +177,8 @@ func fnv64str(s string) uint64 {
 // keys must hash equally: -0 and +0 are the same float64 map key, so they
 // are folded before hashing. (NaN never equals anything, so any partition
 // is correct for it.)
+//
+//qo:hotpath
 func (t *joinTable) partIndex(v value.Value) int {
 	if t.mask == 0 {
 		return 0
@@ -196,6 +202,8 @@ func (t *joinTable) partIndex(v value.Value) int {
 // first returns the head row index of v's chain, or -1 when no build row
 // has that key. Continue with t.next[idx]; rows come out in build-input
 // order.
+//
+//qo:hotpath
 func (t *joinTable) first(v value.Value) int32 {
 	p := &t.parts[t.partIndex(v)]
 	switch v.Kind {

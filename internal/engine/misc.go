@@ -59,6 +59,10 @@ func (o *filterOp) Open(ctx *Context, counters *cost.Counters) error {
 	return nil
 }
 
+// Next gathers the child batch down to the rows passing the predicate,
+// in place — no batch of its own, no copies.
+//
+//qo:hotpath
 func (o *filterOp) Next() (*Batch, error) {
 	for {
 		b, err := o.input.Next()
@@ -72,6 +76,7 @@ func (o *filterOp) Next() (*Batch, error) {
 		o.sel = identSel(o.sel, b.Len())
 		keep, err := o.pred.EvalBatch(b.Cols(), o.sel)
 		if err != nil {
+			//qo:alloc-ok error path, cold
 			return nil, fmt.Errorf("engine: Filter: %v", err)
 		}
 		b.Gather(keep)

@@ -142,11 +142,17 @@ type seqMorselWorker struct {
 	sel  []int
 }
 
+// runMorsel loads, filters, and clones out the morsel's surviving rows.
+// Survivors are copied into arena slabs rather than one allocation per
+// row, so a full drain allocates per slab, not per tuple.
+//
+//qo:hotpath
 func (w *seqMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row, error) {
 	t := w.r.t
 	lo := m * MorselSize
 	hi := min(lo+MorselSize, t.NumRows())
 	var rows []value.Row
+	var arena []value.Value
 	for next := lo; next < hi; {
 		end := min(next+BatchSize, hi)
 		w.out.Reset()
@@ -166,12 +172,11 @@ func (w *seqMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row
 		w.sel = identSel(w.sel, w.out.Len())
 		keep, err := w.pred.EvalBatch(w.out.Cols(), w.sel)
 		if err != nil {
+			//qo:alloc-ok error path, cold
 			return nil, fmt.Errorf("engine: SeqScan(%s): %v", w.r.node.Table, err)
 		}
 		w.out.Gather(keep)
-		for i := 0; i < w.out.Len(); i++ {
-			rows = append(rows, w.out.CloneRow(i))
-		}
+		rows, arena = appendArenaRows(rows, arena, w.out)
 		next = end
 	}
 	return rows, nil
@@ -274,11 +279,17 @@ type ridMorselWorker struct {
 	sel  []int
 }
 
+// runMorsel fetches, filters, and clones out the morsel's surviving
+// rows, copying survivors into arena slabs exactly as the SeqScan worker
+// does.
+//
+//qo:hotpath
 func (w *ridMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row, error) {
 	rids := w.r.rids
 	lo := m * MorselSize
 	hi := min(lo+MorselSize, len(rids))
 	var rows []value.Row
+	var arena []value.Value
 	for next := lo; next < hi; {
 		end := min(next+BatchSize, hi)
 		w.out.Reset()
@@ -291,12 +302,11 @@ func (w *ridMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row
 		w.sel = identSel(w.sel, w.out.Len())
 		keep, err := w.pred.EvalBatch(w.out.Cols(), w.sel)
 		if err != nil {
+			//qo:alloc-ok error path, cold
 			return nil, fmt.Errorf("engine: %s: %v", w.r.errCtx, err)
 		}
 		w.out.Gather(keep)
-		for i := 0; i < w.out.Len(); i++ {
-			rows = append(rows, w.out.CloneRow(i))
-		}
+		rows, arena = appendArenaRows(rows, arena, w.out)
 		next = end
 	}
 	return rows, nil

@@ -68,6 +68,9 @@ func (o *seqScanOp) Open(ctx *Context, counters *cost.Counters) error {
 	return nil
 }
 
+// Next loads the next row window column-wise and filters it in place.
+//
+//qo:hotpath
 func (o *seqScanOp) Next() (*Batch, error) {
 	for o.next < o.t.NumRows() {
 		end := o.next + BatchSize
@@ -93,6 +96,7 @@ func (o *seqScanOp) Next() (*Batch, error) {
 		o.sel = identSel(o.sel, o.out.Len())
 		keep, err := o.pred.EvalBatch(o.out.Cols(), o.sel)
 		if err != nil {
+			//qo:alloc-ok error path, cold
 			return nil, fmt.Errorf("engine: SeqScan(%s): %v", o.node.Table, err)
 		}
 		o.out.Gather(keep)
@@ -287,6 +291,9 @@ func (f *ridFetcher) release() {
 	f.out = nil
 }
 
+// nextBatch materializes and filters the next window of the RID list.
+//
+//qo:hotpath
 func (f *ridFetcher) nextBatch() (*Batch, error) {
 	for f.next < len(f.rids) {
 		end := f.next + BatchSize
@@ -304,6 +311,7 @@ func (f *ridFetcher) nextBatch() (*Batch, error) {
 		f.sel = identSel(f.sel, f.out.Len())
 		keep, err := f.pred.EvalBatch(f.out.Cols(), f.sel)
 		if err != nil {
+			//qo:alloc-ok error path, cold
 			return nil, fmt.Errorf("engine: %s: %v", f.errCtx, err)
 		}
 		f.out.Gather(keep)

@@ -96,6 +96,8 @@ func (b *Bound) Eval(row value.Row) (bool, error) { return b.eval(row) }
 // named by the selection vector sel (strictly increasing row indices),
 // returning the passing subset in ascending order. The result is a fresh
 // slice; sel is never mutated or aliased.
+//
+//qo:hotpath
 func (b *Bound) EvalBatch(cols [][]value.Value, sel []int) ([]int, error) {
 	return b.evalBatch(cols, sel)
 }
@@ -133,6 +135,8 @@ func (b *BoundScalar) Eval(row value.Row) (value.Value, error) { return b.eval(r
 
 // EvalBatch evaluates the scalar for the rows in sel, writing each result
 // at out[row]. out must cover every row id in sel.
+//
+//qo:hotpath
 func (b *BoundScalar) EvalBatch(cols [][]value.Value, sel []int, out []value.Value) error {
 	return b.evalBatch(cols, sel, out)
 }

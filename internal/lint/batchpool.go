@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BatchPool tracks getBatch/putBatch pairs through each function. The
+// engine's column batches come from a sync.Pool; a batch that is
+// obtained and neither put back nor handed to an owner quietly shrinks
+// the pool and turns the steady-state zero-allocation pipeline back
+// into one allocation per operator lifetime — exactly the tail-latency
+// erosion the robustness argument forbids.
+//
+// Ownership may end in one of three ways: putBatch (directly or
+// deferred), transfer to the caller (return, channel send, argument to
+// another call), or storage in an owner field — in which case some
+// function in the same package must putBatch that field, mirroring the
+// operator Open/Close discipline. The analyzer additionally flags
+// early-return windows between a getBatch and a plain putBatch,
+// double puts, and uses of a batch after it was put back (the pool may
+// have re-issued it to another operator by then).
+var BatchPool = &Analyzer{
+	Name: "batchpool",
+	Doc: "track getBatch/putBatch ownership per function: flag leaked, " +
+		"double-put, and used-after-put pooled batches, and owner fields " +
+		"that no putBatch ever releases",
+	Run: runBatchPool,
+}
+
+func runBatchPool(pass *Pass) {
+	// fieldGets: struct fields assigned from getBatch (field store or
+	// composite-literal key), with every store position. fieldPuts:
+	// fields that some putBatch in the package releases.
+	fieldGets := make(map[types.Object][]token.Pos)
+	fieldPuts := make(map[types.Object]bool)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBatchScope(pass, fn.Body, fieldGets)
+		}
+		// Field puts and the sibling-statement state machine see the
+		// whole file, nested literals included.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isNamedCall(pass, call, "putBatch") && len(call.Args) == 1 {
+				if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+					if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+						fieldPuts[obj] = true
+					}
+				}
+			}
+			if blk, ok := n.(*ast.BlockStmt); ok {
+				checkBatchSiblings(pass, blk)
+			}
+			return true
+		})
+	}
+
+	var leaked []types.Object
+	for obj := range fieldGets {
+		if !fieldPuts[obj] {
+			leaked = append(leaked, obj)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].Pos() < leaked[j].Pos() })
+	for _, obj := range leaked {
+		for _, pos := range fieldGets[obj] {
+			pass.Reportf(pos,
+				"field %q receives pooled batches but no putBatch in this package ever releases it",
+				obj.Name())
+		}
+	}
+}
+
+// checkBatchScope analyzes one function body for locally owned batches;
+// nested function literals are recursed into as independent scopes.
+func checkBatchScope(pass *Pass, body *ast.BlockStmt, fieldGets map[types.Object][]token.Pos) {
+	type batchVar struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var batches []batchVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			checkBatchScope(pass, st.Body, fieldGets)
+			return false
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isNamedCall(pass, call, "getBatch") {
+				pass.Reportf(call.Pos(), "result of getBatch is discarded; the batch leaks from the pool")
+			}
+		case *ast.KeyValueExpr:
+			// Composite-literal owner field: &worker{out: getBatch(...)}.
+			call, ok := ast.Unparen(st.Value).(*ast.CallExpr)
+			if !ok || !isNamedCall(pass, call, "getBatch") {
+				return true
+			}
+			if key, ok := st.Key.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[key]; obj != nil {
+					fieldGets[obj] = append(fieldGets[obj], call.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isNamedCall(pass, call, "getBatch") {
+				return true
+			}
+			switch lhs := ast.Unparen(st.Lhs[0]).(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					pass.Reportf(call.Pos(), "result of getBatch is discarded; the batch leaks from the pool")
+					return true
+				}
+				obj := pass.Info.Defs[lhs]
+				if obj == nil {
+					obj = pass.Info.Uses[lhs]
+				}
+				if obj != nil {
+					batches = append(batches, batchVar{obj: obj, pos: call.Pos()})
+				}
+			case *ast.SelectorExpr:
+				// Field store: ownership moves to the struct; the package
+				// must release the field somewhere.
+				if obj := pass.Info.Uses[lhs.Sel]; obj != nil {
+					fieldGets[obj] = append(fieldGets[obj], call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	for _, bv := range batches {
+		if batchTransferred(pass, body, bv.obj) {
+			continue
+		}
+		deferred, first := findPuts(pass, body, bv.obj)
+		switch {
+		case !deferred && first == token.NoPos:
+			pass.Reportf(bv.pos,
+				"batch %q is never returned to the pool; putBatch it or transfer ownership",
+				bv.obj.Name())
+		case !deferred && returnBetween(body, bv.pos, first):
+			pass.Reportf(bv.pos,
+				"a return path between getBatch and putBatch(%s) leaks the batch; use defer or put it on the early return",
+				bv.obj.Name())
+		}
+	}
+}
+
+// batchTransferred reports whether ownership of the batch demonstrably
+// leaves this function: returned, sent on a channel, stored into a
+// field or element, placed in a composite literal, or passed to a call
+// other than putBatch.
+func batchTransferred(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	usesObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	transferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if transferred {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if usesObj(r) {
+					transferred = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(st.Value) {
+				transferred = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) || !usesObj(rhs) {
+					continue
+				}
+				switch ast.Unparen(st.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					transferred = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if e, ok := el.(ast.Expr); ok && usesObj(e) {
+					transferred = true
+				}
+			}
+		case *ast.CallExpr:
+			if isNamedCall(pass, st, "putBatch") || isNamedCall(pass, st, "getBatch") {
+				return true
+			}
+			for _, arg := range st.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					transferred = true
+				}
+			}
+		}
+		return true
+	})
+	return transferred
+}
+
+// findPuts locates putBatch calls on the object: whether any is
+// deferred (directly or via a deferred closure), and the position of
+// the first plain put.
+func findPuts(pass *Pass, body *ast.BlockStmt, obj types.Object) (deferred bool, first token.Pos) {
+	isPut := func(call *ast.CallExpr) bool {
+		if !isNamedCall(pass, call, "putBatch") || len(call.Args) != 1 {
+			return false
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == obj
+	}
+	first = token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(d, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isPut(call) {
+					deferred = true
+				}
+				return true
+			})
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPut(call) {
+			if first == token.NoPos || call.Pos() < first {
+				first = call.Pos()
+			}
+		}
+		return true
+	})
+	return deferred, first
+}
+
+// checkBatchSiblings runs a small typestate machine over one statement
+// list: after a plain putBatch(x), a second put of x is a double put
+// and any other use of x is a use-after-put, until x is reassigned.
+func checkBatchSiblings(pass *Pass, blk *ast.BlockStmt) {
+	put := make(map[string]token.Pos)
+	for _, st := range blk.List {
+		if _, ok := st.(*ast.DeferStmt); ok {
+			continue // defers run at exit, outside sibling order
+		}
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && isNamedCall(pass, call, "putBatch") && len(call.Args) == 1 {
+				if key := batchExprKey(pass, call.Args[0]); key != "" {
+					if _, done := put[key]; done {
+						name := exprString(ast.Unparen(call.Args[0]))
+						if name == "" {
+							name = "batch"
+						}
+						pass.Reportf(call.Pos(),
+							"double putBatch(%s); the pool may already have re-issued the batch", name)
+					} else {
+						put[key] = call.Pos()
+					}
+					continue
+				}
+			}
+		}
+		if as, ok := st.(*ast.AssignStmt); ok {
+			for key := range put {
+				if batchStmtUses(pass, as.Rhs, key) {
+					pass.Reportf(as.Pos(), "batch used after putBatch; it may belong to another operator now")
+					delete(put, key)
+				}
+			}
+			for _, lhs := range as.Lhs {
+				delete(put, batchExprKey(pass, lhs))
+			}
+			continue
+		}
+		for key := range put {
+			if batchStmtUses(pass, []ast.Node{st}, key) {
+				pass.Reportf(st.Pos(), "batch used after putBatch; it may belong to another operator now")
+				delete(put, key)
+			}
+		}
+	}
+}
+
+// batchExprKey names a trackable lvalue: a variable, or a chain of
+// field selections rooted at one ("o.out"). Objects make the key, so
+// shadowing cannot alias two different variables.
+func batchExprKey(pass *Pass, e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[t]
+		if obj == nil {
+			obj = pass.Info.Defs[t]
+		}
+		if _, ok := obj.(*types.Var); ok {
+			return fmt.Sprintf("v%p", obj)
+		}
+	case *ast.SelectorExpr:
+		root := batchExprKey(pass, t.X)
+		obj := pass.Info.Uses[t.Sel]
+		if root != "" && obj != nil {
+			return fmt.Sprintf("%s.%p", root, obj)
+		}
+	}
+	return ""
+}
+
+// batchStmtUses reports whether any node mentions the tracked lvalue.
+func batchStmtUses[T ast.Node](pass *Pass, nodes []T, key string) bool {
+	found := false
+	for _, nd := range nodes {
+		ast.Inspect(nd, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && batchExprKey(pass, e) == key {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// isNamedCall reports whether the call invokes a plain identifier
+// function with the given name (getBatch/putBatch are package-level in
+// the engine; fixtures define their own).
+func isNamedCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == name
+}

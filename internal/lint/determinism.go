@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism keeps wall clocks and ambient randomness out of the
+// packages whose outputs must replay byte-identically: internal/core
+// (estimation), internal/optimizer (plan choice), and internal/obs
+// (trace/metric export, which tests pin). A direct time.Now or
+// math/rand call there silently varies EXPLAIN ANALYZE output and the
+// differential corpus between runs. Timestamps must route through the
+// injectable clock (obs.Trace.Now) and randomness through the seeded
+// generators in internal/stats (RNG, Sticky).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "no direct time.Now/time.Since or math/rand use in " +
+		"internal/{core,optimizer,obs}; use the injectable clock and " +
+		"the seeded stats generators",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !determinismScoped(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since":
+					pass.Reportf(sel.Pos(),
+						"direct time.%s reads the wall clock; route timestamps through the injectable clock (obs.Trace.Now)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(),
+					"math/rand is nondeterministic across runs; use the seeded generators in internal/stats (RNG, Sticky)")
+			}
+			return true
+		})
+	}
+}
+
+// determinismScoped reports whether the import path names one of the
+// replay-sensitive internal packages.
+func determinismScoped(path string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] != "internal" {
+			continue
+		}
+		switch segs[i+1] {
+		case "core", "optimizer", "obs":
+			return true
+		}
+	}
+	return false
+}

@@ -155,3 +155,16 @@ func TestNoPanicFixture(t *testing.T) {
 	testFixture(t, NoPanic, "internal/allowed") // whole-file suppression
 	testFixture(t, NoPanic, "app")              // outside internal/: exempt
 }
+
+func TestBatchPoolFixture(t *testing.T) { testFixture(t, BatchPool, "batchpool") }
+
+func TestGoroutineJoinFixture(t *testing.T) { testFixture(t, GoroutineJoin, "engine") }
+
+func TestHotAllocFixture(t *testing.T) { testFixture(t, HotAlloc, "hotalloc") }
+
+func TestDeterminismFixture(t *testing.T) {
+	testFixture(t, Determinism, "internal/optimizer")
+	testFixture(t, Determinism, "clockuser") // outside the scoped packages: exempt
+}
+
+func TestMetricNameFixture(t *testing.T) { testFixture(t, MetricName, "metricname") }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineJoin guards the engine's worker lifecycles: every go
+// statement in an engine package must have a join the analyzer can see
+// — a Wait call on the WaitGroup the goroutine Dones, or a receive on
+// a channel the goroutine sends on or closes. An unjoined worker
+// outlives its operator's Close, keeps its scratch batches out of the
+// pool, and can publish counters after the merge barrier has already
+// read them — the leak class the Exchange tests probe by hand.
+//
+// The join may live in another function (the Exchange workers Done a
+// struct-field WaitGroup that finish() Waits); what matters is that
+// the same variable or field is waited on somewhere in the package.
+var GoroutineJoin = &Analyzer{
+	Name: "goroutinejoin",
+	Doc: "every go statement in engine packages needs a visible join: " +
+		"WaitGroup.Wait on the group it Dones, or a receive on a channel " +
+		"it sends on or closes",
+	Run: runGoroutineJoin,
+}
+
+func runGoroutineJoin(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path(), "engine") {
+		return
+	}
+	// Package-wide join points, keyed by variable or struct-field object.
+	waited := make(map[types.Object]bool)
+	received := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(t.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroup(pass.TypeOf(sel.X)) {
+					if obj := refObj(pass, sel.X); obj != nil {
+						waited[obj] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if t.Op == token.ARROW {
+					if obj := refObj(pass, t.X); obj != nil {
+						received[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if tp := pass.TypeOf(t.X); tp != nil {
+					if _, ok := tp.Underlying().(*types.Chan); ok {
+						if obj := refObj(pass, t.X); obj != nil {
+							received[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineJoined(pass, g, waited, received) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no reachable join (no Wait on its WaitGroup, no receive on its channel); "+
+						"workers must be joined before the operator's Close returns")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineJoined reports whether the launched goroutine demonstrably
+// meets a join point recorded in waited/received.
+func goroutineJoined(pass *Pass, g *ast.GoStmt, waited, received map[types.Object]bool) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go someFunc(...): accept a waited *sync.WaitGroup argument —
+		// the callee is presumed to Done it.
+		for _, arg := range g.Call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				arg = u.X
+			}
+			if isWaitGroup(pass.TypeOf(arg)) && waited[refObj(pass, arg)] {
+				return true
+			}
+		}
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(t.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isWaitGroup(pass.TypeOf(sel.X)) {
+				if waited[refObj(pass, sel.X)] {
+					joined = true
+				}
+			}
+			if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok && id.Name == "close" && len(t.Args) == 1 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && received[refObj(pass, t.Args[0])] {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			if received[refObj(pass, t.Chan)] {
+				joined = true
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// refObj resolves a variable or field-selection expression to the
+// object that identifies it across functions: the variable itself, or
+// the struct-field object for o.f (shared by every method of the type,
+// which is what lets a worker's Done match finish's Wait).
+func refObj(pass *Pass, e ast.Expr) types.Object {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[t]; obj != nil {
+			return obj
+		}
+		return pass.Info.Defs[t]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[t.Sel]
+	}
+	return nil
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or a pointer to it
+// (matched by package name so fixtures can stand in).
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "WaitGroup" && o.Pkg() != nil && o.Pkg().Name() == "sync"
+}
+
+// pathHasSegment reports whether the slash-separated import path
+// contains seg as a whole segment.
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable export shape of one finding,
+// consumed by CI artifact tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes the findings as an indented JSON array (empty
+// findings produce [], not null, so consumers can always iterate).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -12,7 +12,19 @@
 //   - ctxcounters: operators must not construct fresh cost.Counters;
 //     they accumulate into the pointer handed to them.
 //   - spanend: every span opened with obs.StartSpan is ended on all
-//     return paths (unended spans corrupt trace parent inference).
+//     return paths (unended spans corrupt trace parent inference), and
+//     a span may not be ended only from a launched goroutine.
+//   - batchpool: every getBatch has a putBatch, an ownership transfer,
+//     or a released owner field; no double-put or use-after-put.
+//   - goroutinejoin: every go statement in engine packages has a
+//     visible join (WaitGroup.Wait or a channel receive).
+//   - hotalloc: //qo:hotpath functions admit no allocation-introducing
+//     constructs without a //qo:alloc-ok reason waiver.
+//   - determinism: no direct time.Now/math/rand in
+//     internal/{core,optimizer,obs}; clocks and randomness are
+//     injected so runs replay byte-identically.
+//   - metricname: registry metric names are constants matching
+//     ^robustqo_[a-z0-9_]+$, one kind per name.
 //
 // The package is a small, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis model (Analyzer, Pass, diagnostics,
@@ -158,10 +170,15 @@ func (s suppressions) covers(analyzer string, pos token.Position) bool {
 // All returns the full qolint suite in deterministic order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		BatchPool,
 		CounterThread,
 		CtxCounters,
+		Determinism,
 		FloatCmp,
+		GoroutineJoin,
+		HotAlloc,
 		MapOrder,
+		MetricName,
 		NoPanic,
 		SpanEnd,
 	}

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
 )
@@ -38,6 +40,54 @@ func TestAnalyzerMetadata(t *testing.T) {
 		if strings.ToLower(a.Name) != a.Name {
 			t.Errorf("analyzer name %q should be lowercase", a.Name)
 		}
+	}
+}
+
+// TestSuiteComplete pins the full analyzer roster: a new analyzer that
+// is written but not registered in All() silently never runs in CI.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"batchpool", "counterthread", "ctxcounters", "determinism",
+		"floatcmp", "goroutinejoin", "hotalloc", "maporder",
+		"metricname", "nopanic", "spanend",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+			Analyzer: "batchpool",
+			Message:  "batch leaks",
+		},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 1 || got[0]["file"] != "a.go" || got[0]["analyzer"] != "batchpool" || got[0]["line"] != float64(3) {
+		t.Fatalf("unexpected JSON: %s", sb.String())
+	}
+
+	sb.Reset()
+	if err := WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty findings should encode as [], got %q", sb.String())
 	}
 }
 

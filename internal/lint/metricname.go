@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// MetricName keeps the metrics registry's namespace coherent. Every
+// name handed to Registry.Counter/Registry.Histogram must be a
+// compile-time constant matching ^robustqo_[a-z0-9_]+$ — a dynamic
+// name defeats static checking and invites unbounded cardinality — and
+// one name must register as exactly one kind: the registry's
+// get-or-create semantics would otherwise hand a counter and a
+// histogram the same exposition line.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "registry metric names must be constants matching " +
+		"^robustqo_[a-z0-9_]+$ and register as exactly one kind",
+	Run: runMetricName,
+}
+
+var metricNameRe = regexp.MustCompile(`^robustqo_[a-z0-9_]+$`)
+
+func runMetricName(pass *Pass) {
+	type registration struct {
+		kind string
+		pos  token.Pos
+	}
+	kinds := make(map[string]registration)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := sel.Sel.Name
+			if kind != "Counter" && kind != "Histogram" {
+				return true
+			}
+			if !isRegistry(pass.TypeOf(sel.X)) || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name must be a compile-time constant string so the registry namespace is statically checkable")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(arg.Pos(), "metric name %q must match ^robustqo_[a-z0-9_]+$", name)
+				return true
+			}
+			if prev, ok := kinds[name]; ok && prev.kind != kind {
+				pass.Reportf(arg.Pos(),
+					"metric %q is registered as both %s and %s; one name, one kind", name, prev.kind, kind)
+				return true
+			}
+			kinds[name] = registration{kind: kind, pos: arg.Pos()}
+			return true
+		})
+	}
+}
+
+// isRegistry reports whether t is obs.Registry or a pointer to it
+// (matched by package name so fixtures can stand in).
+func isRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Registry" && o.Pkg() != nil && o.Pkg().Name() == "obs"
+}

@@ -80,8 +80,12 @@ func checkSpanScope(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 	for _, sv := range spans {
-		deferred, firstEnd := findEnds(pass, body, sv.obj)
+		deferred, firstEnd, goEnd := findEnds(pass, body, sv.obj)
 		switch {
+		case !deferred && firstEnd == token.NoPos && goEnd:
+			pass.Reportf(sv.pos,
+				"span %q is ended only inside a launched goroutine, which may outlive this function; "+
+					"end it here or hand ownership to an owner field", sv.obj.Name())
 		case !deferred && firstEnd == token.NoPos:
 			pass.Reportf(sv.pos, "span %q is never ended; defer %s.End()", sv.obj.Name(), sv.obj.Name())
 		case !deferred && returnBetween(body, sv.pos, firstEnd):
@@ -110,11 +114,24 @@ func isStartSpan(pass *Pass, call *ast.CallExpr) bool {
 }
 
 // findEnds locates End calls on the span object: whether any is
-// deferred (directly or via a deferred closure), and the position of
-// the first plain End call.
-func findEnds(pass *Pass, body *ast.BlockStmt, obj types.Object) (deferred bool, first token.Pos) {
+// deferred (directly or via a deferred closure), the position of the
+// first plain End call, and whether an End appears only inside a
+// go-launched closure. A goroutine-side End does not count as ending
+// the span for this function — the worker may still be running when
+// the function returns — so a span whose only End is goroutine-side is
+// the goroutine-launched leak shape.
+func findEnds(pass *Pass, body *ast.BlockStmt, obj types.Object) (deferred bool, first token.Pos, goEnd bool) {
 	first = token.NoPos
 	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			ast.Inspect(g.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && endsSpan(pass, call, obj) {
+					goEnd = true
+				}
+				return true
+			})
+			return false
+		}
 		if d, ok := n.(*ast.DeferStmt); ok {
 			ast.Inspect(d, func(m ast.Node) bool {
 				if call, ok := m.(*ast.CallExpr); ok && endsSpan(pass, call, obj) {
@@ -131,7 +148,7 @@ func findEnds(pass *Pass, body *ast.BlockStmt, obj types.Object) (deferred bool,
 		}
 		return true
 	})
-	return deferred, first
+	return deferred, first, goEnd
 }
 
 func endsSpan(pass *Pass, call *ast.CallExpr, obj types.Object) bool {

@@ -1,0 +1,8 @@
+// Package clockuser sits outside internal/{core,optimizer,obs}: the
+// determinism analyzer must leave it alone.
+package clockuser
+
+import "time"
+
+// Stamp may read the wall clock freely here.
+func Stamp() time.Time { return time.Now() }

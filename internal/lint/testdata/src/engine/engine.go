@@ -1,0 +1,106 @@
+// Package engine exercises the goroutinejoin analyzer: every go
+// statement in an engine package needs a visible join.
+package engine
+
+import "sync"
+
+func okLocalWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type pool struct {
+	wg  sync.WaitGroup
+	out chan int
+}
+
+// Launch and join live in different methods; the shared field object
+// ties the worker's Done to drain's Wait.
+func (p *pool) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.out <- 1
+	}()
+}
+
+func (p *pool) drain() int {
+	v := <-p.out
+	p.wg.Wait()
+	return v
+}
+
+func okChannelClose() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func okChannelSend() {
+	res := make(chan int, 1)
+	go func() { res <- 1 }()
+	_ = <-res
+}
+
+func okRangeReceive() int {
+	res := make(chan int)
+	go func() {
+		res <- 1
+		close(res)
+	}()
+	sum := 0
+	for v := range res {
+		sum += v
+	}
+	return sum
+}
+
+func okNamedWithWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { wg.Done() }
+
+func leakNoJoin() {
+	go func() { // want "no reachable join"
+		work()
+	}()
+}
+
+func leakSendNoReceive() {
+	ch := make(chan int, 1)
+	go func() { // want "no reachable join"
+		ch <- 1
+	}()
+	_ = ch
+}
+
+func leakNamed() {
+	go work() // want "no reachable join"
+}
+
+func leakWaitGroupNeverWaited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "no reachable join"
+		defer wg.Done()
+	}()
+}
+
+func suppressed() {
+	//qolint:allow-goroutinejoin
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,16 @@
+// Package fmt is a miniature stand-in for the standard library's fmt:
+// the hotalloc analyzer matches calls into it by import path, so
+// fixtures can exercise it without real export data.
+package fmt
+
+// Errorf formats an error.
+func Errorf(format string, args ...any) error {
+	_ = args
+	return nil
+}
+
+// Sprintf formats a string.
+func Sprintf(format string, args ...any) string {
+	_ = args
+	return format
+}

@@ -1,0 +1,112 @@
+// Package hotalloc exercises the hotalloc analyzer: //qo:hotpath
+// functions are denied allocation-introducing constructs unless waived
+// with //qo:alloc-ok reason.
+package hotalloc
+
+import "fmt"
+
+type row []int
+
+type batch struct {
+	cols [][]int
+	sel  []int
+}
+
+// hotClean appends into pre-sized pooled storage only.
+//
+//qo:hotpath
+func hotClean(b *batch, rows []row) {
+	for _, r := range rows {
+		for c, v := range r {
+			b.cols[c] = append(b.cols[c], v)
+		}
+	}
+}
+
+//qo:hotpath
+func hotFmt(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad %d", n) // want "fmt.Errorf allocates"
+	}
+	return nil
+}
+
+//qo:hotpath
+func hotWaivedFmt(n int) error {
+	if n < 0 {
+		//qo:alloc-ok error path, cold
+		return fmt.Errorf("bad %d", n)
+	}
+	return nil
+}
+
+//qo:hotpath
+func hotClosure(xs []int) int {
+	f := func(a int) int { return a + 1 } // want "closure allocation"
+	return f(xs[0])
+}
+
+//qo:hotpath
+func hotMakeInLoop(rows []row) []row {
+	out := make([]row, 0, len(rows)) // setup outside loops: tolerated
+	for _, r := range rows {
+		c := make(row, len(r)) // want "make inside a loop"
+		copy(c, r)
+		out = append(out, c)
+	}
+	return out
+}
+
+//qo:hotpath
+func hotAppendUnpresized(rows []row) []row {
+	var out []row
+	for _, r := range rows {
+		out = append(out, r) // want "never pre-sized"
+	}
+	return out
+}
+
+//qo:hotpath
+func hotAppendPresized(b *batch, n int) {
+	sel := b.sel[:0] // aliases pre-sized pooled storage: tolerated
+	for i := 0; i < n; i++ {
+		sel = append(sel, i)
+	}
+	b.sel = sel
+}
+
+//qo:hotpath
+func hotBoxing(v int) {
+	observe(v) // want "boxes a concrete int"
+}
+
+func observe(v any) { _ = v }
+
+//qo:hotpath
+func hotPointerLitInLoop(n int) *batch {
+	var last *batch
+	for i := 0; i < n; i++ {
+		last = &batch{} // want "heap-allocated composite literal"
+	}
+	return last
+}
+
+//qo:hotpath
+func hotSuppressed(n int) error {
+	//qolint:allow-hotalloc
+	return fmt.Errorf("bad %d", n)
+}
+
+// coldAlloc is unannotated: it may allocate freely.
+func coldAlloc(rows []row) []row {
+	var out []row
+	for _, r := range rows {
+		out = append(out, append(row(nil), r...))
+	}
+	return out
+}
+
+func badWaiver(n int) int {
+	//qo:alloc-ok // want "must carry a reason"
+	return n
+}

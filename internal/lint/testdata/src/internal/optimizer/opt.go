@@ -1,0 +1,37 @@
+// Package optimizer stands in for a replay-sensitive internal package
+// (its fixture path internal/optimizer is what the determinism
+// analyzer scopes on).
+package optimizer
+
+import (
+	"math/rand"
+	"time"
+)
+
+type clock func() time.Time
+
+type planner struct {
+	now clock
+}
+
+// stamp routes through the injectable clock but falls back to the wall
+// clock, which is exactly the call the analyzer must catch.
+func (p *planner) stamp() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now() // want "time.Now"
+}
+
+func elapsed(start time.Time) int64 {
+	return time.Since(start) // want "time.Since"
+}
+
+func jitter() int {
+	return rand.Intn(10) // want "math/rand"
+}
+
+func suppressedInjectionPoint() time.Time {
+	//qolint:allow-determinism the sanctioned fallback of an injectable clock
+	return time.Now()
+}

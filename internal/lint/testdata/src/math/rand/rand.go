@@ -1,0 +1,6 @@
+// Package rand is a miniature stand-in for math/rand: the determinism
+// analyzer matches any use of the package by import path.
+package rand
+
+// Intn returns a pseudo-random int in [0, n).
+func Intn(n int) int { return n - 1 }

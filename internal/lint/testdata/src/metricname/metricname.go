@@ -1,0 +1,37 @@
+// Package metricname exercises the metricname analyzer: registry
+// names are constants matching ^robustqo_[a-z0-9_]+$, one kind each.
+package metricname
+
+import "obs"
+
+const hitsName = "robustqo_cache_hits_total"
+
+func ok(reg *obs.Registry) {
+	reg.Counter("robustqo_queries_total").Inc()
+	reg.Counter(hitsName).Inc()
+	reg.Histogram("robustqo_qerror", []float64{1, 2, 4}).Observe(1.5)
+	// Same name, same kind, different labels: one series family.
+	reg.Counter("robustqo_queries_total", obs.Label{Key: "op", Value: "scan"}).Inc()
+}
+
+func badPrefix(reg *obs.Registry) {
+	reg.Counter("queries_total").Inc() // want "must match"
+}
+
+func badChars(reg *obs.Registry) {
+	reg.Counter("robustqo_Rows-Seen").Inc() // want "must match"
+}
+
+func dynamicName(reg *obs.Registry, name string) {
+	reg.Counter(name).Inc() // want "compile-time constant"
+}
+
+func kindClash(reg *obs.Registry) {
+	reg.Histogram("robustqo_latency", nil).Observe(1)
+	reg.Counter("robustqo_latency").Inc() // want "both Histogram and Counter"
+}
+
+func suppressed(reg *obs.Registry, name string) {
+	//qolint:allow-metricname
+	reg.Counter(name).Inc()
+}

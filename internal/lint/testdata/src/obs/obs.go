@@ -24,3 +24,36 @@ func (s *Span) End() {}
 
 // SetAttr attaches a key/value pair.
 func (s *Span) SetAttr(k, v string) { _ = k; _ = v }
+
+// Label is one metric dimension.
+type Label struct{ Key, Value string }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Histogram is a bucketed distribution metric.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { _ = v; h.n++ }
+
+// Registry is a named metric store; the metricname analyzer matches
+// its Counter/Histogram methods.
+type Registry struct{ names []string }
+
+// Counter returns the named counter series.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	r.names = append(r.names, name)
+	_ = labels
+	return &Counter{}
+}
+
+// Histogram returns the named histogram series.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	r.names = append(r.names, name)
+	_, _ = bounds, labels
+	return &Histogram{}
+}

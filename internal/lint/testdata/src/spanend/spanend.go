@@ -80,4 +80,31 @@ func suppressed(tr *obs.Trace) {
 	tr.StartSpan("phase")
 }
 
+// A worker closure that creates and ends its own span is the blessed
+// goroutine shape.
+func workerEndsOwnSpan(tr *obs.Trace) {
+	go func() {
+		sp := tr.StartSpan("worker")
+		defer sp.End()
+		work()
+	}()
+}
+
+// Ending a span only from a launched goroutine does not tie the End to
+// this function's lifetime: the worker may still be running (or never
+// scheduled) when the function returns.
+func goroutineOnlyEnd(tr *obs.Trace) {
+	sp := tr.StartSpan("phase") // want "ended only inside a launched goroutine"
+	go func() {
+		sp.End()
+	}()
+}
+
+func workerNeverEnds(tr *obs.Trace) {
+	go func() {
+		sp := tr.StartSpan("worker") // want "never ended"
+		sp.SetAttr("k", "v")
+	}()
+}
+
 func work() {}

@@ -1,0 +1,16 @@
+// Package sync is a miniature stand-in for the standard library's
+// sync: the goroutinejoin analyzer matches WaitGroup by package name,
+// so fixtures can exercise it without real export data.
+package sync
+
+// WaitGroup counts outstanding goroutines.
+type WaitGroup struct{ n int }
+
+// Add adjusts the outstanding count.
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+
+// Done marks one goroutine finished.
+func (w *WaitGroup) Done() { w.n-- }
+
+// Wait blocks until the count reaches zero.
+func (w *WaitGroup) Wait() {}

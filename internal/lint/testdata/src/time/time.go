@@ -1,0 +1,13 @@
+// Package time is a miniature stand-in for the standard library's
+// time: the determinism analyzer matches Now/Since by import path, so
+// fixtures can exercise it without real export data.
+package time
+
+// Time is an instant.
+type Time struct{ ns int64 }
+
+// Now reads the wall clock.
+func Now() Time { return Time{} }
+
+// Since reports the elapsed nanoseconds (a wall-clock read).
+func Since(t Time) int64 { return -t.ns }

@@ -35,6 +35,9 @@ func (t *Trace) now() time.Time {
 	if t.Now != nil {
 		return t.Now()
 	}
+	// The injectable clock's single sanctioned wall-clock fallback: every
+	// other timestamp in the scoped packages must route through here.
+	//qolint:allow-determinism injection point for the wall clock
 	return time.Now()
 }
 

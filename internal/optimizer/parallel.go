@@ -111,15 +111,6 @@ func (p *planner) wrapExchange(n engine.Node) engine.Node {
 	return ex
 }
 
-// countMetric bumps an optimizer counter when a metrics registry is
-// attached; a nil registry costs nothing.
-func (o *Optimizer) countMetric(name string) {
-	if o.Metrics == nil {
-		return
-	}
-	o.Metrics.Counter(name).Inc()
-}
-
 // quantileCacheOf unwraps the estimator (through Chain) to its posterior
 // quantile cache, when it has one.
 func quantileCacheOf(est core.Estimator) *core.QuantileCache {
