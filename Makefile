@@ -26,5 +26,6 @@ bench-smoke:
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
 	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
 	$(GO) run ./cmd/benchjoin -out BENCH_join.json
+	$(GO) run ./cmd/benchshard -out BENCH_shard.json
 
 ci: build lint race fuzz-smoke bench-smoke

@@ -30,21 +30,23 @@ import (
 )
 
 type report struct {
-	CPUs              int     `json:"cpus"`
-	Lines             int     `json:"lines"`
-	BuildRows         int     `json:"build_rows"`
-	Reps              int     `json:"reps"`
-	SerialNsPerOp     float64 `json:"serial_ns_per_op"`
-	DOP2NsPerOp       float64 `json:"dop2_ns_per_op"`
-	DOP4NsPerOp       float64 `json:"dop4_ns_per_op"`
-	SpeedupDOP2       float64 `json:"speedup_dop2"`
-	SpeedupDOP4       float64 `json:"speedup_dop4"`
-	Rows              int     `json:"rows"`
-	IdenticalRows     bool    `json:"identical_rows"`
-	IdenticalCounters bool    `json:"identical_counters"`
-	MinSpeedup        float64 `json:"min_speedup"`
-	SpeedupEnforced   bool    `json:"speedup_enforced"`
-	SpeedupWaiver     string  `json:"speedup_waiver,omitempty"`
+	CPUs              int      `json:"cpus"`
+	NumCPU            int      `json:"num_cpu"`
+	Lines             int      `json:"lines"`
+	BuildRows         int      `json:"build_rows"`
+	Reps              int      `json:"reps"`
+	SerialNsPerOp     float64  `json:"serial_ns_per_op"`
+	DOP2NsPerOp       float64  `json:"dop2_ns_per_op"`
+	DOP4NsPerOp       float64  `json:"dop4_ns_per_op"`
+	SpeedupDOP2       float64  `json:"speedup_dop2"`
+	SpeedupDOP4       float64  `json:"speedup_dop4"`
+	Rows              int      `json:"rows"`
+	IdenticalRows     bool     `json:"identical_rows"`
+	IdenticalCounters bool     `json:"identical_counters"`
+	MinSpeedup        float64  `json:"min_speedup"`
+	SpeedupEnforced   bool     `json:"speedup_enforced"`
+	SpeedupWaiver     string   `json:"speedup_waiver,omitempty"`
+	WaivedGates       []string `json:"waived_gates"`
 	// Pre-sizing gate: the estimated run carries BuildRowsEst within 2x
 	// of the actual build cardinality and must not grow; the unsized run
 	// models a hand-built plan and must.
@@ -107,6 +109,8 @@ func run(out string, lines, reps int, minSpeedup float64) error {
 
 	rep := report{
 		CPUs:              runtime.NumCPU(),
+		NumCPU:            runtime.NumCPU(),
+		WaivedGates:       []string{},
 		Lines:             lines,
 		BuildRows:         buildRows,
 		Reps:              reps,
@@ -194,6 +198,7 @@ func run(out string, lines, reps int, minSpeedup float64) error {
 	rep.SpeedupDOP4 = times[0] / times[2]
 	if !rep.SpeedupEnforced {
 		rep.SpeedupWaiver = fmt.Sprintf("only %d CPUs; a DOP=4 wall-clock gate needs at least 4", rep.CPUs)
+		rep.WaivedGates = append(rep.WaivedGates, "dop4_speedup")
 	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")

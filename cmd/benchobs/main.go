@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"testing"
 
 	"robustqo/internal/cost"
@@ -23,13 +24,15 @@ import (
 
 // report is the schema of the JSON output.
 type report struct {
-	Benchmark        string  `json:"benchmark"`
-	Lines            int     `json:"lines"`
-	Reps             int     `json:"reps"`
-	PlainNsPerOp     float64 `json:"plain_ns_per_op"`
-	InstrumentedNsOp float64 `json:"instrumented_ns_per_op"`
-	OverheadFraction float64 `json:"overhead_fraction"`
-	MaxOverhead      float64 `json:"max_overhead"`
+	Benchmark        string   `json:"benchmark"`
+	NumCPU           int      `json:"num_cpu"`
+	Lines            int      `json:"lines"`
+	Reps             int      `json:"reps"`
+	PlainNsPerOp     float64  `json:"plain_ns_per_op"`
+	InstrumentedNsOp float64  `json:"instrumented_ns_per_op"`
+	OverheadFraction float64  `json:"overhead_fraction"`
+	MaxOverhead      float64  `json:"max_overhead"`
+	WaivedGates      []string `json:"waived_gates"`
 }
 
 func main() {
@@ -93,6 +96,8 @@ func run(out string, lines, reps int, maxOverhead float64) error {
 	}
 	rep := report{
 		Benchmark:        "ExecStream fulldrain scan+filter",
+		NumCPU:           runtime.NumCPU(),
+		WaivedGates:      []string{},
 		Lines:            lines,
 		Reps:             reps,
 		PlainNsPerOp:     plain,

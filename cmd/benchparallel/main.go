@@ -45,6 +45,7 @@ type workload struct {
 
 type report struct {
 	CPUs            int      `json:"cpus"`
+	NumCPU          int      `json:"num_cpu"`
 	Lines           int      `json:"lines"`
 	Reps            int      `json:"reps"`
 	ScanHeavy       workload `json:"scan_heavy"`
@@ -56,6 +57,7 @@ type report struct {
 	CacheMisses     int64    `json:"quantile_cache_misses"`
 	CacheHitRate    float64  `json:"quantile_cache_hit_rate"`
 	MinHitRate      float64  `json:"min_hit_rate"`
+	WaivedGates     []string `json:"waived_gates"`
 }
 
 func main() {
@@ -129,6 +131,8 @@ func run(out string, lines, reps int, minSpeedup, minHitRate float64) error {
 
 	rep := report{
 		CPUs:            runtime.NumCPU(),
+		NumCPU:          runtime.NumCPU(),
+		WaivedGates:     []string{},
 		Lines:           lines,
 		Reps:            reps,
 		ScanHeavy:       scan,
@@ -142,6 +146,7 @@ func run(out string, lines, reps int, minSpeedup, minHitRate float64) error {
 	}
 	if !rep.SpeedupEnforced {
 		rep.SpeedupWaiver = fmt.Sprintf("only %d CPUs; a DOP=4 wall-clock gate needs at least 4", rep.CPUs)
+		rep.WaivedGates = append(rep.WaivedGates, "dop4_speedup")
 	}
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

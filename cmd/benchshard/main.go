@@ -1,0 +1,355 @@
+// Command benchshard gates what table partitioning must deliver and
+// what it must not change. Against a TPC-H-like lineitem range-sharded
+// on l_shipdate it checks that an equality predicate on the partition
+// key plans a scan of exactly one shard (EXPLAIN ANALYZE's
+// "partitions: 1/N"), that the executed scan charges exactly the
+// surviving shard's pages and tuples — zero accesses against pruned
+// shards — and that the pruned posterior estimate is no larger than
+// the unpruned one at the same confidence threshold. It then drains a
+// pruned scatter-gather scan at DOP 1, 2, and 4 and requires
+// byte-identical rows and cost counters at every DOP. Results land in
+// a JSON report (BENCH_shard.json in CI). The DOP-4 speedup gate only
+// bites on machines with at least 4 CPUs; every other gate bites
+// everywhere.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"robustqo/internal/core"
+	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/sqlparse"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/tpch"
+	"robustqo/internal/value"
+)
+
+type report struct {
+	NumCPU int `json:"num_cpu"`
+	Lines  int `json:"lines"`
+	Shards int `json:"shards"`
+	Reps   int `json:"reps"`
+
+	// Pruning effectiveness: the equality query's planned shard list,
+	// the EXPLAIN ANALYZE annotation, and the executed page accounting
+	// of the pruned scan versus the surviving shard's exact span.
+	EqualityShard     int    `json:"equality_shard"`
+	PartsAnnotation   string `json:"parts_annotation"`
+	ShardPages        int64  `json:"shard_pages"`
+	TablePages        int    `json:"table_pages"`
+	PrunedSeqPages    int64  `json:"pruned_seq_pages"`
+	PrunedTuples      int64  `json:"pruned_tuples"`
+	ShardTuples       int64  `json:"shard_tuples"`
+	ExactPageAccounts bool   `json:"exact_page_accounting"`
+
+	// Posterior tightening: pruning drops shards before the quantile,
+	// so the pruned estimate can only shrink.
+	UnprunedEstRows float64 `json:"unpruned_est_rows"`
+	PrunedEstRows   float64 `json:"pruned_est_rows"`
+
+	// Scatter-gather identity and timing of a pruned scan.
+	DOPRows           int      `json:"dop_rows"`
+	IdenticalRows     bool     `json:"identical_rows"`
+	IdenticalCounters bool     `json:"identical_counters"`
+	SerialNsPerOp     float64  `json:"serial_ns_per_op"`
+	DOP2NsPerOp       float64  `json:"dop2_ns_per_op"`
+	DOP4NsPerOp       float64  `json:"dop4_ns_per_op"`
+	SpeedupDOP2       float64  `json:"speedup_dop2"`
+	SpeedupDOP4       float64  `json:"speedup_dop4"`
+	MinSpeedup        float64  `json:"min_speedup"`
+	SpeedupEnforced   bool     `json:"speedup_enforced"`
+	SpeedupWaiver     string   `json:"speedup_waiver,omitempty"`
+	WaivedGates       []string `json:"waived_gates"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_shard.json", "report file path")
+	lines := flag.Int("lines", 60000, "lineitem rows to generate")
+	shards := flag.Int("shards", 4, "lineitem range shards on l_shipdate")
+	reps := flag.Int("reps", 3, "benchmark repetitions (best-of)")
+	minSpeedup := flag.Float64("min-speedup", 1.4, "fail when the pruned-scan DOP=4 speedup is below this (needs >=4 CPUs)")
+	flag.Parse()
+	if err := run(*out, *lines, *shards, *reps, *minSpeedup); err != nil {
+		fmt.Fprintln(os.Stderr, "benchshard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, lines, shards, reps int, minSpeedup float64) error {
+	if shards < 2 {
+		return fmt.Errorf("need at least 2 shards to measure pruning, got %d", shards)
+	}
+	db, err := tpch.Generate(tpch.Config{Lines: lines, Partitions: shards, Seed: 2005})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+	line, _ := db.Table("lineitem")
+	rep := report{
+		NumCPU:      runtime.NumCPU(),
+		Lines:       lines,
+		Shards:      shards,
+		Reps:        reps,
+		TablePages:  line.NumPages(),
+		MinSpeedup:  minSpeedup,
+		WaivedGates: []string{},
+	}
+
+	syn, err := sample.BuildAll(db, sample.DefaultSize, stats.NewRNG(2005^0x5a4d))
+	if err != nil {
+		return err
+	}
+	est, err := core.NewBayesEstimator(syn, core.ConfidenceThreshold(0.8))
+	if err != nil {
+		return err
+	}
+
+	if err := pruningGates(ctx, db, est, &rep); err != nil {
+		return err
+	}
+	if err := dopGates(ctx, line, reps, &rep); err != nil {
+		return err
+	}
+
+	rep.SpeedupEnforced = rep.NumCPU >= 4
+	if !rep.SpeedupEnforced {
+		rep.SpeedupWaiver = fmt.Sprintf("only %d CPUs; a DOP=4 wall-clock gate needs at least 4", rep.NumCPU)
+		rep.WaivedGates = append(rep.WaivedGates, "dop4_speedup")
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pruning: shard %d of %d, %d/%d pages, %s\n",
+		rep.EqualityShard, shards, rep.ShardPages, rep.TablePages, rep.PartsAnnotation)
+	fmt.Printf("estimate: %.1f rows pruned vs %.1f unpruned\n", rep.PrunedEstRows, rep.UnprunedEstRows)
+	fmt.Printf("pruned scan: %.0f ns serial, speedup %.2fx @2, %.2fx @4; report: %s\n",
+		rep.SerialNsPerOp, rep.SpeedupDOP2, rep.SpeedupDOP4, out)
+
+	if !rep.ExactPageAccounts {
+		return fmt.Errorf("pruned scan charged %d pages / %d tuples, the surviving shard spans %d pages / %d tuples",
+			rep.PrunedSeqPages, rep.PrunedTuples, rep.ShardPages, rep.ShardTuples)
+	}
+	if rep.PrunedEstRows > rep.UnprunedEstRows {
+		return fmt.Errorf("pruned estimate %.2f rows exceeds unpruned %.2f", rep.PrunedEstRows, rep.UnprunedEstRows)
+	}
+	if !rep.IdenticalRows {
+		return fmt.Errorf("pruned scatter-gather rows diverge across DOP")
+	}
+	if !rep.IdenticalCounters {
+		return fmt.Errorf("pruned scatter-gather counters diverge across DOP")
+	}
+	if rep.SpeedupEnforced && rep.SpeedupDOP4 < minSpeedup {
+		return fmt.Errorf("pruned-scan DOP=4 speedup %.2fx below the %.1fx floor", rep.SpeedupDOP4, minSpeedup)
+	}
+	return nil
+}
+
+// pruningGates plans and runs the equality-on-partition-key query: the
+// optimizer must restrict the scan to the key's single shard, EXPLAIN
+// ANALYZE must say so, the executed scan must charge exactly that
+// shard's pages, and the pruned posterior must not exceed the unpruned.
+func pruningGates(ctx *engine.Context, db *storage.Database, est core.Estimator, rep *report) error {
+	key := value.DateFromCivil(1995, 6, 15)
+	line, _ := db.Table("lineitem")
+	shard, ok := line.ShardOfKey(int64(key))
+	if !ok {
+		return fmt.Errorf("lineitem is not partitioned for key routing")
+	}
+	rep.EqualityShard = shard
+
+	q, err := sqlparse.Parse("SELECT COUNT(*) FROM lineitem WHERE l_shipdate = DATE '1995-06-15'")
+	if err != nil {
+		return err
+	}
+	opt, err := optimizer.New(ctx, est)
+	if err != nil {
+		return err
+	}
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		return err
+	}
+	inst := engine.Instrument(plan.Root)
+	parts, found := scanPartitions(inst)
+	if !found {
+		return fmt.Errorf("no lineitem scan in the equality plan:\n%s", plan.Explain())
+	}
+	if len(parts) != 1 || parts[0] != shard {
+		return fmt.Errorf("equality plan scans partitions %v, want exactly [%d]", parts, shard)
+	}
+	var pc cost.Counters
+	if _, err := inst.Execute(ctx, &pc); err != nil {
+		return err
+	}
+	explain := engine.ExplainAnalyze(inst, engine.AnalyzeOptions{EstimateOf: plan.EstimateOf})
+	rep.PartsAnnotation = fmt.Sprintf("partitions: 1/%d", rep.Shards)
+	if !strings.Contains(explain, rep.PartsAnnotation) {
+		return fmt.Errorf("EXPLAIN ANALYZE lacks %q:\n%s", rep.PartsAnnotation, explain)
+	}
+
+	// Exact page accounting on a sequential scan of the pruned shard:
+	// the counters must equal the shard span's first-tuple page charge —
+	// any access to a pruned shard would break the identity.
+	lo, hi := line.PartitionSpan(shard)
+	const per = storage.TuplesPerPage
+	rep.ShardPages = int64((hi+per-1)/per - (lo+per-1)/per)
+	rep.ShardTuples = int64(hi - lo)
+	pred := expr.Cmp{Op: expr.EQ, L: expr.TC("lineitem", "l_shipdate"), R: expr.DateLit(int64(key))}
+	pruned, ok := line.PrunePartitions("l_shipdate", int64(key), int64(key))
+	if !ok || len(pruned) != 1 || pruned[0] != shard {
+		return fmt.Errorf("PrunePartitions(l_shipdate, =%d) = %v, %v; want [%d]", key, pruned, ok, shard)
+	}
+	var sc cost.Counters
+	seq := &engine.SeqScan{Table: "lineitem", Filter: pred, Partitions: pruned}
+	if _, err := seq.Execute(ctx, &sc); err != nil {
+		return err
+	}
+	rep.PrunedSeqPages, rep.PrunedTuples = sc.SeqPages, sc.Tuples
+	rep.ExactPageAccounts = sc.SeqPages == rep.ShardPages && sc.Tuples == rep.ShardTuples
+
+	// The unpruned leg lists every shard explicitly so both estimates
+	// combine the same per-shard posteriors — the only difference is the
+	// shards pruning dropped. (Partitions=nil would use the separately
+	// sampled global synopsis, which is not an ordering comparison.)
+	all := make([]int, line.Partitions())
+	for i := range all {
+		all[i] = i
+	}
+	unpruned, err := est.Estimate(core.Request{Tables: []string{"lineitem"}, Pred: pred, Partitions: all})
+	if err != nil {
+		return err
+	}
+	shardOnly, err := est.Estimate(core.Request{Tables: []string{"lineitem"}, Pred: pred, Partitions: pruned})
+	if err != nil {
+		return err
+	}
+	rep.UnprunedEstRows, rep.PrunedEstRows = unpruned.Rows, shardOnly.Rows
+	return nil
+}
+
+// dopGates drains a pruned scatter-gather scan — a two-shard date
+// window with the matching partition list — at DOP 1, 2, and 4,
+// requiring identical rows and counters, then times each DOP
+// best-of-reps.
+func dopGates(ctx *engine.Context, line *storage.Table, reps int, rep *report) error {
+	lo := value.DateFromCivil(1994, 1, 1)
+	hi := value.DateFromCivil(1996, 12, 31)
+	parts, ok := line.PrunePartitions("l_shipdate", int64(lo), int64(hi))
+	if !ok || len(parts) == 0 || len(parts) >= rep.Shards {
+		return fmt.Errorf("window pruning kept %v of %d shards; want a proper non-empty subset", parts, rep.Shards)
+	}
+	pred := expr.Between{
+		E:  expr.TC("lineitem", "l_shipdate"),
+		Lo: expr.DateLit(int64(lo)),
+		Hi: expr.DateLit(int64(hi)),
+	}
+	plan := func(dop int) engine.Node {
+		var n engine.Node = &engine.SeqScan{Table: "lineitem", Filter: pred, Partitions: parts}
+		if dop > 1 {
+			n = &engine.Exchange{Source: n, DOP: dop}
+		}
+		return n
+	}
+
+	rep.IdenticalRows, rep.IdenticalCounters = true, true
+	var baseHash uint64
+	var baseCounters cost.Counters
+	for i, dop := range []int{1, 2, 4} {
+		var c cost.Counters
+		res, err := plan(dop).Execute(ctx, &c)
+		if err != nil {
+			return fmt.Errorf("pruned scan dop=%d: %v", dop, err)
+		}
+		h := fnv.New64a()
+		for _, r := range res.Rows {
+			for _, v := range r {
+				fmt.Fprint(h, v.String(), "\x1f")
+			}
+			fmt.Fprint(h, "\x1e")
+		}
+		if i == 0 {
+			baseHash, baseCounters, rep.DOPRows = h.Sum64(), c, len(res.Rows)
+			continue
+		}
+		if h.Sum64() != baseHash {
+			rep.IdenticalRows = false
+		}
+		if c != baseCounters {
+			rep.IdenticalCounters = false
+		}
+	}
+
+	times := make([]float64, 3)
+	for i, dop := range []int{1, 2, 4} {
+		n := plan(dop)
+		best := math.MaxFloat64
+		for r := 0; r < reps; r++ {
+			var execErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var c cost.Counters
+					if _, err := n.Execute(ctx, &c); err != nil {
+						execErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if execErr != nil {
+				return execErr
+			}
+			if v := float64(res.NsPerOp()); v < best {
+				best = v
+			}
+		}
+		times[i] = best
+	}
+	rep.SerialNsPerOp, rep.DOP2NsPerOp, rep.DOP4NsPerOp = times[0], times[1], times[2]
+	rep.SpeedupDOP2 = times[0] / times[1]
+	rep.SpeedupDOP4 = times[0] / times[2]
+	return nil
+}
+
+// scanPartitions finds the lineitem scan in an instrumented plan and
+// returns its partition list.
+func scanPartitions(n *engine.Instrumented) ([]int, bool) {
+	switch s := n.Origin.(type) {
+	case *engine.SeqScan:
+		if s.Table == "lineitem" {
+			return s.Partitions, true
+		}
+	case *engine.IndexRangeScan:
+		if s.Table == "lineitem" {
+			return s.Partitions, true
+		}
+	case *engine.IndexIntersect:
+		if s.Table == "lineitem" {
+			return s.Partitions, true
+		}
+	}
+	for _, kid := range n.Kids {
+		if parts, ok := scanPartitions(kid); ok {
+			return parts, ok
+		}
+	}
+	return nil, false
+}

@@ -73,8 +73,10 @@ Subcommands:
                             -debug-addr to pick the listen address
 
 query and sql accept -analyze (EXPLAIN ANALYZE: estimated vs actual rows
-and Q-error per operator) and -trace-out FILE [-trace-format json|chrome]
-to export an optimizer+execution trace.
+and Q-error per operator), -trace-out FILE [-trace-format json|chrome]
+to export an optimizer+execution trace, and -partitions N to
+range-partition lineitem on l_shipdate (pruned scans show up in the plan
+and in EXPLAIN ANALYZE as "partitions: k/n").
 `)
 }
 
@@ -148,6 +150,7 @@ func runQuery(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 2005, "random seed")
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
 	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
+	partitions := fs.Int("partitions", 1, "range-partition lineitem on l_shipdate into this many shards (1 = unpartitioned)")
 	var of obsFlags
 	of.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -162,7 +165,7 @@ func runQuery(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
-	db, err := tpch.Generate(tpch.Config{Lines: *lines, Seed: *seed})
+	db, err := tpch.Generate(tpch.Config{Lines: *lines, Partitions: *partitions, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -229,6 +232,7 @@ func runSQL(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 2005, "random seed")
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
 	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
+	partitions := fs.Int("partitions", 1, "range-partition lineitem on l_shipdate into this many shards (1 = unpartitioned)")
 	maxRows := fs.Int("maxrows", 20, "print at most this many result rows")
 	var of obsFlags
 	of.register(fs)
@@ -243,7 +247,7 @@ func runSQL(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
-	db, err := tpch.Generate(tpch.Config{Lines: *lines, Seed: *seed})
+	db, err := tpch.Generate(tpch.Config{Lines: *lines, Partitions: *partitions, Seed: *seed})
 	if err != nil {
 		return err
 	}

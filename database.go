@@ -331,7 +331,10 @@ func (s *Session) plan(q *Query, t ConfidenceThreshold) (*optimizer.Plan, *engin
 }
 
 // statisticsWireVersion versions the combined statistics bundle format.
-const statisticsWireVersion = 1
+// Version 2 embeds the partition-aware synopsis set (per-shard synopses
+// for partitioned tables); version-1 bundles are refused rather than
+// misread.
+const statisticsWireVersion = 2
 
 // SaveStatistics serializes the database's precomputed statistics (join
 // synopses and histograms) so a later process over the same schema can

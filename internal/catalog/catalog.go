@@ -83,6 +83,41 @@ type Index struct {
 	Kind   IndexKind
 }
 
+// PartitionKind distinguishes the horizontal-partitioning schemes the
+// storage layer implements.
+type PartitionKind int
+
+const (
+	// HashPartition routes each row to shard hash(key) mod N. Equality
+	// predicates on the key prune to a single shard; range predicates
+	// cannot prune.
+	HashPartition PartitionKind = iota
+	// RangePartition routes each row by comparing the key against the
+	// ascending Bounds: shard 0 holds keys below Bounds[0], shard i holds
+	// [Bounds[i-1], Bounds[i]), and the last shard holds everything from
+	// Bounds[N-2] up. Both equality and range predicates prune.
+	RangePartition
+)
+
+func (k PartitionKind) String() string {
+	if k == HashPartition {
+		return "HASH"
+	}
+	return "RANGE"
+}
+
+// PartitionSpec declares horizontal partitioning of a table on a single
+// Int or Date column. Partitions == 1 (or a nil spec) is the unpartitioned
+// degenerate case.
+type PartitionSpec struct {
+	Column     string
+	Kind       PartitionKind
+	Partitions int
+	// Bounds are the N-1 ascending split points of a RangePartition;
+	// must be empty for HashPartition.
+	Bounds []int64
+}
+
 // TableSchema is the static description of one table.
 type TableSchema struct {
 	Name       string
@@ -94,6 +129,10 @@ type TableSchema struct {
 	// non-decreasing (e.g. the clustering key, or correlated surrogate
 	// keys). The optimizer uses it to skip sorts before merge joins.
 	Ordered []string
+	// Partition, when non-nil with Partitions > 1, splits the table into
+	// per-shard physical segments keyed on Partition.Column. Row ids stay
+	// global (partition-major), so readers see one logical table.
+	Partition *PartitionSpec
 }
 
 // OrderedBy reports whether the physical row order is non-decreasing in
@@ -209,8 +248,51 @@ func (c *Catalog) AddTable(s *TableSchema) error {
 			return fmt.Errorf("catalog: table %q index %q over unknown column %q", s.Name, ix.Name, ix.Column)
 		}
 	}
+	if err := validatePartition(s); err != nil {
+		return err
+	}
 	c.tables[s.Name] = s
 	c.order = append(c.order, s.Name)
+	return nil
+}
+
+// validatePartition checks a schema's partition declaration: the key must
+// be an existing Int or Date column, the shard count positive, and range
+// bounds strictly ascending with exactly one fewer bound than shards.
+func validatePartition(s *TableSchema) error {
+	p := s.Partition
+	if p == nil {
+		return nil
+	}
+	col, ok := s.Column(p.Column)
+	if !ok {
+		return fmt.Errorf("catalog: table %q partition key %q is not a column", s.Name, p.Column)
+	}
+	if col.Type != Int && col.Type != Date {
+		return fmt.Errorf("catalog: table %q partition key %q must be INT or DATE, got %s", s.Name, p.Column, col.Type)
+	}
+	if p.Partitions < 1 {
+		return fmt.Errorf("catalog: table %q declares %d partitions; need at least 1", s.Name, p.Partitions)
+	}
+	switch p.Kind {
+	case HashPartition:
+		if len(p.Bounds) != 0 {
+			return fmt.Errorf("catalog: table %q hash partitioning takes no bounds, got %d", s.Name, len(p.Bounds))
+		}
+	case RangePartition:
+		if len(p.Bounds) != p.Partitions-1 {
+			return fmt.Errorf("catalog: table %q range partitioning into %d shards needs %d bounds, got %d",
+				s.Name, p.Partitions, p.Partitions-1, len(p.Bounds))
+		}
+		for i := 1; i < len(p.Bounds); i++ {
+			if p.Bounds[i] <= p.Bounds[i-1] {
+				return fmt.Errorf("catalog: table %q range bounds must be strictly ascending; bound %d (%d) <= bound %d (%d)",
+					s.Name, i, p.Bounds[i], i-1, p.Bounds[i-1])
+			}
+		}
+	default:
+		return fmt.Errorf("catalog: table %q has unknown partition kind %d", s.Name, int(p.Kind))
+	}
 	return nil
 }
 

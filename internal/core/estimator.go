@@ -16,6 +16,12 @@ import (
 type Request struct {
 	Tables []string
 	Pred   expr.Expr
+	// Partitions, when non-nil, restricts the expression's partitioned
+	// root relation to the listed shards (the optimizer's pruning pass
+	// sets it). The Bayesian estimator then combines the surviving
+	// shards' posteriors — pruning happens before quantiling, so the
+	// estimate tightens as shards drop. nil means the whole table.
+	Partitions []int
 }
 
 // Estimate is a cardinality answer. Selectivity is the estimated fraction
@@ -155,7 +161,34 @@ func (e *BayesEstimator) WithThreshold(t ConfidenceThreshold) (*BayesEstimator, 
 // Observe evaluates the request's predicate on the appropriate synopsis
 // and returns the observation (k matches of n) along with the root
 // population size. Exposed for analysis and experiment code.
+//
+// When the request names partitions and the root has per-shard synopses,
+// the observation is summed over the listed shards only: k = Σ k_p,
+// n = Σ n_p, population = Σ N_p. Because the per-shard samples are a
+// stratified sample with proportional allocation, adding the per-shard
+// Beta pseudo-counts is the principled combination — Beta(Σk_p + a,
+// Σ(n_p−k_p) + b) — and dropping pruned shards removes their samples
+// from the posterior before the quantile is taken.
 func (e *BayesEstimator) Observe(req Request) (k, n, population int, err error) {
+	if req.Partitions != nil {
+		if shards, ok := e.Synopses.ForShards(req.Tables); ok {
+			for _, p := range req.Partitions {
+				if p < 0 || p >= len(shards) || shards[p] == nil {
+					continue // empty shard: nothing to observe
+				}
+				kp, err := shards[p].Count(req.Pred)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				k += kp
+				n += shards[p].Size()
+				population += shards[p].N
+			}
+			return k, n, population, nil
+		}
+		// No per-shard synopses: fall through to the global synopsis,
+		// which over-covers the surviving shards (a sound, looser bound).
+	}
 	syn, err := e.Synopses.For(req.Tables)
 	if err != nil {
 		return 0, 0, 0, err

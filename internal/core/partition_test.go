@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/sample"
+	"robustqo/internal/stats"
+	"robustqo/internal/storage"
+	"robustqo/internal/testkit"
+	"robustqo/internal/value"
+)
+
+// partFactDB builds a fact table range-partitioned on f_key into 4 equal
+// shards (keys 0..399, bounds 100/200/300), with a payload column f_a the
+// test predicates filter on.
+func partFactDB(t *testing.T, n int) *storage.Database {
+	t.Helper()
+	cat := catalog.NewCatalog()
+	db := storage.NewDatabase(cat)
+	fact, err := db.CreateTable(&catalog.TableSchema{
+		Name: "fact",
+		Columns: []catalog.Column{
+			{Name: "f_id", Type: catalog.Int},
+			{Name: "f_key", Type: catalog.Int},
+			{Name: "f_a", Type: catalog.Int},
+		},
+		PrimaryKey: "f_id",
+		Partition: &catalog.PartitionSpec{
+			Column: "f_key", Kind: catalog.RangePartition, Partitions: 4, Bounds: []int64{100, 200, 300},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(77)
+	for i := 0; i < n; i++ {
+		_ = fact.Append(value.Row{
+			value.Int(int64(i)),
+			value.Int(int64(testkit.Intn(rng, 400))),
+			value.Int(int64(testkit.Intn(rng, 100))),
+		})
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestObserveSumsShardPseudoCounts pins the posterior combination rule:
+// observing over all shards must reproduce the sum of the per-shard
+// observations, and observing a subset sums only that subset.
+func TestObserveSumsShardPseudoCounts(t *testing.T) {
+	db := partFactDB(t, 4000)
+	syns, err := sample.BuildAll(db, 400, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewBayesEstimator(syns, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := testkit.Expr("f_a < 30")
+	shards, ok := syns.Partitioned("fact")
+	if !ok {
+		t.Fatal("fact has no per-shard synopses")
+	}
+	wantK, wantN, wantPop := 0, 0, 0
+	for _, syn := range shards {
+		if syn == nil {
+			continue
+		}
+		kp, err := syn.Count(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantK += kp
+		wantN += syn.Size()
+		wantPop += syn.N
+	}
+	if wantPop != 4000 {
+		t.Fatalf("shard populations sum to %d", wantPop)
+	}
+	k, n, pop, err := e.Observe(Request{Tables: []string{"fact"}, Pred: pred, Partitions: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != wantK || n != wantN || pop != wantPop {
+		t.Fatalf("all-shard observe (%d,%d,%d), want (%d,%d,%d)", k, n, pop, wantK, wantN, wantPop)
+	}
+	// A subset sums only the listed shards.
+	k1, n1, pop1, err := e.Observe(Request{Tables: []string{"fact"}, Pred: pred, Partitions: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards[1] == nil {
+		t.Fatal("shard 1 unexpectedly empty")
+	}
+	k1want, _ := shards[1].Count(pred)
+	if k1 != k1want || n1 != shards[1].Size() || pop1 != shards[1].N {
+		t.Fatalf("single-shard observe (%d,%d,%d), want (%d,%d,%d)",
+			k1, n1, pop1, k1want, shards[1].Size(), shards[1].N)
+	}
+	// nil Partitions uses the global synopsis unchanged.
+	_, nGlobal, popGlobal, err := e.Observe(Request{Tables: []string{"fact"}, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popGlobal != 4000 || nGlobal != 400 {
+		t.Fatalf("global observe n=%d pop=%d", nGlobal, popGlobal)
+	}
+}
+
+// TestPruningTightensEstimate is the gating property from the issue: with
+// a predicate that constrains the partition key, the combined posterior's
+// T-quantile row estimate over the surviving shards must be <= the
+// unpruned (all-shard) estimate. Pruned shards cannot contribute matches
+// (the key predicate excludes them), so pruning removes only non-matching
+// samples: same k, smaller n and smaller population.
+func TestPruningTightensEstimate(t *testing.T) {
+	db := partFactDB(t, 4000)
+	syns, err := sample.BuildAll(db, 400, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threshold := range []ConfidenceThreshold{0.5, 0.8, 0.95} {
+		e, err := NewBayesEstimator(syns, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Equality on the partition key: only shard 1 can match.
+		pred := testkit.Expr("f_key = 150 AND f_a < 50")
+		pruned, err := e.Estimate(Request{Tables: []string{"fact"}, Pred: pred, Partitions: []int{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpruned, err := e.Estimate(Request{Tables: []string{"fact"}, Pred: pred, Partitions: []int{0, 1, 2, 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Rows > unpruned.Rows {
+			t.Errorf("T=%v: pruned estimate %.2f rows exceeds unpruned %.2f", threshold, pruned.Rows, unpruned.Rows)
+		}
+		// The posterior itself must reflect the reduced sample: fewer
+		// observations, same or fewer matches.
+		if pruned.Posterior.Alpha > unpruned.Posterior.Alpha {
+			t.Errorf("T=%v: pruned posterior alpha %.1f exceeds unpruned %.1f", threshold, pruned.Posterior.Alpha, unpruned.Posterior.Alpha)
+		}
+		if pruned.Posterior.Beta >= unpruned.Posterior.Beta {
+			t.Errorf("T=%v: pruning did not drop non-matching pseudo-counts (beta %.1f vs %.1f)",
+				threshold, pruned.Posterior.Beta, unpruned.Posterior.Beta)
+		}
+	}
+}
+
+// TestObserveFallsBackWithoutShardSynopses: naming partitions on a table
+// without per-shard synopses degrades to the global synopsis.
+func TestObserveFallsBackWithoutShardSynopses(t *testing.T) {
+	db := corrDB(t, 500, 10)
+	syns, err := sample.BuildAll(db, 200, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewBayesEstimator(syns, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := testkit.Expr("f_a < 10")
+	k1, n1, p1, err := e.Observe(Request{Tables: []string{"fact"}, Pred: pred, Partitions: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, n2, p2, err := e.Observe(Request{Tables: []string{"fact"}, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || n1 != n2 || p1 != p2 {
+		t.Fatalf("fallback observe (%d,%d,%d) != global (%d,%d,%d)", k1, n1, p1, k2, n2, p2)
+	}
+}

@@ -277,6 +277,9 @@ func ExplainAnalyze(root *Instrumented, opts AnalyzeOptions) string {
 				if est.Percentile > 0 {
 					fmt.Fprintf(&b, " T=%g%%", math.Round(est.Percentile*10000)/100)
 				}
+				if est.PartsTotal > 0 {
+					fmt.Fprintf(&b, " partitions: %d/%d", est.PartsScanned, est.PartsTotal)
+				}
 				wroteEst = true
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
 	"robustqo/internal/index"
+	"robustqo/internal/storage"
 	"robustqo/internal/value"
 )
 
@@ -66,19 +67,24 @@ func (s *SeqScan) runMaterialized(ctx *Context, counters *cost.Counters) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	counters.SeqPages += int64(t.NumPages())
-	counters.Tuples += int64(t.NumRows())
 	nCols := len(schema.Fields)
 	buf := make(value.Row, nCols)
 	var rows []value.Row
-	for r := 0; r < t.NumRows(); r++ {
-		t.ReadRow(r, buf)
-		ok, err := pred.Eval(buf)
-		if err != nil {
-			return nil, fmt.Errorf("engine: SeqScan(%s): %v", s.Table, err)
-		}
-		if ok {
-			rows = append(rows, buf.Clone())
+	// Walk the surviving shards' spans; the per-span first-tuple-in-window
+	// page charge sums to exactly NumPages when nothing is pruned.
+	const per = storage.TuplesPerPage
+	for _, sp := range scanSpans(t, s.Partitions) {
+		counters.SeqPages += int64((sp.hi+per-1)/per - (sp.lo+per-1)/per)
+		counters.Tuples += int64(sp.hi - sp.lo)
+		for r := sp.lo; r < sp.hi; r++ {
+			t.ReadRow(r, buf)
+			ok, err := pred.Eval(buf)
+			if err != nil {
+				return nil, fmt.Errorf("engine: SeqScan(%s): %v", s.Table, err)
+			}
+			if ok {
+				rows = append(rows, buf.Clone())
+			}
 		}
 	}
 	return &Result{Schema: schema, Rows: rows}, nil
@@ -100,6 +106,7 @@ func (s *IndexRangeScan) runMaterialized(ctx *Context, counters *cost.Counters) 
 	counters.IndexSeeks++
 	rids, scanned := ix.Range(s.Range.Lo, s.Range.Hi)
 	counters.IndexEntries += int64(scanned)
+	rids = pruneRids(t, s.Partitions, rids)
 	counters.RandPages += int64(len(rids))
 	counters.Tuples += int64(len(rids))
 	rows, err := fetchFiltered(t, schema, rids, pred)
@@ -133,7 +140,7 @@ func (s *IndexIntersect) runMaterialized(ctx *Context, counters *cost.Counters) 
 		counters.Tuples += int64(scanned) // intersection CPU
 		lists[i] = rids
 	}
-	rids := index.Intersect(lists...)
+	rids := pruneRids(t, s.Partitions, index.Intersect(lists...))
 	counters.RandPages += int64(len(rids))
 	counters.Tuples += int64(len(rids))
 	rows, err := fetchFiltered(t, schema, rids, pred)

@@ -114,18 +114,23 @@ func (s *SeqScan) openMorsels(ctx *Context, _ *cost.Counters, _ int) (morselRunn
 	if _, err := bindFilter(s.Filter, schema); err != nil {
 		return nil, err
 	}
-	return &seqMorselRunner{node: s, t: t, schema: schema}, nil
+	return &seqMorselRunner{
+		node: s, t: t, schema: schema,
+		morsels: spanMorsels(scanSpans(t, s.Partitions)),
+	}, nil
 }
 
 type seqMorselRunner struct {
 	node   *SeqScan
 	t      *storage.Table
 	schema expr.RelSchema
+	// morsels are the shard-major (shard, morsel) work units: ascending
+	// row-id windows, each inside one surviving shard. The Exchange's
+	// merge-by-morsel-index therefore reproduces global row-id order.
+	morsels []rowSpan
 }
 
-func (r *seqMorselRunner) numMorsels() int {
-	return (r.t.NumRows() + MorselSize - 1) / MorselSize
-}
+func (r *seqMorselRunner) numMorsels() int { return len(r.morsels) }
 
 func (r *seqMorselRunner) newWorker() (morselWorker, error) {
 	pred, err := bindFilter(r.node.Filter, r.schema)
@@ -149,8 +154,7 @@ type seqMorselWorker struct {
 //qo:hotpath
 func (w *seqMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row, error) {
 	t := w.r.t
-	lo := m * MorselSize
-	hi := min(lo+MorselSize, t.NumRows())
+	lo, hi := w.r.morsels[m].lo, w.r.morsels[m].hi
 	var rows []value.Row
 	var arena []value.Value
 	for next := lo; next < hi; {
@@ -206,6 +210,7 @@ func (s *IndexRangeScan) openMorsels(ctx *Context, counters *cost.Counters, _ in
 	counters.IndexSeeks++
 	rids, scanned := ix.Range(s.Range.Lo, s.Range.Hi)
 	counters.IndexEntries += int64(scanned)
+	rids = pruneRids(t, s.Partitions, rids)
 	return &ridMorselRunner{
 		t: t, schema: schema, residual: s.Residual, rids: rids,
 		errCtx: fmt.Sprintf("IndexRangeScan(%s)", s.Table),
@@ -238,7 +243,7 @@ func (s *IndexIntersect) openMorsels(ctx *Context, counters *cost.Counters, _ in
 		counters.Tuples += int64(scanned) // intersection CPU
 		lists[i] = rids
 	}
-	rids := index.Intersect(lists...)
+	rids := pruneRids(t, s.Partitions, index.Intersect(lists...))
 	return &ridMorselRunner{
 		t: t, schema: schema, residual: s.Residual, rids: rids,
 		errCtx: fmt.Sprintf("IndexIntersect(%s)", s.Table),

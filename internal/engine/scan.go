@@ -17,6 +17,10 @@ import (
 type SeqScan struct {
 	Table  string
 	Filter expr.Expr // nil means no filter
+	// Partitions, when non-nil, restricts the scan to the listed shards
+	// of a partitioned table (the optimizer's pruning pass sets it). nil
+	// scans everything; an empty list scans nothing.
+	Partitions []int
 }
 
 // Schema implements Node.
@@ -28,9 +32,9 @@ func (s *SeqScan) Schema(ctx *Context) (expr.RelSchema, error) {
 // Describe implements Node.
 func (s *SeqScan) Describe() string {
 	if s.Filter == nil {
-		return fmt.Sprintf("SeqScan(%s)", s.Table)
+		return fmt.Sprintf("SeqScan(%s%s)", s.Table, partsSuffix(s.Partitions))
 	}
-	return fmt.Sprintf("SeqScan(%s, filter=%s)", s.Table, s.Filter)
+	return fmt.Sprintf("SeqScan(%s, filter=%s%s)", s.Table, s.Filter, partsSuffix(s.Partitions))
 }
 
 // Execute implements Node.
@@ -49,6 +53,8 @@ type seqScanOp struct {
 	counters *cost.Counters
 	t        *storage.Table
 	pred     *expr.Bound
+	spans    []rowSpan
+	span     int
 	next     int
 	out      *Batch
 	sel      []int
@@ -64,18 +70,28 @@ func (o *seqScanOp) Open(ctx *Context, counters *cost.Counters) error {
 		return err
 	}
 	o.counters, o.t, o.pred = counters, t, pred
+	o.spans = scanSpans(t, o.node.Partitions)
 	o.out = getBatch(schema)
 	return nil
 }
 
-// Next loads the next row window column-wise and filters it in place.
+// Next loads the next row window column-wise and filters it in place,
+// walking the surviving shards' spans in global row-id order.
 //
 //qo:hotpath
 func (o *seqScanOp) Next() (*Batch, error) {
-	for o.next < o.t.NumRows() {
+	for o.span < len(o.spans) {
+		s := o.spans[o.span]
+		if o.next < s.lo {
+			o.next = s.lo
+		}
+		if o.next >= s.hi {
+			o.span++
+			continue
+		}
 		end := o.next + BatchSize
-		if end > o.t.NumRows() {
-			end = o.t.NumRows()
+		if end > s.hi {
+			end = s.hi
 		}
 		o.out.Reset()
 		// Column-wise load of the row window [next, end).
@@ -130,6 +146,9 @@ type IndexRangeScan struct {
 	Table    string
 	Range    KeyRange
 	Residual expr.Expr
+	// Partitions, when non-nil, drops RIDs of pruned shards before any
+	// row is fetched; the index seek itself stays global.
+	Partitions []int
 }
 
 // Schema implements Node.
@@ -144,7 +163,7 @@ func (s *IndexRangeScan) Describe() string {
 	if s.Residual != nil {
 		d += ", residual=" + s.Residual.String()
 	}
-	return d + ")"
+	return d + partsSuffix(s.Partitions) + ")"
 }
 
 // Execute implements Node.
@@ -178,6 +197,7 @@ func (o *indexRangeScanOp) Open(ctx *Context, counters *cost.Counters) error {
 	counters.IndexSeeks++
 	rids, scanned := ix.Range(o.node.Range.Lo, o.node.Range.Hi)
 	counters.IndexEntries += int64(scanned)
+	rids = pruneRids(t, o.node.Partitions, rids)
 	o.fetch.init(counters, t, schema, pred, rids, fmt.Sprintf("IndexRangeScan(%s)", o.node.Table))
 	return nil
 }
@@ -194,6 +214,9 @@ type IndexIntersect struct {
 	Table    string
 	Ranges   []KeyRange
 	Residual expr.Expr
+	// Partitions, when non-nil, drops RIDs of pruned shards after the
+	// intersection, before any row is fetched.
+	Partitions []int
 }
 
 // Schema implements Node.
@@ -212,7 +235,7 @@ func (s *IndexIntersect) Describe() string {
 	if s.Residual != nil {
 		d += ", residual=" + s.Residual.String()
 	}
-	return d + ")"
+	return d + partsSuffix(s.Partitions) + ")"
 }
 
 // Execute implements Node.
@@ -255,7 +278,7 @@ func (o *indexIntersectOp) Open(ctx *Context, counters *cost.Counters) error {
 		counters.Tuples += int64(scanned) // intersection CPU
 		lists[i] = rids
 	}
-	rids := index.Intersect(lists...)
+	rids := pruneRids(t, o.node.Partitions, index.Intersect(lists...))
 	o.fetch.init(counters, t, schema, pred, rids, fmt.Sprintf("IndexIntersect(%s)", o.node.Table))
 	return nil
 }

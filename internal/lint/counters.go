@@ -122,8 +122,12 @@ func localCounterVars(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
 
 // shippedLocals returns the per-worker counter variables the goroutine
 // literal ships to a merge point: mentioned in a channel send (typically
-// inside a report struct) or passed to an Add call (the mutex-guarded or
-// barrier merge shape).
+// inside a report struct), passed to an Add call (the mutex-guarded or
+// barrier merge shape), or assigned into an indexed slot of a slice or
+// array declared outside the goroutine — the scatter-gather per-shard
+// worker shape, where each worker publishes its counters into its own
+// shard slot and the coordinator folds the slots in shard order after
+// the join.
 func shippedLocals(pass *Pass, lit *ast.FuncLit, locals map[types.Object]bool) map[types.Object]bool {
 	shipped := map[types.Object]bool{}
 	mark := func(e ast.Expr) {
@@ -146,10 +150,58 @@ func shippedLocals(pass *Pass, lit *ast.FuncLit, locals map[types.Object]bool) m
 					mark(a)
 				}
 			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !isGatherSlot(pass, lit, lhs) {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					mark(n.Rhs[i])
+				} else if len(n.Rhs) == 1 {
+					mark(n.Rhs[0])
+				}
+			}
 		}
 		return true
 	})
 	return shipped
+}
+
+// isGatherSlot reports whether e is an index expression into a slice or
+// array that outlives the goroutine literal — a per-shard gather slot
+// the coordinator reads after the join barrier. Writes to such slots
+// are disjoint by construction (one worker per index), so assigning a
+// local counter set into one counts as shipping it to the merge.
+func isGatherSlot(pass *Pass, lit *ast.FuncLit, e ast.Expr) bool {
+	ie, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(ie.X)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return false
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(ie.X).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Declared inside the goroutine: a worker-local scratch slice, not a
+	// gather surface the coordinator can see.
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
 }
 
 // sharedMapRoot reports the root identifier of e when e indexes into a

@@ -1,0 +1,114 @@
+package counterthread
+
+import "cost"
+
+// Scatter-gather per-shard worker shapes: one worker per shard of a
+// partitioned table, each publishing its results and its counters into
+// its own shard slot of shared slices, merged in shard order after the
+// join barrier.
+
+// goodScatterGather is the blessed shape: each worker charges a private
+// counter set and publishes it by assigning its shard's slot of the
+// gather slice; the coordinator folds the slots in shard order after
+// the workers are joined.
+func goodScatterGather(ctx *Context, shards []Node, counters *cost.Counters) {
+	results := make([]*Result, len(shards))
+	slots := make([]cost.Counters, len(shards))
+	done := make(chan struct{}, len(shards))
+	for s := range shards {
+		go func(s int) {
+			var wc cost.Counters
+			res, err := shards[s].Execute(ctx, &wc)
+			if err == nil {
+				results[s] = res // disjoint slice slot: sanctioned
+			}
+			slots[s] = wc // counters published into the shard's gather slot
+			done <- struct{}{}
+		}(s)
+	}
+	for range shards {
+		<-done
+	}
+	// Deterministic merge: shard order, not completion order.
+	for s := range shards {
+		counters.Add(slots[s])
+	}
+}
+
+// goodScatterGatherField publishes through a coordinator struct's slot
+// slice instead of a local one — the operator-shaped variant.
+type gatherOp struct {
+	shards []Node
+	slots  []cost.Counters
+}
+
+func (g *gatherOp) run(ctx *Context, counters *cost.Counters) {
+	done := make(chan struct{}, len(g.shards))
+	for s := range g.shards {
+		go func(s int) {
+			var wc cost.Counters
+			_, _ = g.shards[s].Execute(ctx, &wc)
+			g.slots[s] = wc
+			done <- struct{}{}
+		}(s)
+	}
+	for range g.shards {
+		<-done
+	}
+	for s := range g.slots {
+		counters.Add(g.slots[s])
+	}
+}
+
+// badScatterLocalSlice gathers into a slice declared inside the worker:
+// the coordinator can never see it, so the shard's work is dropped.
+func badScatterLocalSlice(ctx *Context, shards []Node, counters *cost.Counters) {
+	done := make(chan struct{}, len(shards))
+	for s := range shards {
+		go func(s int) {
+			scratch := make([]cost.Counters, 1)
+			var wc cost.Counters
+			_, _ = shards[s].Execute(ctx, &wc) // want "never merged"
+			scratch[0] = wc                    // worker-local slice: not a gather surface
+			done <- struct{}{}
+		}(s)
+	}
+	for range shards {
+		<-done
+	}
+}
+
+// badScatterSharedPointer hands every worker a pointer into the shared
+// slot slice instead of a goroutine-local counter set: the discipline
+// requires locals so the merge stays explicit and ordered.
+func badScatterSharedPointer(ctx *Context, shards []Node, counters *cost.Counters) {
+	slots := make([]cost.Counters, len(shards))
+	done := make(chan struct{}, len(shards))
+	for s := range shards {
+		go func(s int) {
+			_, _ = shards[s].Execute(ctx, &slots[s]) // want "not a merged per-worker counter set"
+			done <- struct{}{}
+		}(s)
+	}
+	for range shards {
+		<-done
+	}
+	for s := range slots {
+		counters.Add(slots[s])
+	}
+}
+
+// badScatterSharedCounters passes the coordinator's own counters into a
+// shard worker: all workers race on the same int64 fields.
+func badScatterSharedCounters(ctx *Context, shards []Node, counters *cost.Counters) {
+	done := make(chan struct{}, len(shards))
+	for s := range shards {
+		go func(s int) {
+			_, _ = shards[s].Execute(ctx, counters) // want "passed into a goroutine"
+			done <- struct{}{}
+		}(s)
+	}
+	for range shards {
+		<-done
+	}
+}

@@ -1,0 +1,65 @@
+// Scatter-gather per-shard worker shapes for the goroutinejoin
+// analyzer: one worker per shard, results gathered into shard slots,
+// workers joined before the gather is read.
+package engine
+
+import "sync"
+
+// okScatterGatherWaitGroup is the blessed shape: per-shard workers
+// write disjoint gather slots and the coordinator Waits on the group
+// every worker Dones before reading any slot.
+func okScatterGatherWaitGroup(shards int) []int {
+	slots := make([]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			slots[s] = s * s
+		}(s)
+	}
+	wg.Wait()
+	return slots
+}
+
+// okScatterGatherCounted joins through a counted done-channel receive
+// instead of a WaitGroup.
+func okScatterGatherCounted(shards int) []int {
+	slots := make([]int, shards)
+	done := make(chan struct{}, shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			slots[s] = s + 1
+			done <- struct{}{}
+		}(s)
+	}
+	for s := 0; s < shards; s++ {
+		<-done
+	}
+	return slots
+}
+
+// leakScatterNoJoin writes gather slots but never joins the workers:
+// the coordinator can read the slots before the writes land, and the
+// goroutines outlive the operator.
+func leakScatterNoJoin(shards int) []int {
+	slots := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) { // want "no reachable join"
+			slots[s] = s
+		}(s)
+	}
+	return slots
+}
+
+// leakScatterAbandonedGroup Adds and Dones a WaitGroup nobody Waits on.
+func leakScatterAbandonedGroup(shards int) {
+	var grp sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		grp.Add(1)
+		go func() { // want "no reachable join"
+			defer grp.Done()
+			work()
+		}()
+	}
+}

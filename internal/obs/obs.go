@@ -26,6 +26,13 @@ type EstimateSnapshot struct {
 	Rows       float64
 	Percentile float64
 	Estimator  string
+
+	// PartsScanned/PartsTotal describe partition pruning for scans of
+	// partitioned tables: the optimizer planned to read PartsScanned of
+	// the table's PartsTotal shards. Zero PartsTotal means the scan's
+	// table is unpartitioned (or the node is not a scan).
+	PartsScanned int
+	PartsTotal   int
 }
 
 // OpStats accumulates actual execution feedback for one operator in an

@@ -92,17 +92,34 @@ func (c candidate) orderedBy(ref expr.ColumnRef) bool {
 	return false
 }
 
+// selEntry memoizes one estimator answer: the clamped selectivity plus
+// the estimator's own row figure when it reported one. The row figure
+// matters under partition pruning — the estimator knows which population
+// its selectivity is a fraction of (the surviving shards' when it
+// observed per-shard synopses, the whole table when it fell back), so
+// rowsOf must not re-scale the selectivity by a population of its own
+// choosing.
+type selEntry struct {
+	sel     float64
+	rows    float64
+	hasRows bool
+}
+
 // planner carries per-query optimization state.
 type planner struct {
 	opt      *Optimizer
 	a        *analysis
-	selCache map[string]float64
+	selCache map[string]selEntry
 	rowCache map[uint32]float64
 	// estimates remembers, per constructed plan node, the cardinality the
 	// optimizer believed when it built that node; snap is the template
 	// (estimator name, confidence percentile) each record starts from.
 	estimates map[engine.Node]obs.EstimateSnapshot
 	snap      obs.EstimateSnapshot
+	// parts is the partition-pruning verdict per query table index,
+	// filled by computePruning before access-path seeding; tables absent
+	// from the map are unpartitioned.
+	parts map[int]*tableParts
 }
 
 // record captures the optimizer's cardinality belief for a plan node.
@@ -124,7 +141,7 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 	}
 	p := &planner{
 		opt: o, a: a,
-		selCache:  make(map[string]float64),
+		selCache:  make(map[string]selEntry),
 		rowCache:  make(map[uint32]float64),
 		estimates: make(map[engine.Node]obs.EstimateSnapshot),
 		snap:      obs.EstimateSnapshot{Estimator: o.Est.Name()},
@@ -134,6 +151,7 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 			p.snap.Percentile = t
 		}
 	}
+	p.computePruning()
 	best := make(map[uint32][]candidate)
 	if err := p.seedAccessPaths(best); err != nil {
 		return nil, err
@@ -336,8 +354,14 @@ func orderKey(ordered []expr.ColumnRef) string {
 // selOf estimates the selectivity of pred over the FK join of the masked
 // tables, memoized.
 func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
+	e, err := p.estOf(mask, pred)
+	return e.sel, err
+}
+
+// estOf is the memoized estimator call behind selOf and rowsOf.
+func (p *planner) estOf(mask uint32, pred expr.Expr) (selEntry, error) {
 	key := fmt.Sprintf("%d|%v", mask, pred)
-	if s, ok := p.selCache[key]; ok {
+	if e, ok := p.selCache[key]; ok {
 		// Hits are metric increments only — no span — so traces stay
 		// proportional to distinct estimates, not enumeration steps.
 		// Names stay literal at the call site so qolint's metricname
@@ -346,7 +370,7 @@ func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
 		if p.opt.Metrics != nil {
 			p.opt.Metrics.Counter("robustqo_estimate_cache_hits_total").Inc()
 		}
-		return s, nil
+		return e, nil
 	}
 	if p.opt.Metrics != nil {
 		p.opt.Metrics.Counter("robustqo_estimate_cache_misses_total").Inc()
@@ -357,9 +381,17 @@ func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
 	if pred != nil {
 		sp.SetAttr("pred", fmt.Sprint(pred))
 	}
-	est, err := p.opt.Est.Estimate(core.Request{Tables: p.a.tablesOf(mask), Pred: pred})
+	// Pruning tightens the observation before the quantile is taken: the
+	// estimator sums pseudo-counts over the surviving shards only. The
+	// shard list is a function of the mask's root (fixed per query), so
+	// the cache key needs no extension.
+	est, err := p.opt.Est.Estimate(core.Request{
+		Tables:     p.a.tablesOf(mask),
+		Pred:       pred,
+		Partitions: p.partsForMask(mask),
+	})
 	if err != nil {
-		return 0, err
+		return selEntry{}, err
 	}
 	s := est.Selectivity
 	if math.IsNaN(s) || s < 0 {
@@ -368,8 +400,15 @@ func (p *planner) selOf(mask uint32, pred expr.Expr) (float64, error) {
 	if s > 1 {
 		s = 1
 	}
-	p.selCache[key] = s
-	return s, nil
+	e := selEntry{sel: s, rows: est.Rows}
+	if math.IsNaN(e.rows) || e.rows < 0 {
+		e.rows = 0
+	}
+	// Rows == 0 with a positive selectivity means the estimator left the
+	// scaling to the caller (the Independent baseline without RowsFor).
+	e.hasRows = e.rows != 0 || e.sel == 0
+	p.selCache[key] = e
+	return e, nil
 }
 
 // rowsOf estimates the result cardinality of the masked subexpression with
@@ -388,11 +427,19 @@ func (p *planner) rowsOf(mask uint32) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("optimizer: unknown table %q", root)
 	}
-	sel, err := p.selOf(mask, p.a.predFor(mask))
+	e, err := p.estOf(mask, p.a.predFor(mask))
 	if err != nil {
 		return 0, err
 	}
-	r := sel * float64(rootTab.NumRows())
+	// Prefer the estimator's own row figure: under partition pruning its
+	// selectivity is a fraction of the surviving shards' population, not
+	// of the whole root table, and only the estimator knows which basis
+	// it used (it falls back to the global synopsis when per-shard ones
+	// are missing).
+	r := e.rows
+	if !e.hasRows {
+		r = e.sel * float64(rootTab.NumRows())
+	}
 	p.rowCache[mask] = r
 	return r, nil
 }

@@ -6,7 +6,21 @@ import (
 	"robustqo/internal/core"
 	"robustqo/internal/engine"
 	"robustqo/internal/obs"
+	"robustqo/internal/storage"
 )
+
+// scanRowsExact is the exact row count a sequential scan will read: the
+// whole table, or the surviving shards after partition pruning.
+func scanRowsExact(tab *storage.Table, parts []int) int {
+	if parts == nil {
+		return tab.NumRows()
+	}
+	n := 0
+	for _, p := range parts {
+		n += tab.PartitionRows(p)
+	}
+	return n
+}
 
 // DefaultParallelCutoff is the cardinality below which a scan stays
 // serial. Fan-out has a fixed price — worker binding, channel traffic,
@@ -67,7 +81,7 @@ func (p *planner) parallelize(n engine.Node) engine.Node {
 			t.Dims[i].Scan = p.parallelize(t.Dims[i].Scan)
 		}
 	case *engine.SeqScan:
-		if tab, ok := p.opt.Ctx.DB.Table(t.Table); ok && tab.NumRows() >= DefaultParallelCutoff {
+		if tab, ok := p.opt.Ctx.DB.Table(t.Table); ok && scanRowsExact(tab, t.Partitions) >= DefaultParallelCutoff {
 			return p.wrapExchange(n)
 		}
 	case *engine.IndexRangeScan:
@@ -91,7 +105,7 @@ func (p *planner) probeChainEligible(n engine.Node) bool {
 	switch t := n.(type) {
 	case *engine.SeqScan:
 		tab, ok := p.opt.Ctx.DB.Table(t.Table)
-		return ok && tab.NumRows() >= DefaultParallelCutoff
+		return ok && scanRowsExact(tab, t.Partitions) >= DefaultParallelCutoff
 	case *engine.IndexRangeScan, *engine.IndexIntersect:
 		est, ok := p.estimates[n]
 		return ok && est.Rows >= DefaultParallelCutoff

@@ -13,7 +13,9 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 	tName := p.a.tables[i]
 	schema, _ := p.opt.Ctx.DB.Catalog.Table(tName)
 	m := p.opt.Ctx.Model
-	rows, pages, err := p.tableRowsPages(i)
+	// Physical stats after partition pruning: the scan only touches the
+	// surviving shards' rows and pages, and is costed accordingly.
+	rows, pages, err := p.prunedRowsPages(i)
 	if err != nil {
 		return nil, err
 	}
@@ -34,12 +36,12 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 
 	fullPred := p.a.predOnly(i)
 	cands := []candidate{{
-		node:    &engine.SeqScan{Table: tName, Filter: fullPred},
+		node:    &engine.SeqScan{Table: tName, Filter: fullPred, Partitions: p.scanParts(i)},
 		cost:    pages*m.SeqPage + rows*m.Tuple,
 		rows:    outRows,
 		ordered: ordered,
 	}}
-	p.record(cands[0].node, outRows)
+	p.recordScan(cands[0].node, outRows, i)
 
 	// Collect sargable ranges per indexed column, remembering which
 	// conjuncts each range consumed.
@@ -110,15 +112,16 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 		}
 		cands = append(cands, candidate{
 			node: &engine.IndexRangeScan{
-				Table:    tName,
-				Range:    s.rng,
-				Residual: residualExcept(consumed),
+				Table:      tName,
+				Range:      s.rng,
+				Residual:   residualExcept(consumed),
+				Partitions: p.scanParts(i),
 			},
 			cost:    m.IndexSeek + entries*(m.IndexEntry+m.RandPage+m.Tuple),
 			rows:    outRows,
 			ordered: ordered, // RID-ordered fetch preserves heap order
 		})
-		p.record(cands[len(cands)-1].node, outRows)
+		p.recordScan(cands[len(cands)-1].node, outRows, i)
 	}
 
 	// Index intersection over all sargable columns.
@@ -150,15 +153,16 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 		costSum += rows * joint * (m.RandPage + m.Tuple)
 		cands = append(cands, candidate{
 			node: &engine.IndexIntersect{
-				Table:    tName,
-				Ranges:   ranges,
-				Residual: residualExcept(consumed),
+				Table:      tName,
+				Ranges:     ranges,
+				Residual:   residualExcept(consumed),
+				Partitions: p.scanParts(i),
 			},
 			cost:    costSum,
 			rows:    outRows,
 			ordered: ordered,
 		})
-		p.record(cands[len(cands)-1].node, outRows)
+		p.recordScan(cands[len(cands)-1].node, outRows, i)
 	}
 	return cands, nil
 }
@@ -221,11 +225,15 @@ func (p *planner) joinCandidates(rest uint32, i int, best map[uint32][]candidate
 					nonCross = append(nonCross, c.pred)
 				}
 			}
-			if jo, err := p.selOf(mask, expr.Conj(nonCross...)); err == nil {
-				root, rootErr := p.opt.Ctx.DB.Catalog.RootOf(p.a.tablesOf(mask))
-				if rootErr == nil {
-					if rt, ok := p.opt.Ctx.DB.Table(root); ok {
-						joinOut = jo * float64(rt.NumRows())
+			if jo, err := p.estOf(mask, expr.Conj(nonCross...)); err == nil {
+				if jo.hasRows {
+					joinOut = jo.rows
+				} else {
+					root, rootErr := p.opt.Ctx.DB.Catalog.RootOf(p.a.tablesOf(mask))
+					if rootErr == nil {
+						if rt, ok := p.opt.Ctx.DB.Table(root); ok {
+							joinOut = jo.sel * float64(rt.NumRows())
+						}
 					}
 				}
 			}

@@ -1,0 +1,153 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"robustqo/internal/engine"
+	"robustqo/internal/storage"
+)
+
+// Partition pruning is a planner pre-pass, not a plan rewrite: before any
+// access path is costed, the single-table conjuncts on each partitioned
+// table's partition key are intersected into one closed interval and
+// resolved to the set of shards that can hold matching rows. Everything
+// downstream consumes the result — the estimator observes only the
+// surviving shards' synopses (pruning happens before the posterior's
+// T-quantile is taken, so the pruned estimate is never looser than the
+// unpruned one), scan costs charge only the surviving shards' pages, and
+// the scan nodes carry the shard list into execution.
+
+// tableParts is the pruning verdict for one partitioned query table.
+type tableParts struct {
+	parts  []int // surviving shards, ascending; may be empty (contradiction)
+	total  int   // the table's shard count
+	strict bool  // parts is a strict subset of the shards
+}
+
+// computePruning fills p.parts for every partitioned query table. Tables
+// without a usable constraint on their partition key keep an explicit
+// all-shards entry, so estimates and EXPLAIN ANALYZE still report the
+// shard arithmetic ("partitions: n/n") even when nothing was eliminated.
+func (p *planner) computePruning() {
+	for i, name := range p.a.tables {
+		t, ok := p.opt.Ctx.DB.Table(name)
+		if !ok || t.Partitions() <= 1 {
+			continue
+		}
+		spec := t.PartitionSpec()
+		const (
+			minKey = math.MinInt64 / 4
+			maxKey = math.MaxInt64 / 4
+		)
+		lo, hi := int64(minKey), int64(maxKey)
+		found := false
+		bit := uint32(1) << uint(i)
+		for _, c := range p.a.conjuncts {
+			if c.mask != bit {
+				continue
+			}
+			ref, l, h, ok := intRangeFromConjunct(c.pred)
+			if !ok || ref.Column != spec.Column {
+				continue
+			}
+			if ref.Table != "" && ref.Table != name {
+				continue
+			}
+			if l > lo {
+				lo = l
+			}
+			if h < hi {
+				hi = h
+			}
+			found = true
+		}
+		tp := &tableParts{total: t.Partitions()}
+		shards, pruned := []int(nil), false
+		if found {
+			shards, pruned = t.PrunePartitions(spec.Column, lo, hi)
+		}
+		if pruned {
+			tp.parts = shards
+			tp.strict = len(shards) < tp.total
+		} else {
+			tp.parts = make([]int, tp.total)
+			for s := range tp.parts {
+				tp.parts[s] = s
+			}
+		}
+		if p.parts == nil {
+			p.parts = make(map[int]*tableParts)
+		}
+		p.parts[i] = tp
+	}
+}
+
+// partsForMask returns the surviving-shard list the estimator should
+// observe for the masked subexpression, or nil when no partitioned table
+// roots it. Synopses are rooted at the FK root, so only the root table's
+// pruning applies; core.Observe falls back to the global synopsis when
+// per-shard synopses are missing, which keeps a nil-tolerant contract.
+func (p *planner) partsForMask(mask uint32) []int {
+	if len(p.parts) == 0 {
+		return nil
+	}
+	root, err := p.opt.Ctx.DB.Catalog.RootOf(p.a.tablesOf(mask))
+	if err != nil {
+		return nil
+	}
+	for i, name := range p.a.tables {
+		if name == root {
+			if tp, ok := p.parts[i]; ok {
+				return tp.parts
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// prunedRowsPages returns the physical rows and pages a scan of table i
+// touches after partition pruning — the whole table when no pruning
+// applies. Pages use the same first-tuple-in-window charge the engine
+// applies per shard span, so the cost model prices exactly what the
+// executed scan will be charged.
+func (p *planner) prunedRowsPages(i int) (rows, pages float64, err error) {
+	tp := p.parts[i]
+	if tp == nil || !tp.strict {
+		return p.tableRowsPages(i)
+	}
+	t, ok := p.opt.Ctx.DB.Table(p.a.tables[i])
+	if !ok {
+		return 0, 0, fmt.Errorf("optimizer: unknown table %q", p.a.tables[i])
+	}
+	const per = storage.TuplesPerPage
+	for _, s := range tp.parts {
+		lo, hi := t.PartitionSpan(s)
+		rows += float64(hi - lo)
+		pages += float64((hi+per-1)/per - (lo+per-1)/per)
+	}
+	return rows, pages, nil
+}
+
+// scanParts returns the shard list to stamp on a scan node of table i:
+// non-nil only when pruning eliminated at least one shard, so unpruned
+// plans keep their exact pre-partitioning shape.
+func (p *planner) scanParts(i int) []int {
+	if tp := p.parts[i]; tp != nil && tp.strict {
+		return tp.parts
+	}
+	return nil
+}
+
+// recordScan is record plus the partition arithmetic for scans of
+// partitioned tables, surfaced in EXPLAIN ANALYZE as "partitions: k/n".
+func (p *planner) recordScan(n engine.Node, rows float64, i int) {
+	s := p.snap
+	s.Rows = rows
+	if tp := p.parts[i]; tp != nil {
+		s.PartsScanned = len(tp.parts)
+		s.PartsTotal = tp.total
+	}
+	p.estimates[n] = s
+}

@@ -58,27 +58,33 @@ func (s *Synopsis) Count(pred expr.Expr) (int, error) {
 // BuildTableSample draws a uniform with-replacement sample of n rows from
 // the table, with no foreign-key expansion.
 func BuildTableSample(t *storage.Table, n int, rng *stats.RNG) (*Synopsis, error) {
+	return buildTableSampleSpan(t, n, rng, 0, t.NumRows())
+}
+
+// buildTableSampleSpan samples uniformly within the global row-id span
+// [lo, hi) — a single shard of a partitioned table, or the whole table.
+func buildTableSampleSpan(t *storage.Table, n int, rng *stats.RNG, lo, hi int) (*Synopsis, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sample: sample size %d must be positive", n)
 	}
-	if t.NumRows() == 0 {
+	if hi <= lo {
 		return nil, fmt.Errorf("sample: table %q is empty", t.Name())
 	}
 	schema := expr.SchemaForTable(t.Schema())
 	rows := make([]value.Row, n)
 	for i := range rows {
-		rid, err := rng.Intn(t.NumRows())
+		rid, err := rng.Intn(hi - lo)
 		if err != nil {
 			return nil, err
 		}
-		rows[i] = t.Row(rid)
+		rows[i] = t.Row(lo + rid)
 	}
 	return &Synopsis{
 		Root:   t.Name(),
 		Tables: []string{t.Name()},
 		Schema: schema,
 		Rows:   rows,
-		N:      t.NumRows(),
+		N:      hi - lo,
 	}, nil
 }
 
@@ -91,14 +97,25 @@ func BuildTableSample(t *storage.Table, n int, rng *stats.RNG) (*Synopsis, error
 // referential integrity is required for the synopsis rows to be a uniform
 // sample of the full join (the paper's correctness argument).
 func BuildSynopsis(db *storage.Database, root string, n int, rng *stats.RNG) (*Synopsis, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("sample: sample size %d must be positive", n)
-	}
 	rootTab, ok := db.Table(root)
 	if !ok {
 		return nil, fmt.Errorf("sample: unknown table %q", root)
 	}
-	if rootTab.NumRows() == 0 {
+	return buildSynopsisSpan(db, root, n, rng, 0, rootTab.NumRows())
+}
+
+// buildSynopsisSpan builds a join synopsis whose root sample is drawn
+// uniformly from the global row-id span [lo, hi) — one shard of a
+// partitioned root, or the whole table. Foreign-key expansion always runs
+// against the referenced tables in full; only the root is stratified.
+func buildSynopsisSpan(db *storage.Database, root string, n int, rng *stats.RNG, lo, hi int) (*Synopsis, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sample: sample size %d must be positive", n)
+	}
+	if _, ok := db.Table(root); !ok {
+		return nil, fmt.Errorf("sample: unknown table %q", root)
+	}
+	if hi <= lo {
 		return nil, fmt.Errorf("sample: table %q is empty", root)
 	}
 	// Plan the expansion: depth-first over foreign keys, recording the
@@ -157,11 +174,11 @@ func BuildSynopsis(db *storage.Database, root string, n int, rng *stats.RNG) (*S
 			}
 			return nil
 		}
-		rid, err := rng.Intn(rootTab.NumRows())
+		rid, err := rng.Intn(hi - lo)
 		if err != nil {
 			return nil, err
 		}
-		if err := expand(root, rid); err != nil {
+		if err := expand(root, lo+rid); err != nil {
 			return nil, err
 		}
 		rows[i] = row
@@ -171,8 +188,53 @@ func BuildSynopsis(db *storage.Database, root string, n int, rng *stats.RNG) (*S
 		Tables: tables,
 		Schema: schema,
 		Rows:   rows,
-		N:      rootTab.NumRows(),
+		N:      hi - lo,
 	}, nil
+}
+
+// BuildPartitionSynopses builds one FK-expanded synopsis per shard of a
+// partitioned table — stratified sampling with proportional allocation:
+// shard p receives n*N_p/N of the n sample tuples (at least 1 when the
+// shard is non-empty), so summing per-shard match counts behaves like one
+// uniform sample of the union and the per-shard Beta pseudo-counts can be
+// added directly (the posterior combination rule in package core). Empty
+// shards get a nil entry. Roots whose FK closure contains a diamond fall
+// back to plain per-shard table samples, mirroring BuildAll.
+func BuildPartitionSynopses(db *storage.Database, root string, n int, rng *stats.RNG) ([]*Synopsis, error) {
+	t, ok := db.Table(root)
+	if !ok {
+		return nil, fmt.Errorf("sample: unknown table %q", root)
+	}
+	if t.Partitions() < 2 {
+		return nil, fmt.Errorf("sample: table %q is not partitioned", root)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sample: sample size %d must be positive", n)
+	}
+	total := t.NumRows()
+	if total == 0 {
+		return nil, fmt.Errorf("sample: table %q is empty", root)
+	}
+	syns := make([]*Synopsis, t.Partitions())
+	for p := range syns {
+		lo, hi := t.PartitionSpan(p)
+		if hi <= lo {
+			continue
+		}
+		np := n * (hi - lo) / total
+		if np < 1 {
+			np = 1
+		}
+		syn, err := buildSynopsisSpan(db, root, np, rng.Split(), lo, hi)
+		if err != nil {
+			syn, err = buildTableSampleSpan(t, np, rng.Split(), lo, hi)
+			if err != nil {
+				return nil, err
+			}
+		}
+		syns[p] = syn
+	}
+	return syns, nil
 }
 
 // Reservoir draws a uniform without-replacement sample of up to n row ids
@@ -201,10 +263,15 @@ func Reservoir(total, n int, rng *stats.RNG) []int {
 }
 
 // Set holds one join synopsis per table of a database — the full
-// precomputed statistics the robust estimator runs on.
+// precomputed statistics the robust estimator runs on. Partitioned tables
+// additionally carry one synopsis per shard so the estimator can combine
+// per-shard posteriors over whichever shards survive pruning.
 type Set struct {
 	cat      *catalog.Catalog
 	synopses map[string]*Synopsis
+	// partitioned maps a partitioned root table to its per-shard
+	// synopses, indexed by shard; empty shards hold nil.
+	partitioned map[string][]*Synopsis
 }
 
 // BuildAll constructs an n-tuple join synopsis for every table. For
@@ -218,7 +285,11 @@ func BuildAll(db *storage.Database, n int, rng *stats.RNG) (*Set, error) {
 	if err := db.Catalog.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Set{cat: db.Catalog, synopses: make(map[string]*Synopsis)}
+	s := &Set{
+		cat:         db.Catalog,
+		synopses:    make(map[string]*Synopsis),
+		partitioned: make(map[string][]*Synopsis),
+	}
 	for _, name := range db.Catalog.TableNames() {
 		t, ok := db.Table(name)
 		if !ok || t.NumRows() == 0 {
@@ -232,6 +303,13 @@ func BuildAll(db *storage.Database, n int, rng *stats.RNG) (*Set, error) {
 			}
 		}
 		s.synopses[name] = syn
+		if t.Partitions() > 1 {
+			shards, err := BuildPartitionSynopses(db, name, n, rng.Split())
+			if err != nil {
+				return nil, err
+			}
+			s.partitioned[name] = shards
+		}
 	}
 	return s, nil
 }
@@ -244,6 +322,52 @@ func (s *Set) Synopsis(table string) (*Synopsis, bool) {
 
 // Add registers (or replaces) a synopsis, keyed by its root.
 func (s *Set) Add(syn *Synopsis) { s.synopses[syn.Root] = syn }
+
+// AddPartitioned registers (or replaces) the per-shard synopses of a
+// partitioned root table, indexed by shard (nil entries for empty shards).
+func (s *Set) AddPartitioned(root string, shards []*Synopsis) {
+	if s.partitioned == nil {
+		s.partitioned = make(map[string][]*Synopsis)
+	}
+	s.partitioned[root] = shards
+}
+
+// Partitioned returns the per-shard synopses of a partitioned root table.
+func (s *Set) Partitioned(root string) ([]*Synopsis, bool) {
+	shards, ok := s.partitioned[root]
+	return shards, ok
+}
+
+// ForShards returns the per-shard synopses appropriate for an SPJ
+// expression over the given tables, rooted (like For) at the table whose
+// primary key is not joined away. ok is false when the root is not
+// partitioned or a shard synopsis does not cover every requested table —
+// callers then fall back to the global synopsis.
+func (s *Set) ForShards(tables []string) ([]*Synopsis, bool) {
+	root, err := s.cat.RootOf(tables)
+	if err != nil {
+		return nil, false
+	}
+	shards, ok := s.partitioned[root]
+	if !ok {
+		return nil, false
+	}
+	for _, syn := range shards {
+		if syn == nil {
+			continue
+		}
+		covered := make(map[string]bool, len(syn.Tables))
+		for _, t := range syn.Tables {
+			covered[t] = true
+		}
+		for _, t := range tables {
+			if !covered[t] {
+				return nil, false
+			}
+		}
+	}
+	return shards, true
+}
 
 // Catalog returns the catalog the set was built against.
 func (s *Set) Catalog() *catalog.Catalog { return s.cat }

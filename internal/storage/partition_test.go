@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"robustqo/internal/catalog"
+	"robustqo/internal/value"
+)
+
+func rangeSchema(parts int, bounds []int64) *catalog.TableSchema {
+	return &catalog.TableSchema{
+		Name: "pt",
+		Columns: []catalog.Column{
+			{Name: "id", Type: catalog.Int},
+			{Name: "k", Type: catalog.Int},
+			{Name: "x", Type: catalog.Float},
+			{Name: "s", Type: catalog.String},
+		},
+		PrimaryKey: "id",
+		Partition:  &catalog.PartitionSpec{Column: "k", Kind: catalog.RangePartition, Partitions: parts, Bounds: bounds},
+	}
+}
+
+func hashSchema(parts int) *catalog.TableSchema {
+	s := rangeSchema(parts, nil)
+	s.Partition.Kind = catalog.HashPartition
+	return s
+}
+
+func fillRandom(t *testing.T, tab *Table, n int, seed int64) []value.Row {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, 0, n)
+	for i := 0; i < n; i++ {
+		r := value.Row{
+			value.Int(int64(i)),
+			value.Int(int64(rng.Intn(1000))),
+			value.Float(rng.Float64()),
+			value.Str(strings.Repeat("x", 1+rng.Intn(3))),
+		}
+		if err := tab.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// TestPartitionRoutingRange pins the range routing rule: shard 0 below the
+// first bound, shard i in [Bounds[i-1], Bounds[i]), last shard unbounded.
+func TestPartitionRoutingRange(t *testing.T) {
+	tab, err := NewTable(rangeSchema(3, []int64{100, 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {99, 0}, {100, 1}, {150, 1}, {199, 1}, {200, 2}, {1 << 40, 2},
+	}
+	for _, c := range cases {
+		if got, ok := tab.ShardOfKey(c.key); !ok || got != c.want {
+			t.Errorf("ShardOfKey(%d) = %d, %v; want %d, true", c.key, got, ok, c.want)
+		}
+	}
+}
+
+// TestPartitionMajorRowIDs checks that global row ids are partition-major:
+// each shard owns one contiguous span, spans tile [0, NumRows), and every
+// row read back through the global api carries a key its shard owns.
+func TestPartitionMajorRowIDs(t *testing.T) {
+	for _, mk := range []func() *catalog.TableSchema{
+		func() *catalog.TableSchema { return rangeSchema(4, []int64{250, 500, 750}) },
+		func() *catalog.TableSchema { return hashSchema(4) },
+	} {
+		schema := mk()
+		tab, err := NewTable(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRandom(t, tab, 1000, 7)
+		if tab.Partitions() != 4 {
+			t.Fatalf("Partitions() = %d", tab.Partitions())
+		}
+		next := 0
+		total := 0
+		for p := 0; p < 4; p++ {
+			lo, hi := tab.PartitionSpan(p)
+			if lo != next {
+				t.Fatalf("%s shard %d span starts at %d, want %d", schema.Partition.Kind, p, lo, next)
+			}
+			if hi-lo != tab.PartitionRows(p) {
+				t.Fatalf("shard %d span width %d != PartitionRows %d", p, hi-lo, tab.PartitionRows(p))
+			}
+			for r := lo; r < hi; r++ {
+				key := tab.Value(r, 1).I
+				if got, _ := tab.ShardOfKey(key); got != p {
+					t.Fatalf("row %d key %d read from shard %d but routes to %d", r, key, p, got)
+				}
+			}
+			next = hi
+			total += hi - lo
+		}
+		if total != tab.NumRows() {
+			t.Fatalf("spans cover %d rows, table has %d", total, tab.NumRows())
+		}
+	}
+}
+
+// TestPartitionedReadAPI checks Value/ReadRow/Row/Ints/Floats/Strings agree
+// with each other on a partitioned table, and that every appended row is
+// present exactly once.
+func TestPartitionedReadAPI(t *testing.T) {
+	tab, err := NewTable(hashSchema(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fillRandom(t, tab, 500, 11)
+	if tab.NumRows() != len(rows) {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	ints, floats, strs := tab.Ints(1), tab.Floats(2), tab.Strings(3)
+	if len(ints) != 500 || len(floats) != 500 || len(strs) != 500 {
+		t.Fatalf("concat lengths %d/%d/%d", len(ints), len(floats), len(strs))
+	}
+	seen := make(map[int64]bool)
+	for r := 0; r < tab.NumRows(); r++ {
+		row := tab.Row(r)
+		id := row[0].I
+		if seen[id] {
+			t.Fatalf("row id %d appears twice", id)
+		}
+		seen[id] = true
+		want := rows[id]
+		for c := range want {
+			if row[c] != want[c] {
+				t.Fatalf("row %d col %d = %v, want %v", r, c, row[c], want[c])
+			}
+		}
+		if ints[r] != row[1].I || floats[r] != row[2].F || strs[r] != row[3].S {
+			t.Fatalf("raw slices disagree with Value at row %d", r)
+		}
+	}
+	if len(seen) != len(rows) {
+		t.Fatalf("saw %d distinct rows, appended %d", len(seen), len(rows))
+	}
+}
+
+// TestPartitionedLookupPK checks pk lookups resolve to the right global
+// row id when the pk is not the partition key, and that duplicate pks are
+// rejected across shard boundaries.
+func TestPartitionedLookupPK(t *testing.T) {
+	tab, err := NewTable(rangeSchema(4, []int64{250, 500, 750}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, tab, 800, 13)
+	for pk := int64(0); pk < 800; pk += 37 {
+		rid, ok := tab.LookupPK(pk)
+		if !ok {
+			t.Fatalf("LookupPK(%d) missed", pk)
+		}
+		if got := tab.Value(rid, 0).I; got != pk {
+			t.Fatalf("LookupPK(%d) -> row %d holding id %d", pk, rid, got)
+		}
+	}
+	if _, ok := tab.LookupPK(9999); ok {
+		t.Error("LookupPK found a pk that was never inserted")
+	}
+	// A duplicate pk must be rejected even when the row would land in a
+	// different shard than the original.
+	err = tab.Append(value.Row{value.Int(5), value.Int(999), value.Float(0), value.Str("d")})
+	if err == nil || !strings.Contains(err.Error(), "duplicate primary key") {
+		t.Fatalf("cross-shard duplicate pk not rejected: %v", err)
+	}
+	if tab.NumRows() != 800 {
+		t.Fatalf("failed append mutated row count: %d", tab.NumRows())
+	}
+}
+
+// TestPartitionedPKLookupDirect checks the direct-shard fast path when the
+// table is partitioned on its primary key.
+func TestPartitionedPKLookupDirect(t *testing.T) {
+	schema := rangeSchema(2, []int64{500})
+	schema.Partition.Column = "id"
+	tab, err := NewTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, tab, 1000, 17)
+	for pk := int64(0); pk < 1000; pk += 101 {
+		rid, ok := tab.LookupPK(pk)
+		if !ok || tab.Value(rid, 0).I != pk {
+			t.Fatalf("LookupPK(%d) failed on pk-partitioned table", pk)
+		}
+	}
+}
+
+// TestPrunePartitions pins the pruning contract for both schemes.
+func TestPrunePartitions(t *testing.T) {
+	rt, err := NewTable(rangeSchema(4, []int64{100, 200, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lo, hi int64
+		want   []int
+	}{
+		{150, 150, []int{1}},
+		{0, 99, []int{0}},
+		{50, 250, []int{0, 1, 2}},
+		{100, 100, []int{1}},
+		{99, 100, []int{0, 1}},
+		{-50, 1000, []int{0, 1, 2, 3}},
+		{300, 301, []int{3}},
+		{10, 5, []int{}},
+	}
+	for _, c := range cases {
+		got, ok := rt.PrunePartitions("k", c.lo, c.hi)
+		if !ok {
+			t.Fatalf("range prune [%d,%d] not evaluated", c.lo, c.hi)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("prune [%d,%d] = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("prune [%d,%d] = %v, want %v", c.lo, c.hi, got, c.want)
+			}
+		}
+	}
+	if _, ok := rt.PrunePartitions("x", 1, 1); ok {
+		t.Error("pruned on a non-key column")
+	}
+
+	ht, err := NewTable(hashSchema(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, ok := ht.PrunePartitions("k", 42, 42)
+	if !ok || len(shards) != 1 {
+		t.Fatalf("hash equality prune = %v, %v", shards, ok)
+	}
+	if want, _ := ht.ShardOfKey(42); shards[0] != want {
+		t.Fatalf("hash prune picked shard %d, routing says %d", shards[0], want)
+	}
+	if _, ok := ht.PrunePartitions("k", 1, 2); ok {
+		t.Error("hash partitioning pruned a range predicate")
+	}
+
+	ut, err := NewTable(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ut.PrunePartitions("id", 1, 1); ok {
+		t.Error("unpartitioned table claimed to prune")
+	}
+}
+
+// TestPartitionPageTiling verifies the invariant the engine's charge
+// accounting rests on: summing the first-tuple-in-window page formula over
+// the per-shard spans equals NumPages exactly, for any shard sizes.
+func TestPartitionPageTiling(t *testing.T) {
+	tab, err := NewTable(rangeSchema(4, []int64{130, 470, 733}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, tab, 1017, 23)
+	const per = TuplesPerPage
+	var pages int64
+	for p := 0; p < tab.Partitions(); p++ {
+		lo, hi := tab.PartitionSpan(p)
+		pages += int64((hi+per-1)/per - (lo+per-1)/per)
+	}
+	if pages != int64(tab.NumPages()) {
+		t.Fatalf("per-shard page charges sum to %d, NumPages = %d", pages, tab.NumPages())
+	}
+}
+
+// TestPartitionConcatInvalidation checks the concatenated column caches are
+// rebuilt after an append.
+func TestPartitionConcatInvalidation(t *testing.T) {
+	tab, err := NewTable(hashSchema(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, tab, 10, 29)
+	before := len(tab.Ints(0))
+	if err := tab.Append(value.Row{value.Int(100), value.Int(5), value.Float(1), value.Str("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tab.Ints(0)); got != before+1 {
+		t.Fatalf("concat cache stale: %d ints after append, want %d", got, before+1)
+	}
+}
+
+// TestSinglePartitionDegenerate checks a spec with Partitions == 1 behaves
+// exactly like an unpartitioned table.
+func TestSinglePartitionDegenerate(t *testing.T) {
+	tab, err := NewTable(rangeSchema(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, tab, 50, 31)
+	if tab.Partitions() != 1 {
+		t.Fatalf("Partitions() = %d", tab.Partitions())
+	}
+	if lo, hi := tab.PartitionSpan(0); lo != 0 || hi != 50 {
+		t.Fatalf("span = [%d,%d)", lo, hi)
+	}
+	if _, ok := tab.PrunePartitions("k", 1, 1); ok {
+		t.Error("1-partition table claimed to prune")
+	}
+}

@@ -5,10 +5,20 @@
 // (TuplesPerPage) lets the cost model translate row counts into sequential
 // and random page accesses, which is what differentiates the sequential
 // scan and index-intersection plans at the center of the paper.
+//
+// A table may be horizontally partitioned (catalog.PartitionSpec): rows
+// live in per-shard segments, each with its own columnar chunks and
+// primary-key index, while row ids stay global in partition-major order
+// (shard 0's rows first, then shard 1's, ...). Every shard therefore
+// occupies one contiguous global row-id interval, readers keep seeing a
+// single logical table through the unchanged read API, and an
+// unpartitioned table is simply the one-segment degenerate case.
 package storage
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"robustqo/internal/catalog"
 	"robustqo/internal/value"
@@ -18,15 +28,33 @@ import (
 // With ~100-byte tuples and 8 KB pages this matches the paper's era.
 const TuplesPerPage = 80
 
-// Table is a columnar in-memory table instance for a catalog schema.
+// Table is a columnar in-memory table instance for a catalog schema,
+// physically split into one segment per partition (one segment total when
+// unpartitioned).
 type Table struct {
 	schema *catalog.TableSchema
-	cols   []columnData
-	rows   int
-	// pkIndex maps primary-key value to row id for O(1) FK lookups during
-	// join-synopsis construction and indexed nested-loop joins on PKs.
+	segs   []segment
+	// bases[p] is the global row id of shard p's first row; maintained
+	// eagerly on Append so reads never mutate it.
+	bases []int
+	rows  int
+	pkCol int // ordinal of PK column, -1 if none
+	// keyCol is the ordinal of the partition key, -1 when unpartitioned.
+	keyCol int
+
+	// concatMu guards the lazily built concatenated payload caches that
+	// back Ints/Floats/Strings for partitioned tables.
+	concatMu sync.Mutex
+	concat   []columnData
+	concatOK []bool
+}
+
+// segment holds one partition's columnar chunks and its local pk index
+// (primary-key value to segment-local row id).
+type segment struct {
+	cols    []columnData
+	rows    int
 	pkIndex map[int64]int
-	pkCol   int // ordinal of PK column, -1 if none
 }
 
 type columnData struct {
@@ -41,17 +69,33 @@ func NewTable(schema *catalog.TableSchema) (*Table, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("storage: nil schema")
 	}
+	n := 1
+	keyCol := -1
+	if p := schema.Partition; p != nil {
+		n = p.Partitions
+		keyCol = schema.ColumnIndex(p.Column)
+		if keyCol < 0 {
+			return nil, fmt.Errorf("storage: table %q partition key %q is not a column", schema.Name, p.Column)
+		}
+	}
 	t := &Table{
 		schema: schema,
-		cols:   make([]columnData, len(schema.Columns)),
+		segs:   make([]segment, n),
+		bases:  make([]int, n),
 		pkCol:  -1,
+		keyCol: keyCol,
 	}
-	for i, c := range schema.Columns {
-		t.cols[i].kind = c.Type
+	for s := range t.segs {
+		t.segs[s].cols = make([]columnData, len(schema.Columns))
+		for i, c := range schema.Columns {
+			t.segs[s].cols[i].kind = c.Type
+		}
 	}
 	if schema.PrimaryKey != "" {
 		t.pkCol = schema.ColumnIndex(schema.PrimaryKey)
-		t.pkIndex = make(map[int64]int)
+		for s := range t.segs {
+			t.segs[s].pkIndex = make(map[int64]int)
+		}
 	}
 	return t, nil
 }
@@ -70,20 +114,126 @@ func (t *Table) NumPages() int {
 	return (t.rows + TuplesPerPage - 1) / TuplesPerPage
 }
 
+// Partitions returns the number of physical partitions (1 when the table
+// is unpartitioned).
+func (t *Table) Partitions() int { return len(t.segs) }
+
+// PartitionSpec returns the table's partition declaration, nil when
+// unpartitioned.
+func (t *Table) PartitionSpec() *catalog.PartitionSpec { return t.schema.Partition }
+
+// PartitionRows returns the row count of shard p.
+func (t *Table) PartitionRows(p int) int { return t.segs[p].rows }
+
+// PartitionSpan returns the contiguous global row-id interval [lo, hi)
+// that shard p occupies — the property the scatter-gather engine and the
+// partition-pruning pass are built on.
+func (t *Table) PartitionSpan(p int) (lo, hi int) {
+	return t.bases[p], t.bases[p] + t.segs[p].rows
+}
+
+// ShardOfKey returns the shard a row with the given partition-key value
+// routes to. ok is false when the table is unpartitioned.
+func (t *Table) ShardOfKey(key int64) (shard int, ok bool) {
+	if t.keyCol < 0 || len(t.segs) == 1 {
+		return 0, len(t.segs) > 1
+	}
+	return t.shardOf(key), true
+}
+
+// shardOf routes a partition-key value to its shard.
+func (t *Table) shardOf(key int64) int {
+	p := t.schema.Partition
+	if p.Kind == catalog.RangePartition {
+		// First shard whose upper bound exceeds key; the last shard is
+		// unbounded above.
+		return sort.Search(len(p.Bounds), func(i int) bool { return key < p.Bounds[i] })
+	}
+	return hashShard(key, len(t.segs))
+}
+
+// hashShard mixes the key (a finalizer in the splitmix64 family) before
+// reducing mod n, so sequential keys spread across shards.
+func hashShard(key int64, n int) int {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// PrunePartitions evaluates a closed-interval constraint lo <= column <= hi
+// against the partition scheme and returns the shards that could hold
+// matching rows. ok is false when the constraint says nothing about the
+// physical layout: the table is unpartitioned, column is not the partition
+// key, or the scheme cannot evaluate the interval (hash partitioning only
+// prunes equality, lo == hi). The returned slice is ascending; it may be
+// empty (an unsatisfiable range prunes every shard) and may cover all
+// shards (no pruning, but the evaluation still applies).
+func (t *Table) PrunePartitions(column string, lo, hi int64) (shards []int, ok bool) {
+	spec := t.schema.Partition
+	if spec == nil || len(t.segs) == 1 || spec.Column != column {
+		return nil, false
+	}
+	if spec.Kind == catalog.HashPartition {
+		if lo != hi {
+			return nil, false
+		}
+		return []int{t.shardOf(lo)}, true
+	}
+	if lo > hi {
+		return []int{}, true
+	}
+	first := t.shardOf(lo)
+	last := t.shardOf(hi)
+	shards = make([]int, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		shards = append(shards, p)
+	}
+	return shards, true
+}
+
+// segOf locates the segment holding global row id row and returns the
+// shard index and the segment-local row id.
+func (t *Table) segOf(row int) (int, int) {
+	if len(t.segs) == 1 {
+		return 0, row
+	}
+	// Last shard whose base is <= row.
+	p := sort.Search(len(t.bases), func(i int) bool { return t.bases[i] > row }) - 1
+	return p, row - t.bases[p]
+}
+
 // Append adds a row. The row must have one value per column with matching
-// types; Int values are accepted for Date columns and vice versa.
+// types; Int values are accepted for Date columns and vice versa. On a
+// partitioned table the row is routed to its shard, shifting the global
+// ids of later shards' rows — load fully before building secondary
+// indexes, exactly as with unpartitioned appends.
 func (t *Table) Append(row value.Row) error {
-	if len(row) != len(t.cols) {
-		return fmt.Errorf("storage: table %q: row has %d values, schema has %d columns", t.Name(), len(row), len(t.cols))
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("storage: table %q: row has %d values, schema has %d columns", t.Name(), len(row), len(t.schema.Columns))
 	}
 	for i, v := range row {
-		if !typeCompatible(t.cols[i].kind, v.Kind) {
+		if !typeCompatible(t.schema.Columns[i].Type, v.Kind) {
 			return fmt.Errorf("storage: table %q column %q: cannot store %s in %s column",
-				t.Name(), t.schema.Columns[i].Name, v.Kind, t.cols[i].kind)
+				t.Name(), t.schema.Columns[i].Name, v.Kind, t.schema.Columns[i].Type)
 		}
 	}
+	if t.pkCol >= 0 {
+		pk := row[t.pkCol].I
+		if _, dup := t.LookupPK(pk); dup {
+			return fmt.Errorf("storage: table %q: duplicate primary key %d", t.Name(), pk)
+		}
+	}
+	shard := 0
+	if t.keyCol >= 0 && len(t.segs) > 1 {
+		shard = t.shardOf(row[t.keyCol].I)
+	}
+	seg := &t.segs[shard]
 	for i, v := range row {
-		c := &t.cols[i]
+		c := &seg.cols[i]
 		switch c.kind {
 		case catalog.Int, catalog.Date:
 			c.ints = append(c.ints, v.I)
@@ -94,25 +244,14 @@ func (t *Table) Append(row value.Row) error {
 		}
 	}
 	if t.pkCol >= 0 {
-		pk := row[t.pkCol].I
-		if _, dup := t.pkIndex[pk]; dup {
-			// Roll back the partial append to keep columns consistent.
-			for i := range t.cols {
-				c := &t.cols[i]
-				switch c.kind {
-				case catalog.Int, catalog.Date:
-					c.ints = c.ints[:len(c.ints)-1]
-				case catalog.Float:
-					c.floats = c.floats[:len(c.floats)-1]
-				case catalog.String:
-					c.strs = c.strs[:len(c.strs)-1]
-				}
-			}
-			return fmt.Errorf("storage: table %q: duplicate primary key %d", t.Name(), pk)
-		}
-		t.pkIndex[pk] = t.rows
+		seg.pkIndex[row[t.pkCol].I] = seg.rows
 	}
+	seg.rows++
 	t.rows++
+	for p := shard + 1; p < len(t.bases); p++ {
+		t.bases[p]++
+	}
+	t.invalidateConcat()
 	return nil
 }
 
@@ -124,71 +263,156 @@ func typeCompatible(col, val catalog.Type) bool {
 	return (col == catalog.Date && val == catalog.Int) || (col == catalog.Int && val == catalog.Date)
 }
 
-// Value returns the value at (row, col).
+// Value returns the value at (row, col); row is a global row id.
 func (t *Table) Value(row, col int) value.Value {
-	c := &t.cols[col]
+	p, local := t.segOf(row)
+	c := &t.segs[p].cols[col]
 	switch c.kind {
 	case catalog.Int:
-		return value.Int(c.ints[row])
+		return value.Int(c.ints[local])
 	case catalog.Date:
-		return value.Date(c.ints[row])
+		return value.Date(c.ints[local])
 	case catalog.Float:
-		return value.Float(c.floats[row])
+		return value.Float(c.floats[local])
 	default:
-		return value.Str(c.strs[row])
+		return value.Str(c.strs[local])
 	}
 }
 
 // ReadRow fills dst (which must have len == number of columns) with the
 // values of the given row, avoiding allocation in scan loops.
 func (t *Table) ReadRow(row int, dst value.Row) {
-	for i := range t.cols {
-		dst[i] = t.Value(row, i)
+	p, local := t.segOf(row)
+	cols := t.segs[p].cols
+	for i := range cols {
+		c := &cols[i]
+		switch c.kind {
+		case catalog.Int:
+			dst[i] = value.Int(c.ints[local])
+		case catalog.Date:
+			dst[i] = value.Date(c.ints[local])
+		case catalog.Float:
+			dst[i] = value.Float(c.floats[local])
+		default:
+			dst[i] = value.Str(c.strs[local])
+		}
 	}
 }
 
 // Row returns a freshly allocated copy of the given row.
 func (t *Table) Row(row int) value.Row {
-	out := make(value.Row, len(t.cols))
+	out := make(value.Row, len(t.schema.Columns))
 	t.ReadRow(row, out)
 	return out
 }
 
-// Ints returns the raw payload slice of an Int or Date column. The caller
-// must not modify it. Returns nil for other column types.
-func (t *Table) Ints(col int) []int64 {
-	c := &t.cols[col]
-	if c.kind == catalog.Int || c.kind == catalog.Date {
-		return c.ints
+// invalidateConcat drops the concatenated payload caches after a mutation.
+func (t *Table) invalidateConcat() {
+	if len(t.segs) == 1 {
+		return
 	}
-	return nil
+	t.concatMu.Lock()
+	t.concat = nil
+	t.concatOK = nil
+	t.concatMu.Unlock()
+}
+
+// concatCol returns the column's payloads concatenated in global row-id
+// (partition-major) order, built lazily and cached. Mutations (Append)
+// invalidate the cache; loading must happen-before concurrent reads, the
+// same contract the secondary indexes already rely on.
+func (t *Table) concatCol(col int) *columnData {
+	t.concatMu.Lock()
+	defer t.concatMu.Unlock()
+	if t.concat == nil {
+		t.concat = make([]columnData, len(t.schema.Columns))
+		t.concatOK = make([]bool, len(t.schema.Columns))
+	}
+	if !t.concatOK[col] {
+		out := &t.concat[col]
+		out.kind = t.segs[0].cols[col].kind
+		switch out.kind {
+		case catalog.Int, catalog.Date:
+			out.ints = make([]int64, 0, t.rows)
+			for s := range t.segs {
+				out.ints = append(out.ints, t.segs[s].cols[col].ints...)
+			}
+		case catalog.Float:
+			out.floats = make([]float64, 0, t.rows)
+			for s := range t.segs {
+				out.floats = append(out.floats, t.segs[s].cols[col].floats...)
+			}
+		case catalog.String:
+			out.strs = make([]string, 0, t.rows)
+			for s := range t.segs {
+				out.strs = append(out.strs, t.segs[s].cols[col].strs...)
+			}
+		}
+		t.concatOK[col] = true
+	}
+	return &t.concat[col]
+}
+
+// Ints returns the raw payload slice of an Int or Date column, indexed by
+// global row id. The caller must not modify it. Returns nil for other
+// column types.
+func (t *Table) Ints(col int) []int64 {
+	kind := t.segs[0].cols[col].kind
+	if kind != catalog.Int && kind != catalog.Date {
+		return nil
+	}
+	if len(t.segs) == 1 {
+		return t.segs[0].cols[col].ints
+	}
+	return t.concatCol(col).ints
 }
 
 // Floats returns the raw payload slice of a Float column, or nil.
 func (t *Table) Floats(col int) []float64 {
-	c := &t.cols[col]
-	if c.kind == catalog.Float {
-		return c.floats
+	if t.segs[0].cols[col].kind != catalog.Float {
+		return nil
 	}
-	return nil
+	if len(t.segs) == 1 {
+		return t.segs[0].cols[col].floats
+	}
+	return t.concatCol(col).floats
 }
 
 // Strings returns the raw payload slice of a String column, or nil.
 func (t *Table) Strings(col int) []string {
-	c := &t.cols[col]
-	if c.kind == catalog.String {
-		return c.strs
+	if t.segs[0].cols[col].kind != catalog.String {
+		return nil
 	}
-	return nil
+	if len(t.segs) == 1 {
+		return t.segs[0].cols[col].strs
+	}
+	return t.concatCol(col).strs
 }
 
-// LookupPK returns the row id holding the given primary-key value.
+// LookupPK returns the global row id holding the given primary-key value.
+// When the table is partitioned on its primary key the owning shard is
+// computed directly; otherwise each shard's local index is consulted.
 func (t *Table) LookupPK(pk int64) (int, bool) {
-	if t.pkIndex == nil {
+	if t.pkCol < 0 {
 		return 0, false
 	}
-	r, ok := t.pkIndex[pk]
-	return r, ok
+	if len(t.segs) == 1 {
+		r, ok := t.segs[0].pkIndex[pk]
+		return r, ok
+	}
+	if t.keyCol == t.pkCol {
+		p := t.shardOf(pk)
+		if local, ok := t.segs[p].pkIndex[pk]; ok {
+			return t.bases[p] + local, true
+		}
+		return 0, false
+	}
+	for p := range t.segs {
+		if local, ok := t.segs[p].pkIndex[pk]; ok {
+			return t.bases[p] + local, true
+		}
+	}
+	return 0, false
 }
 
 // Database is a set of named tables governed by a catalog.

@@ -46,6 +46,11 @@ type Config struct {
 	// equal to p_attr1 (Experiment 2's "correlated data distribution");
 	// the rest draw p_attr2 independently. In [0, 1].
 	PartCorrelation float64
+	// Partitions, when > 1, range-partitions lineitem on l_shipdate into
+	// that many equal-width date shards. Partitioned lineitem loses its
+	// Ordered declaration: rows live in partition-major order, which is
+	// not l_id order.
+	Partitions int
 	// Seed makes generation reproducible.
 	Seed uint64
 }
@@ -113,7 +118,7 @@ func Generate(cfg Config) (*storage.Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	lineitem, err := db.CreateTable(&catalog.TableSchema{
+	lineSchema := &catalog.TableSchema{
 		Name: "lineitem",
 		Columns: []catalog.Column{
 			{Name: "l_id", Type: catalog.Int},
@@ -135,7 +140,21 @@ func Generate(cfg Config) (*storage.Database, error) {
 			{Name: "ix_l_partkey", Column: "l_partkey", Kind: catalog.NonClustered},
 		},
 		Ordered: []string{"l_id", "l_orderkey"},
-	})
+	}
+	if cfg.Partitions > 1 {
+		spec := &catalog.PartitionSpec{
+			Column: "l_shipdate", Kind: catalog.RangePartition, Partitions: cfg.Partitions,
+		}
+		span := ShipDateHi - ShipDateLo
+		for b := 1; b < cfg.Partitions; b++ {
+			spec.Bounds = append(spec.Bounds, ShipDateLo+span*int64(b)/int64(cfg.Partitions))
+		}
+		lineSchema.Partition = spec
+		// Partition-major physical order is not l_id order; the merge-join
+		// shortcut the Ordered declaration enables would be wrong.
+		lineSchema.Ordered = nil
+	}
+	lineitem, err := db.CreateTable(lineSchema)
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,13 @@ type (
 	Index = catalog.Index
 	// IndexKind distinguishes clustered from non-clustered indexes.
 	IndexKind = catalog.IndexKind
+	// PartitionSpec horizontally partitions a table on an Int or Date
+	// column, either by hash or by sorted range bounds. Scans of
+	// partitioned tables are pruned by predicates on the partition key,
+	// and statistics are kept per shard so pruned estimates tighten.
+	PartitionSpec = catalog.PartitionSpec
+	// PartitionKind distinguishes hash from range partitioning.
+	PartitionKind = catalog.PartitionKind
 
 	// Value is one typed scalar; Row is one tuple.
 	Value = value.Value
@@ -93,6 +100,12 @@ const (
 const (
 	Clustered    = catalog.Clustered
 	NonClustered = catalog.NonClustered
+)
+
+// Partition kinds.
+const (
+	HashPartition  = catalog.HashPartition
+	RangePartition = catalog.RangePartition
 )
 
 // Aggregate functions.
