@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fuzz-smoke bench-smoke ci
+.PHONY: build test race lint vet fuzz-smoke bench-smoke ledger-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,14 @@ bench-smoke:
 	$(GO) run ./cmd/benchjoin -out BENCH_join.json
 	$(GO) run ./cmd/benchshard -out BENCH_shard.json
 
-ci: build lint race fuzz-smoke bench-smoke
+# ledger-smoke runs the 40-query feedback corpus end to end: persists
+# the cardinality ledger, a slow-query log (threshold 0 so the artifact
+# always has content), and the lifecycle event log, then reloads the
+# persisted file through `ledger top` to prove the round trip.
+ledger-smoke:
+	$(GO) run ./cmd/robustqo ledger run -lines 20000 -out ledger.bin \
+		-slow-query-ms 0 -slow-log slow_queries.jsonl -events query_events.jsonl
+	$(GO) run ./cmd/robustqo ledger top -in ledger.bin -n 5
+	$(GO) run ./cmd/robustqo ledger drift -in ledger.bin
+
+ci: build lint race fuzz-smoke bench-smoke ledger-smoke

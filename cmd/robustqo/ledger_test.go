@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunLedgerCorpus drives the full subcommand surface: run the
+// corpus, persist the ledger, re-read it with top and drift, and check
+// the side logs.
+func TestRunLedgerCorpus(t *testing.T) {
+	dir := t.TempDir()
+	ledgerFile := filepath.Join(dir, "ledger.bin")
+	slowFile := filepath.Join(dir, "slow.jsonl")
+	eventsFile := filepath.Join(dir, "events.jsonl")
+
+	var buf strings.Builder
+	err := run([]string{"ledger", "run",
+		"-lines", "4000", "-out", ledgerFile, "-n", "5",
+		"-slow-query-ms", "0", "-slow-log", slowFile, "-events", eventsFile,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("ledger run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ran 40 queries", "worst 5 fingerprints", "per-table drift:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The persisted file round-trips; the full dump (-n 0) includes the
+	// value-binned scan fingerprints the corpus must have produced.
+	buf.Reset()
+	if err := run([]string{"ledger", "top", "-in", ledgerFile, "-n", "0"}, &buf); err != nil {
+		t.Fatalf("ledger top: %v", err)
+	}
+	if out := buf.String(); !strings.Contains(out, "observations") ||
+		!strings.Contains(out, "lineitem|l_quantity<b") {
+		t.Errorf("top output:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := run([]string{"ledger", "drift", "-in", ledgerFile}, &buf); err != nil {
+		t.Fatalf("ledger drift: %v", err)
+	}
+	if out := buf.String(); !strings.Contains(out, "lineitem") {
+		t.Errorf("drift output:\n%s", out)
+	}
+
+	// With a zero slow threshold every query is captured; each capture
+	// carries a full EXPLAIN ANALYZE rendering.
+	slow, err := os.ReadFile(slowFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(slow), `"analyze":"Aggregate`) {
+		t.Errorf("slow log missing analyze capture:\n%.400s", slow)
+	}
+	events, err := os.ReadFile(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"event":"received"`, `"event":"optimized"`, `"event":"done"`, `"qid":"q40"`} {
+		if !strings.Contains(string(events), want) {
+			t.Errorf("event log missing %q", want)
+		}
+	}
+}
+
+// TestRunLedgerErrors pins the subcommand's failure modes, including
+// the version-header refusal on a file that is not a persisted ledger.
+func TestRunLedgerErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"ledger"}, &buf); err == nil {
+		t.Error("bare ledger: want error")
+	}
+	if err := run([]string{"ledger", "nope"}, &buf); err == nil {
+		t.Error("unknown subcommand: want error")
+	}
+	if err := run([]string{"ledger", "top", "-in", filepath.Join(t.TempDir(), "absent.bin")}, &buf); err == nil {
+		t.Error("missing file: want error")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(garbage, []byte("not a ledger file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"ledger", "top", "-in", garbage}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "format-version header") {
+		t.Errorf("garbage file: err = %v, want header refusal", err)
+	}
+}

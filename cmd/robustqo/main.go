@@ -51,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		return runSQL(args[1:], out)
 	case "serve":
 		return runServe(args[1:], out)
+	case "ledger":
+		return runLedger(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -69,8 +71,12 @@ Subcommands:
   query '<predicate>'       optimize+run a lineitem aggregate; -h for flags
   sql 'SELECT ...'          optimize+run a full SELECT over the TPC-H-like
                             schema (lineitem, orders, part); -h for flags
-  serve                     debug HTTP server: /metrics, /query, pprof;
+  serve                     debug HTTP server: /metrics, /query, pprof,
+                            /debug/queries (in-flight progress + slow log),
+                            /debug/ledger (cardinality feedback);
                             -debug-addr to pick the listen address
+  ledger run|top|drift      run the feedback corpus and persist the
+                            cardinality ledger; inspect a persisted ledger
 
 query and sql accept -analyze (EXPLAIN ANALYZE: estimated vs actual rows
 and Q-error per operator), -trace-out FILE [-trace-format json|chrome]

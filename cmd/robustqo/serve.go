@@ -3,8 +3,11 @@ package main
 // The serve subcommand runs a debug HTTP server over a generated
 // database: /metrics exposes the text metrics registry, /query
 // optimizes and executes ad-hoc SQL (with per-request confidence
-// thresholds — the paper's robustness knob as a URL parameter), and the
-// standard net/http/pprof endpoints hang off /debug/pprof/.
+// thresholds — the paper's robustness knob as a URL parameter),
+// /debug/queries shows in-flight queries with posterior-based progress
+// estimates plus the recent slow-query captures, /debug/ledger serves
+// the cardinality feedback ledger, and the standard net/http/pprof
+// endpoints hang off /debug/pprof/.
 
 import (
 	"flag"
@@ -12,27 +15,37 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
+	"time"
 
 	"robustqo/internal/core"
 	"robustqo/internal/cost"
 	"robustqo/internal/engine"
 	"robustqo/internal/obs"
+	"robustqo/internal/obs/ledger"
 	"robustqo/internal/optimizer"
 	"robustqo/internal/sample"
 	"robustqo/internal/sqlparse"
 	"robustqo/internal/tpch"
 )
 
-// server holds the shared read-only state behind the debug endpoints.
-// The database, indexes, and estimator are immutable after startup;
-// the registry is internally synchronized — so handlers need no lock.
+// server holds the shared state behind the debug endpoints. The
+// database, indexes, and estimator are immutable after startup; the
+// registry, ledger, live registry, and logs are internally synchronized
+// — so handlers need no lock.
 type server struct {
 	ctx   *engine.Context
 	est   core.Estimator
 	bayes *core.BayesEstimator // non-nil when est is the robust estimator
 	reg   *obs.Registry
 	dop   int // max degree of parallelism for eligible scans
+
+	led    *ledger.Ledger
+	active *obs.ActiveQueries
+	events *obs.EventLog // nil unless -events names a file
+	slow   *obs.SlowLog
+	slowMS int
 }
 
 func newServer(lines int, estimator string, threshold float64, sampleSize int, seed uint64, parallelism int) (*server, error) {
@@ -48,10 +61,18 @@ func newServer(lines int, estimator string, threshold float64, sampleSize int, s
 	if err != nil {
 		return nil, err
 	}
-	s := &server{ctx: ctx, est: est, reg: obs.NewRegistry(), dop: parallelism}
+	s := &server{
+		ctx: ctx, est: est, reg: obs.NewRegistry(), dop: parallelism,
+		led:    ledger.New(0),
+		active: obs.NewActiveQueries(),
+		slow:   obs.NewSlowLog(0, nil),
+		slowMS: 100,
+	}
 	// Engine-side metering (hash-join builds, pre-size hits, modeled
-	// rehashes) lands in the same registry /metrics serves.
+	// rehashes) lands in the same registry /metrics serves — including
+	// the exchange utilization series — as do the ledger's own counters.
 	ctx.Metrics = s.reg
+	s.led.Metrics = s.reg
 	if b, ok := est.(*core.BayesEstimator); ok {
 		s.bayes = b
 	}
@@ -65,6 +86,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/debug/queries", s.handleQueries)
+	mux.HandleFunc("/debug/ledger", s.handleLedger)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -85,6 +108,10 @@ endpoints:
   /query?sql=SELECT+...             optimize and execute SQL
          &threshold=0.95            per-query confidence threshold
          &analyze=1                 include the EXPLAIN ANALYZE tree
+  /debug/queries                    in-flight queries with progress
+                                    estimates + recent slow queries
+  /debug/ledger?n=10                cardinality feedback: worst Q-error
+                                    fingerprints and per-table drift
   /debug/pprof/                     Go runtime profiles
 `, s.est.Name())
 }
@@ -102,49 +129,88 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing sql parameter", http.StatusBadRequest)
 		return
 	}
+	live := s.active.Begin(sqlText)
+	defer s.active.Done(live)
+	start := time.Now()
+	s.events.Emit(obs.Event{QueryID: live.ID, Event: "received", SQL: sqlText})
+	fail := func(status int, err error) {
+		live.SetPhase(obs.PhaseFailed)
+		s.events.Emit(obs.Event{QueryID: live.ID, Event: "failed", Detail: err.Error()})
+		http.Error(w, err.Error(), status)
+	}
+	live.SetPhase(obs.PhaseParse)
 	q, err := sqlparse.Parse(sqlText)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err)
 		return
 	}
 	est := s.est
 	if raw := r.URL.Query().Get("threshold"); raw != "" {
 		if s.bayes == nil {
-			http.Error(w, "threshold only applies to the robust estimator", http.StatusBadRequest)
+			fail(http.StatusBadRequest, fmt.Errorf("threshold only applies to the robust estimator"))
 			return
 		}
 		t, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
-			http.Error(w, "bad threshold: "+err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, fmt.Errorf("bad threshold: %v", err))
 			return
 		}
 		b, err := s.bayes.WithThreshold(core.ConfidenceThreshold(t))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, err)
 			return
 		}
 		est = b
 	}
+	live.SetPhase(obs.PhaseOptimize)
 	opt, err := optimizer.New(s.ctx, est)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		fail(http.StatusInternalServerError, err)
 		return
 	}
 	opt.MaxDOP = s.dop
 	opt.Metrics = s.reg
 	plan, err := opt.Optimize(q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err)
 		return
 	}
-	inst := engine.InstrumentTrace(plan.Root, nil)
+	inst := engine.InstrumentOpts(plan.Root, engine.InstrumentOptions{
+		EstimateOf: plan.EstimateOf,
+		Ledger:     s.led,
+		QueryID:    live.ID,
+		Live:       live,
+	})
+	live.T = plan.Confidence()
+	live.DOP = s.dop
+	live.EstRows = plan.EstRows
+	live.PartsPruned, live.PartsTotal = planPruning(inst, plan.EstimateOf)
+	s.events.Emit(obs.Event{QueryID: live.ID, Event: "optimized", T: live.T, DOP: s.dop,
+		EstRows: plan.EstRows, PartsPruned: live.PartsPruned, PartsTotal: live.PartsTotal,
+		ElapsedUS: time.Since(start).Microseconds()})
+	live.SetPhase(obs.PhaseExecute)
 	var counters cost.Counters
 	res, err := inst.Execute(s.ctx, &counters)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		fail(http.StatusInternalServerError, err)
 		return
 	}
 	counters.Output += int64(len(res.Rows))
+	live.SetPhase(obs.PhaseDone)
+	elapsed := time.Since(start)
+	s.reg.Histogram("robustqo_query_latency_seconds", obs.LatencyBuckets).Observe(elapsed.Seconds())
+	s.events.Emit(obs.Event{QueryID: live.ID, Event: "done",
+		Rows: int64(len(res.Rows)), ElapsedUS: elapsed.Microseconds()})
+	if elapsed >= time.Duration(s.slowMS)*time.Millisecond {
+		s.slow.Record(obs.SlowQuery{
+			QueryID: live.ID, SQL: sqlText, ElapsedUS: elapsed.Microseconds(),
+			Analyze: engine.ExplainAnalyze(inst, engine.AnalyzeOptions{
+				EstimateOf: plan.EstimateOf,
+				Timings:    true,
+				Totals:     &counters,
+			}),
+		})
+	}
 	recordQueryMetrics(s.reg, plan, inst)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "estimator: %s\nestimated cost: %.4f s, estimated rows: %.1f\n",
@@ -163,6 +229,52 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.ctx.Model.Time(counters), len(res.Rows))
 }
 
+// handleQueries renders the in-flight queries with posterior-based
+// progress estimates, followed by the recent slow-query captures.
+func (s *server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	views := s.active.Snapshot()
+	fmt.Fprintf(w, "%d in-flight queries\n\n", len(views))
+	if len(views) > 0 {
+		fmt.Fprintf(w, "%-6s %-9s %-5s %-4s %12s %12s %9s %10s  %s\n",
+			"qid", "phase", "T", "dop", "est rows", "rows", "progress", "pruned", "sql")
+		for _, v := range views {
+			pruned := ""
+			if v.PartsTotal > 0 {
+				pruned = fmt.Sprintf("%d/%d", v.PartsPruned, v.PartsTotal)
+			}
+			fmt.Fprintf(w, "%-6s %-9s %-5g %-4d %12.1f %12d %8.1f%% %10s  %s\n",
+				v.ID, v.Phase, v.T, v.DOP, v.EstRows, v.Rows, v.Progress*100, pruned, v.SQL)
+		}
+	}
+	slow := s.slow.Recent()
+	fmt.Fprintf(w, "\n%d recent slow queries (threshold %dms)\n", len(slow), s.slowMS)
+	for i := len(slow) - 1; i >= 0; i-- {
+		q := slow[i]
+		fmt.Fprintf(w, "\n[%s] %.1fms  %s\n%s", q.QueryID, float64(q.ElapsedUS)/1000, q.SQL, q.Analyze)
+	}
+}
+
+// handleLedger renders the cardinality feedback ledger: the worst
+// Q-error fingerprints (?n= bounds the list) and per-table drift.
+func (s *server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d fingerprints, %d observations, %d dropped\n\nworst fingerprints by Q-error:\n",
+		s.led.Len(), s.led.Ordinal(), s.led.Dropped())
+	renderTop(w, s.led.TopQError(n))
+	fmt.Fprintf(w, "\nper-table drift:\n")
+	renderDrift(w, s.led.Drift())
+}
+
 func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -173,6 +285,9 @@ func runServe(args []string, out io.Writer) error {
 	sampleSize := fs.Int("samplesize", sample.DefaultSize, "synopsis tuples")
 	seed := fs.Uint64("seed", 2005, "random seed")
 	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
+	slowMS := fs.Int("slow-query-ms", 100, "slow-query latency threshold in milliseconds")
+	slowLogFile := fs.String("slow-log", "", "mirror slow-query captures as JSON lines to this file")
+	eventsFile := fs.String("events", "", "append query-lifecycle JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,6 +299,24 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "debug server listening on http://%s/ (metrics, query, pprof)\n", *addr)
+	s.slowMS = *slowMS
+	if *slowLogFile != "" {
+		fh, err := os.Create(*slowLogFile)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		s.slow = obs.NewSlowLog(0, fh)
+	}
+	if *eventsFile != "" {
+		fh, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		s.events = obs.NewEventLog(fh)
+		s.events.Now = time.Now
+	}
+	fmt.Fprintf(out, "debug server listening on http://%s/ (metrics, query, debug/queries, debug/ledger, pprof)\n", *addr)
 	return http.ListenAndServe(*addr, s.mux())
 }

@@ -83,6 +83,54 @@ func TestServeQueryMetricsAndPprof(t *testing.T) {
 	}
 }
 
+func TestServeLedgerAndQueriesEndpoints(t *testing.T) {
+	ts := testServer(t)
+
+	// Empty state renders, with zero counts.
+	code, body := get(t, ts.URL+"/debug/ledger")
+	if code != http.StatusOK || !strings.Contains(body, "0 fingerprints, 0 observations") {
+		t.Fatalf("empty ledger: code %d body %q", code, body)
+	}
+	code, body = get(t, ts.URL+"/debug/queries")
+	if code != http.StatusOK || !strings.Contains(body, "0 in-flight queries") {
+		t.Fatalf("empty queries: code %d body %q", code, body)
+	}
+
+	// A query feeds the ledger: its scan fingerprint shows up with the
+	// value-binned literal, and the drift table attributes it to lineitem.
+	sql := url.QueryEscape("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10")
+	if code, body := get(t, ts.URL+"/query?sql="+sql); code != http.StatusOK {
+		t.Fatalf("query: code %d body %q", code, body)
+	}
+	code, body = get(t, ts.URL+"/debug/ledger?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("ledger: code %d", code)
+	}
+	for _, want := range []string{"lineitem|l_quantity<b4", "per-table drift:", "lineitem"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/ledger missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/debug/ledger?n=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad n: code %d, want 400", code)
+	}
+
+	// The ledger and latency series land in /metrics.
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"robustqo_ledger_appends_total",
+		"robustqo_ledger_qerror_count",
+		"robustqo_query_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestServeQueryErrors(t *testing.T) {
 	ts := testServer(t)
 	for _, tc := range []struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
@@ -59,11 +60,16 @@ type morselResult struct {
 
 // workerReport is each worker's final accounting: the counters it
 // accumulated privately, shipped to the coordinator at the barrier.
+// busy/wall are wall-clock utilization figures, populated only when the
+// context carries a metrics registry; they never influence results or
+// cost.Counters.
 type workerReport struct {
 	w        int
 	counters cost.Counters
 	morsels  int
 	rows     int64
+	busy     time.Duration
+	wall     time.Duration
 }
 
 type exchangeOp struct {
@@ -73,6 +79,16 @@ type exchangeOp struct {
 	// passthrough is set when the source runs serially (DOP < 2 or not
 	// morselizable); every call then delegates to it.
 	passthrough Operator
+
+	// metrics, when non-nil, receives the robustqo_exchange_* utilization
+	// series: per-worker busy fractions, queue depth samples, and row/
+	// shard skew. Copied from Context.Metrics at Open.
+	metrics *obs.Registry
+	// shardOf maps a morsel index to its shard; shardRows accumulates
+	// emitted rows per shard for the skew metric. Both nil unless the
+	// runner is sharded and metrics are on.
+	shardOf   func(int) int
+	shardRows []int64
 
 	runner   morselRunner
 	nMorsels int
@@ -105,6 +121,13 @@ func (o *exchangeOp) Open(ctx *Context, counters *cost.Counters) error {
 		return err
 	}
 	o.runner = runner
+	o.metrics = ctx.Metrics
+	if o.metrics != nil {
+		if sr, ok := runner.(shardedRunner); ok && sr.numShards() > 1 {
+			o.shardOf = sr.shardOfMorsel
+			o.shardRows = make([]int64, sr.numShards())
+		}
+	}
 	schema, err := o.node.Source.Schema(ctx)
 	if err != nil {
 		return err
@@ -126,21 +149,35 @@ func (o *exchangeOp) Open(ctx *Context, counters *cost.Counters) error {
 			o.finish()
 			return err
 		}
-		o.spans[w] = o.node.Trace.StartSpan(fmt.Sprintf("worker-%d", w))
+		o.spans[w] = o.node.Trace.StartSpanDetached(fmt.Sprintf("worker-%d", w))
 		o.wg.Add(1)
+		timed := o.metrics != nil
 		go func(w int, mw morselWorker) {
 			defer o.wg.Done()
 			defer mw.release()
 			// Counters stay goroutine-local; they reach the shared
 			// counters only via the report channel, merged at the
-			// coordinator's barrier.
+			// coordinator's barrier. busy/wall time the morsel work vs the
+			// worker's whole lifetime — the busy fraction's complement is
+			// time spent waiting on the coordinator's backpressure.
 			var wc cost.Counters
 			var rows int64
+			var busy time.Duration
+			var wallStart time.Time
+			if timed {
+				wallStart = time.Now()
+			}
 			morsels := 0
+			wall := func() time.Duration {
+				if timed {
+					return time.Since(wallStart)
+				}
+				return 0
+			}
 			for {
 				select {
 				case <-o.stopCh:
-					o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows}
+					o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows, busy: busy, wall: wall()}
 					return
 				default:
 				}
@@ -148,13 +185,20 @@ func (o *exchangeOp) Open(ctx *Context, counters *cost.Counters) error {
 				if m >= o.nMorsels {
 					break
 				}
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
 				out, err := mw.runMorsel(m, &wc)
+				if timed {
+					busy += time.Since(start)
+				}
 				rows += int64(len(out))
 				morsels++
 				select {
 				case o.results <- morselResult{m: m, rows: out, err: err}:
 				case <-o.stopCh:
-					o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows}
+					o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows, busy: busy, wall: wall()}
 					return
 				}
 				if err != nil {
@@ -163,7 +207,7 @@ func (o *exchangeOp) Open(ctx *Context, counters *cost.Counters) error {
 					break
 				}
 			}
-			o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows}
+			o.reports <- workerReport{w: w, counters: wc, morsels: morsels, rows: rows, busy: busy, wall: wall()}
 		}(w, mw)
 	}
 	return nil
@@ -193,7 +237,15 @@ func (o *exchangeOp) Next() (*Batch, error) {
 		// result, so this always terminates.
 		res, ok := o.pending[o.next]
 		for !ok {
+			if o.metrics != nil {
+				// Sampled just before each blocking receive: how far the
+				// workers have run ahead of the in-order merge.
+				o.metrics.Histogram("robustqo_exchange_queue_depth", obs.DepthBuckets).Observe(float64(len(o.results)))
+			}
 			r := <-o.results
+			if o.shardRows != nil {
+				o.shardRows[o.shardOf(r.m)] += int64(len(r.rows))
+			}
 			o.pending[r.m] = r
 			res, ok = o.pending[o.next]
 		}
@@ -253,21 +305,31 @@ func (o *exchangeOp) finish() {
 		}
 		break
 	}
-	var totalRows, totalMorsels int64
+	var totalRows, totalMorsels, maxWorkerRows int64
+	nReported := 0
 	for w := range reps {
 		if got[w] {
 			o.counters.Add(reps[w].counters)
 			totalRows += reps[w].rows
 			totalMorsels += int64(reps[w].morsels)
+			if reps[w].rows > maxWorkerRows {
+				maxWorkerRows = reps[w].rows
+			}
+			nReported++
 			if sp := o.spans[w]; sp != nil {
 				sp.SetAttr("morsels", fmt.Sprintf("%d", reps[w].morsels))
 				sp.SetAttr("rows", fmt.Sprintf("%d", reps[w].rows))
+			}
+			if o.metrics != nil && reps[w].wall > 0 {
+				o.metrics.Histogram("robustqo_exchange_worker_busy_ratio", obs.RatioBuckets).
+					Observe(reps[w].busy.Seconds() / reps[w].wall.Seconds())
 			}
 		}
 		if w < len(o.spans) {
 			o.spans[w].End()
 		}
 	}
+	o.exportSkew(totalRows, totalMorsels, maxWorkerRows, nReported)
 	// The workers bypass an instrumented source's pass-through wrapper,
 	// so feed the actual totals into its stats here; EXPLAIN ANALYZE then
 	// reports the scan's actuals as usual.
@@ -279,5 +341,35 @@ func (o *exchangeOp) finish() {
 	// subtree (HashJoin over an instrumented probe) feed those here too.
 	if f, ok := o.runner.(morselStatsFeeder); ok {
 		f.feedStats()
+	}
+}
+
+// exportSkew emits the drain-level utilization series: totals, the
+// max-over-mean row skew across workers, and — when the runner is
+// sharded — the same skew statistic across shards. A skew of 1.0 is a
+// perfectly balanced drain; the histogram buckets (obs.SkewBuckets) top
+// out at 10x.
+func (o *exchangeOp) exportSkew(totalRows, totalMorsels, maxWorkerRows int64, nWorkers int) {
+	if o.metrics == nil {
+		return
+	}
+	o.metrics.Counter("robustqo_exchange_rows_total").Add(totalRows)
+	o.metrics.Counter("robustqo_exchange_morsels_total").Add(totalMorsels)
+	if totalRows > 0 && nWorkers > 0 {
+		skew := float64(maxWorkerRows) * float64(nWorkers) / float64(totalRows)
+		o.metrics.Histogram("robustqo_exchange_row_skew", obs.SkewBuckets).Observe(skew)
+	}
+	if o.shardRows != nil {
+		var shardTotal, shardMax int64
+		for _, r := range o.shardRows {
+			shardTotal += r
+			if r > shardMax {
+				shardMax = r
+			}
+		}
+		if shardTotal > 0 {
+			skew := float64(shardMax) * float64(len(o.shardRows)) / float64(shardTotal)
+			o.metrics.Histogram("robustqo_exchange_shard_skew", obs.SkewBuckets).Observe(skew)
+		}
 	}
 }

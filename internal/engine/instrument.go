@@ -9,6 +9,7 @@ import (
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
 	"robustqo/internal/obs"
+	"robustqo/internal/obs/ledger"
 )
 
 // Instrumented wraps one plan node with execution-feedback recording:
@@ -30,6 +31,44 @@ type Instrumented struct {
 	// Trace, when non-nil, receives one span per operator lifetime
 	// (Open through Close).
 	Trace *obs.Trace
+
+	// opts is set only on the root wrapper (by InstrumentOpts); it holds
+	// the query-lifecycle sinks the root drives for the whole tree.
+	opts *InstrumentOptions
+	// ledgerRows is the Stats.Rows watermark already fed to the ledger,
+	// so repeated executions of the same instrumented tree append the
+	// per-execution delta, not the cumulative total.
+	ledgerRows int64
+}
+
+// InstrumentOptions bundles the query-lifecycle sinks an instrumented
+// execution feeds. Every field is optional; the zero value reproduces
+// plain Instrument behavior exactly.
+type InstrumentOptions struct {
+	// Trace receives one span per operator lifetime.
+	Trace *obs.Trace
+	// EstimateOf resolves the optimizer's planning-time snapshot for an
+	// original node (optimizer.Plan.EstimateOf). Required for ledger
+	// feedback: only estimates carrying a fingerprint are appended.
+	EstimateOf func(Node) (obs.EstimateSnapshot, bool)
+	// Ledger, when non-nil, receives one cardinality feedback observation
+	// per fingerprinted operator when the root closes.
+	Ledger *ledger.Ledger
+	// QueryID, when non-empty, is stamped on the root operator's span so
+	// traces correlate with the event and slow-query logs.
+	QueryID string
+	// Live, when non-nil, receives the rows produced by the plan root as
+	// they stream out — the numerator of /debug/queries progress.
+	Live *obs.QueryLive
+}
+
+// InstrumentOpts is Instrument with the full set of query-lifecycle
+// sinks. The returned root drives them; the wrappers below it behave
+// exactly as plain Instrument wrappers.
+func InstrumentOpts(root Node, opts InstrumentOptions) *Instrumented {
+	n := instrument(root, opts.Trace)
+	n.opts = &opts
+	return n
 }
 
 // Instrument returns an instrumented copy of the plan rooted at root.
@@ -206,6 +245,9 @@ type instrumentedOp struct {
 
 func (o *instrumentedOp) Open(ctx *Context, counters *cost.Counters) error {
 	o.span = o.node.Trace.StartSpan("op:" + OpName(o.node.Inner))
+	if o.node.opts != nil && o.node.opts.QueryID != "" {
+		o.span.SetAttr("qid", o.node.opts.QueryID)
+	}
 	start := time.Now()
 	o.inner = o.node.Inner.Stream()
 	err := o.inner.Open(ctx, counters)
@@ -222,6 +264,9 @@ func (o *instrumentedOp) Next() (*Batch, error) {
 	if b != nil {
 		st.Batches++
 		st.Rows += int64(b.Len())
+		if o.node.opts != nil {
+			o.node.opts.Live.AddRows(int64(b.Len()))
+		}
 	}
 	return b, err
 }
@@ -237,9 +282,52 @@ func (o *instrumentedOp) Close() {
 				o.span.SetAttr("rows", fmt.Sprintf("%d", o.node.Stats.Rows))
 				o.span.SetAttr("batches", fmt.Sprintf("%d", o.node.Stats.Batches))
 			}
+			// The root wrapper flushes cardinality feedback once the whole
+			// tree has closed: by then every bypassed wrapper's stats have
+			// been fed (Exchange merges at its barrier, inside the inner
+			// Close above).
+			o.node.flushLedger()
 		}
 	}
 	o.span.End()
+}
+
+// flushLedger appends one cardinality feedback observation per
+// fingerprinted operator of the tree rooted here. A no-op unless this is
+// the root wrapper of an InstrumentOpts tree with a ledger and an
+// estimate source. Appends happen leaf-first, mirroring the order
+// operators finish producing.
+func (n *Instrumented) flushLedger() {
+	opts := n.opts
+	if opts == nil || opts.Ledger == nil || opts.EstimateOf == nil {
+		return
+	}
+	var walk func(m *Instrumented)
+	walk = func(m *Instrumented) {
+		for _, k := range m.Kids {
+			walk(k)
+		}
+		est, ok := opts.EstimateOf(m.Origin)
+		if !ok || est.Fingerprint == "" {
+			return
+		}
+		actual := m.Stats.Rows - m.ledgerRows
+		m.ledgerRows = m.Stats.Rows
+		table := ""
+		if lt := LeafTables(m.Inner); len(lt) > 0 {
+			table = lt[0]
+		}
+		opts.Ledger.Append(ledger.Observation{
+			Fingerprint:  est.Fingerprint,
+			Table:        table,
+			EstRows:      est.Rows,
+			ActualRows:   actual,
+			Percentile:   est.Percentile,
+			PartsScanned: est.PartsScanned,
+			PartsTotal:   est.PartsTotal,
+		})
+	}
+	walk(n)
 }
 
 // AnalyzeOptions configures ExplainAnalyze rendering.

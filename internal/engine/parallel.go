@@ -92,6 +92,14 @@ func morselSourceOf(n Node) (morselSource, bool) {
 	return ms, ok
 }
 
+// shardedRunner is implemented by runners that know which shard each
+// morsel was tiled from; the Exchange uses it for the per-shard row-skew
+// metric. Runners over unpartitioned sources simply don't implement it.
+type shardedRunner interface {
+	numShards() int
+	shardOfMorsel(m int) int
+}
+
 // morselStatsFeeder is implemented by runners that bypass Instrumented
 // wrappers inside their subtree (a HashJoin's probe runs through the
 // worker pool, not through the probe node's own Stream). Exchange calls
@@ -114,9 +122,10 @@ func (s *SeqScan) openMorsels(ctx *Context, _ *cost.Counters, _ int) (morselRunn
 	if _, err := bindFilter(s.Filter, schema); err != nil {
 		return nil, err
 	}
+	morsels, shards := spanMorselsShards(scanSpans(t, s.Partitions))
 	return &seqMorselRunner{
 		node: s, t: t, schema: schema,
-		morsels: spanMorsels(scanSpans(t, s.Partitions)),
+		morsels: morsels, shards: shards,
 	}, nil
 }
 
@@ -128,9 +137,22 @@ type seqMorselRunner struct {
 	// row-id windows, each inside one surviving shard. The Exchange's
 	// merge-by-morsel-index therefore reproduces global row-id order.
 	morsels []rowSpan
+	// shards[m] is the span (shard) index morsel m was tiled from.
+	shards []int
 }
 
 func (r *seqMorselRunner) numMorsels() int { return len(r.morsels) }
+
+// numShards and shardOfMorsel implement shardedRunner; shards are
+// shard-major, so the last entry is the highest span index.
+func (r *seqMorselRunner) numShards() int {
+	if len(r.shards) == 0 {
+		return 0
+	}
+	return r.shards[len(r.shards)-1] + 1
+}
+
+func (r *seqMorselRunner) shardOfMorsel(m int) int { return r.shards[m] }
 
 func (r *seqMorselRunner) newWorker() (morselWorker, error) {
 	pred, err := bindFilter(r.node.Filter, r.schema)

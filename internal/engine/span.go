@@ -44,13 +44,23 @@ func scanSpans(t *storage.Table, parts []int) []rowSpan {
 // base, so each worker's sub-batch windows coincide with the serial
 // pruned scan's windows and the merged counters stay byte-identical.
 func spanMorsels(spans []rowSpan) []rowSpan {
+	out, _ := spanMorselsShards(spans)
+	return out
+}
+
+// spanMorselsShards is spanMorsels plus, per morsel, the index of the
+// span (shard) it was tiled from — the mapping behind the Exchange's
+// per-shard row-skew metric.
+func spanMorselsShards(spans []rowSpan) ([]rowSpan, []int) {
 	var out []rowSpan
-	for _, s := range spans {
+	var shard []int
+	for si, s := range spans {
 		for lo := s.lo; lo < s.hi; lo += MorselSize {
 			out = append(out, rowSpan{lo, min(lo+MorselSize, s.hi)})
+			shard = append(shard, si)
 		}
 	}
-	return out
+	return out, shard
 }
 
 // filterRidsToSpans keeps the RIDs inside the surviving shards' spans.

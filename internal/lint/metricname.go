@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"math"
 	"regexp"
 )
 
@@ -14,11 +15,17 @@ import (
 // name defeats static checking and invites unbounded cardinality — and
 // one name must register as exactly one kind: the registry's
 // get-or-create semantics would otherwise hand a counter and a
-// histogram the same exposition line.
+// histogram the same exposition line. Histogram registrations must also
+// pass explicit bucket bounds — a package-level bucket var (the shared
+// obs.*Buckets families) or a composite literal of strictly ascending
+// constants — because the registry's first caller fixes the buckets for
+// every later caller of the same name, so the bounds must be statically
+// auditable at each registration site.
 var MetricName = &Analyzer{
 	Name: "metricname",
 	Doc: "registry metric names must be constants matching " +
-		"^robustqo_[a-z0-9_]+$ and register as exactly one kind",
+		"^robustqo_[a-z0-9_]+$, register as exactly one kind, and " +
+		"histograms must pass statically-known ascending bucket bounds",
 	Run: runMetricName,
 }
 
@@ -65,8 +72,65 @@ func runMetricName(pass *Pass) {
 				return true
 			}
 			kinds[name] = registration{kind: kind, pos: arg.Pos()}
+			if kind == "Histogram" {
+				checkBuckets(pass, call)
+			}
 			return true
 		})
+	}
+}
+
+// checkBuckets validates a Histogram registration's bucket-bounds
+// argument: a reference to a package-level var (shared bucket families)
+// or a non-empty composite literal of strictly ascending constants.
+func checkBuckets(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	arg := ast.Unparen(call.Args[1])
+	if tv, ok := pass.Info.Types[arg]; ok && tv.IsNil() {
+		pass.Reportf(arg.Pos(),
+			"histogram registration needs explicit bucket bounds (a shared bucket var or an ascending constant literal), not nil")
+		return
+	}
+	switch b := arg.(type) {
+	case *ast.CompositeLit:
+		if len(b.Elts) == 0 {
+			pass.Reportf(b.Pos(), "histogram bucket literal must not be empty")
+			return
+		}
+		prev := math.Inf(-1)
+		for _, e := range b.Elts {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				pass.Reportf(e.Pos(), "histogram bucket bounds must be compile-time constants")
+				return
+			}
+			v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+			if v <= prev {
+				pass.Reportf(e.Pos(), "histogram bucket bounds must be strictly ascending")
+				return
+			}
+			prev = v
+		}
+	case *ast.Ident:
+		checkBucketVar(pass, b, b.Pos())
+	case *ast.SelectorExpr:
+		checkBucketVar(pass, b.Sel, b.Pos())
+	default:
+		pass.Reportf(arg.Pos(),
+			"histogram bucket bounds must be a package-level bucket var or an ascending constant literal")
+	}
+}
+
+// checkBucketVar accepts only package-level bucket variables: locals
+// and fields can be reassigned between registration sites, defeating
+// the static audit.
+func checkBucketVar(pass *Pass, id *ast.Ident, at token.Pos) {
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		pass.Reportf(at,
+			"histogram bucket bounds must be a package-level bucket var or an ascending constant literal")
 	}
 }
 

@@ -1,10 +1,15 @@
 // Package metricname exercises the metricname analyzer: registry
-// names are constants matching ^robustqo_[a-z0-9_]+$, one kind each.
+// names are constants matching ^robustqo_[a-z0-9_]+$, one kind each,
+// and histograms register with statically-known ascending buckets.
 package metricname
 
 import "obs"
 
 const hitsName = "robustqo_cache_hits_total"
+
+// skewBuckets stands in for the shared obs.*Buckets families: a
+// package-level var is an acceptable bucket reference.
+var skewBuckets = []float64{1, 1.5, 2, 4, 10}
 
 func ok(reg *obs.Registry) {
 	reg.Counter("robustqo_queries_total").Inc()
@@ -12,6 +17,24 @@ func ok(reg *obs.Registry) {
 	reg.Histogram("robustqo_qerror", []float64{1, 2, 4}).Observe(1.5)
 	// Same name, same kind, different labels: one series family.
 	reg.Counter("robustqo_queries_total", obs.Label{Key: "op", Value: "scan"}).Inc()
+}
+
+// exchangeSeries registers the executor utilization family: counters
+// plus histograms on shared package-level bucket vars.
+func exchangeSeries(reg *obs.Registry) {
+	reg.Counter("robustqo_exchange_rows_total").Add(3)
+	reg.Counter("robustqo_exchange_morsels_total").Add(1)
+	reg.Histogram("robustqo_exchange_queue_depth", []float64{0, 1, 2, 4, 8}).Observe(2)
+	reg.Histogram("robustqo_exchange_worker_busy_ratio", []float64{0.25, 0.5, 0.75, 1}).Observe(0.9)
+	reg.Histogram("robustqo_exchange_row_skew", skewBuckets).Observe(1.2)
+	reg.Histogram("robustqo_exchange_shard_skew", skewBuckets).Observe(1)
+}
+
+// ledgerSeries registers the cardinality feedback family.
+func ledgerSeries(reg *obs.Registry) {
+	reg.Counter("robustqo_ledger_appends_total").Inc()
+	reg.Counter("robustqo_ledger_dropped_total").Inc()
+	reg.Histogram("robustqo_ledger_qerror", skewBuckets).Observe(2)
 }
 
 func badPrefix(reg *obs.Registry) {
@@ -27,9 +50,35 @@ func dynamicName(reg *obs.Registry, name string) {
 }
 
 func kindClash(reg *obs.Registry) {
-	reg.Histogram("robustqo_latency", nil).Observe(1)
+	reg.Histogram("robustqo_latency", skewBuckets).Observe(1)
 	reg.Counter("robustqo_latency").Inc() // want "both Histogram and Counter"
 }
+
+func nilBuckets(reg *obs.Registry) {
+	reg.Histogram("robustqo_nil_buckets", nil).Observe(1) // want "needs explicit bucket bounds"
+}
+
+func emptyBuckets(reg *obs.Registry) {
+	reg.Histogram("robustqo_empty_buckets", []float64{}).Observe(1) // want "must not be empty"
+}
+
+func descendingBuckets(reg *obs.Registry) {
+	reg.Histogram("robustqo_descending_buckets", []float64{4, 2, 1}).Observe(1) // want "strictly ascending"
+}
+
+func duplicateBuckets(reg *obs.Registry) {
+	reg.Histogram("robustqo_duplicate_buckets", []float64{1, 2, 2}).Observe(1) // want "strictly ascending"
+}
+
+func dynamicBuckets(reg *obs.Registry, bounds []float64) {
+	reg.Histogram("robustqo_local_buckets", bounds).Observe(1) // want "package-level bucket var"
+}
+
+func computedBuckets(reg *obs.Registry) {
+	reg.Histogram("robustqo_computed_buckets", makeBuckets()).Observe(1) // want "package-level bucket var"
+}
+
+func makeBuckets() []float64 { return []float64{1, 2} }
 
 func suppressed(reg *obs.Registry, name string) {
 	//qolint:allow-metricname

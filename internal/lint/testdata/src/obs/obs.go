@@ -34,6 +34,9 @@ type Counter struct{ v int64 }
 // Inc bumps the counter.
 func (c *Counter) Inc() { c.v++ }
 
+// Add bumps the counter by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
 // Histogram is a bucketed distribution metric.
 type Histogram struct{ n int64 }
 

@@ -1,0 +1,289 @@
+// Package ledger is the durable read-side of cardinality feedback: a
+// concurrent, bounded, persistable store of estimate-vs-actual outcomes
+// keyed by predicate fingerprint. The optimizer stamps each plan node's
+// estimate snapshot with a normalized table+conjunct-shape fingerprint
+// (literals value-binned, so repeated traffic with shifting constants
+// accumulates under one key); the engine's instrumentation appends one
+// observation per fingerprinted operator when a query finishes; and the
+// ledger answers the questions the feedback loop needs — which
+// fingerprints the posteriors are most wrong about (worst Q-error), and
+// how each table's estimates drift over/under truth.
+//
+// The package sits under internal/obs and inherits its determinism
+// discipline: no wall clock anywhere. Observations are ordered by a
+// monotone append ordinal, so replays of the same workload produce a
+// byte-identical ledger — the property the persistence round-trip tests
+// pin.
+package ledger
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"robustqo/internal/cost"
+	"robustqo/internal/obs"
+)
+
+// DefaultMaxEntries bounds the number of distinct fingerprints a ledger
+// tracks by default. A fingerprint is a normalized predicate shape, not
+// a literal, so real workloads concentrate into few entries; the bound
+// exists to keep adversarial or ad-hoc floods from growing the ledger
+// without limit.
+const DefaultMaxEntries = 4096
+
+// Observation is one estimate-vs-actual outcome for one fingerprinted
+// plan operator, fed by the engine's instrumentation at query close.
+type Observation struct {
+	// Fingerprint keys the entry; empty fingerprints are ignored.
+	Fingerprint string
+	// Table is the root table of the estimated expression (the first
+	// table of the fingerprint), used for per-table drift summaries.
+	Table string
+	// EstRows is the optimizer's planning-time cardinality at the
+	// posterior percentile T; ActualRows is what the operator produced.
+	EstRows    float64
+	ActualRows int64
+	// Percentile is the posterior percentile T the estimate was taken
+	// at; zero for point estimators.
+	Percentile float64
+	// PartsScanned/PartsTotal record partition pruning, zero when the
+	// expression's root is unpartitioned.
+	PartsScanned, PartsTotal int
+}
+
+// Entry is the accumulated feedback for one fingerprint. All counters
+// accumulate across appends; Last* fields snapshot the most recent
+// observation so drift direction is visible without storing history.
+type Entry struct {
+	Fingerprint string
+	Table       string
+
+	Count         int64  // observations folded into this entry
+	FirstOrdinal  uint64 // append ordinal of the first observation
+	LastOrdinal   uint64 // append ordinal of the latest observation
+	LastEstRows   float64
+	LastActual    int64
+	LastPercentil float64
+	LastQError    float64
+	PartsScanned  int
+	PartsTotal    int
+
+	MaxQError float64 // worst Q-error seen for this fingerprint
+	SumLogQ   float64 // sum of ln(Q-error); exp(SumLogQ/Count) = geomean
+	OverCount int64   // observations where est > actual (overestimates)
+	UnderCnt  int64   // observations where est < actual (underestimates)
+}
+
+// GeoMeanQError returns the geometric mean Q-error of the entry's
+// observations — the standard summary for multiplicative errors.
+func (e Entry) GeoMeanQError() float64 {
+	if e.Count == 0 {
+		return 0
+	}
+	return math.Exp(e.SumLogQ / float64(e.Count))
+}
+
+// Ledger is the concurrent bounded store. The zero value is not usable;
+// construct with New. A nil *Ledger is a valid no-op sink: Append on nil
+// does nothing, so instrumentation points never need a nil check.
+type Ledger struct {
+	// Metrics, when non-nil, receives robustqo_ledger_* series on every
+	// append. Set before concurrent use.
+	Metrics *obs.Registry
+
+	mu      sync.Mutex
+	max     int
+	ord     uint64
+	entries map[string]*Entry
+	dropped int64
+}
+
+// New returns an empty ledger bounded to maxEntries distinct
+// fingerprints; maxEntries < 1 selects DefaultMaxEntries.
+func New(maxEntries int) *Ledger {
+	if maxEntries < 1 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Ledger{max: maxEntries, entries: make(map[string]*Entry)}
+}
+
+// Append folds one observation into the entry for its fingerprint,
+// assigning the next append ordinal. Observations with an empty
+// fingerprint are ignored. When the ledger is full, observations for new
+// fingerprints are dropped (counted, never evicting existing feedback):
+// the first-seen shapes of a workload are the recurring ones feedback
+// can act on, and a stable population keeps replays deterministic.
+func (l *Ledger) Append(o Observation) {
+	if l == nil || o.Fingerprint == "" {
+		return
+	}
+	l.mu.Lock()
+	e, ok := l.entries[o.Fingerprint]
+	if !ok {
+		if len(l.entries) >= l.max {
+			l.dropped++
+			l.mu.Unlock()
+			if l.Metrics != nil {
+				l.Metrics.Counter("robustqo_ledger_dropped_total").Inc()
+			}
+			return
+		}
+		e = &Entry{Fingerprint: o.Fingerprint, Table: o.Table}
+		l.entries[o.Fingerprint] = e
+	}
+	l.ord++
+	q := obs.QError(o.EstRows, float64(o.ActualRows))
+	if e.Count == 0 {
+		e.FirstOrdinal = l.ord
+	}
+	e.Count++
+	e.LastOrdinal = l.ord
+	e.LastEstRows = o.EstRows
+	e.LastActual = o.ActualRows
+	e.LastPercentil = o.Percentile
+	e.LastQError = q
+	e.PartsScanned = o.PartsScanned
+	e.PartsTotal = o.PartsTotal
+	if q > e.MaxQError {
+		e.MaxQError = q
+	}
+	e.SumLogQ += math.Log(q)
+	// Clamped comparison mirrors QError: sub-row estimates and empty
+	// actuals compare at one row, so "over" vs "under" is well defined
+	// exactly when the Q-error is.
+	est, act := o.EstRows, float64(o.ActualRows)
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	switch {
+	case est > act:
+		e.OverCount++
+	case est < act:
+		e.UnderCnt++
+	}
+	l.mu.Unlock()
+	if l.Metrics != nil {
+		l.Metrics.Counter("robustqo_ledger_appends_total").Inc()
+		l.Metrics.Histogram("robustqo_ledger_qerror", obs.QErrorBuckets).Observe(q)
+	}
+}
+
+// Len returns the number of distinct fingerprints tracked.
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Dropped returns how many observations were discarded because the
+// ledger was full and their fingerprint was new.
+func (l *Ledger) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Ordinal returns the append ordinal of the latest observation (the
+// logical clock of the ledger).
+func (l *Ledger) Ordinal() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ord
+}
+
+// Snapshot returns every entry ordered by fingerprint — the
+// deterministic full dump persistence and tests build on.
+func (l *Ledger) Snapshot() []Entry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// TopQError returns the n entries with the worst (largest) maximum
+// Q-error, ties broken by fingerprint so the order is deterministic.
+// n < 1 returns all entries.
+func (l *Ledger) TopQError(n int) []Entry {
+	out := l.Snapshot()
+	sort.Slice(out, func(i, j int) bool {
+		if cost.Less(out[j].MaxQError, out[i].MaxQError) {
+			return true
+		}
+		if cost.Less(out[i].MaxQError, out[j].MaxQError) {
+			return false
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TableDrift summarizes one table's estimate drift across every
+// fingerprint rooted at it.
+type TableDrift struct {
+	Table        string
+	Fingerprints int
+	Count        int64 // total observations
+	GeoMeanQ     float64
+	MaxQ         float64
+	OverCount    int64 // observations with est > actual
+	UnderCount   int64 // observations with est < actual
+}
+
+// Drift returns the per-table summaries ordered by table name.
+func (l *Ledger) Drift() []TableDrift {
+	entries := l.Snapshot()
+	byTable := make(map[string]*TableDrift)
+	sumLog := make(map[string]float64)
+	for _, e := range entries {
+		d, ok := byTable[e.Table]
+		if !ok {
+			d = &TableDrift{Table: e.Table}
+			byTable[e.Table] = d
+		}
+		d.Fingerprints++
+		d.Count += e.Count
+		sumLog[e.Table] += e.SumLogQ
+		if e.MaxQError > d.MaxQ {
+			d.MaxQ = e.MaxQError
+		}
+		d.OverCount += e.OverCount
+		d.UnderCount += e.UnderCnt
+	}
+	names := make([]string, 0, len(byTable))
+	for name := range byTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TableDrift, 0, len(names))
+	for _, name := range names {
+		d := byTable[name]
+		if d.Count > 0 {
+			d.GeoMeanQ = math.Exp(sumLog[name] / float64(d.Count))
+		}
+		out = append(out, *d)
+	}
+	return out
+}

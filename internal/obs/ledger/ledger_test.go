@@ -1,0 +1,172 @@
+package ledger
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"robustqo/internal/obs"
+)
+
+func TestAppendAccumulates(t *testing.T) {
+	l := New(0)
+	fp := "lineitem|l_shipdate between b10..b10"
+	l.Append(Observation{Fingerprint: fp, Table: "lineitem", EstRows: 100, ActualRows: 50, Percentile: 0.8})
+	l.Append(Observation{Fingerprint: fp, Table: "lineitem", EstRows: 80, ActualRows: 400, Percentile: 0.8})
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	es := l.Snapshot()
+	e := es[0]
+	if e.Count != 2 || e.FirstOrdinal != 1 || e.LastOrdinal != 2 {
+		t.Fatalf("entry counts/ordinals wrong: %+v", e)
+	}
+	if e.LastEstRows != 80 || e.LastActual != 400 || e.LastPercentil != 0.8 {
+		t.Fatalf("last fields wrong: %+v", e)
+	}
+	if e.MaxQError != 5 { // 400/80
+		t.Fatalf("MaxQError = %g, want 5", e.MaxQError)
+	}
+	if e.OverCount != 1 || e.UnderCnt != 1 {
+		t.Fatalf("over/under = %d/%d, want 1/1", e.OverCount, e.UnderCnt)
+	}
+	wantGeo := math.Sqrt(2 * 5) // geomean of q=2 and q=5
+	if math.Abs(e.GeoMeanQError()-wantGeo) > 1e-12 {
+		t.Fatalf("GeoMeanQError = %g, want %g", e.GeoMeanQError(), wantGeo)
+	}
+}
+
+func TestEmptyFingerprintIgnored(t *testing.T) {
+	l := New(0)
+	l.Append(Observation{Table: "lineitem", EstRows: 10, ActualRows: 10})
+	if l.Len() != 0 || l.Ordinal() != 0 {
+		t.Fatalf("empty fingerprint was recorded: len=%d ord=%d", l.Len(), l.Ordinal())
+	}
+}
+
+func TestNilLedgerIsNoOp(t *testing.T) {
+	var l *Ledger
+	l.Append(Observation{Fingerprint: "x", EstRows: 1, ActualRows: 1})
+	if l.Len() != 0 || l.Dropped() != 0 || l.Ordinal() != 0 || l.Snapshot() != nil {
+		t.Fatal("nil ledger must be inert")
+	}
+	if got := l.TopQError(3); len(got) != 0 {
+		t.Fatalf("nil TopQError returned %d entries", len(got))
+	}
+}
+
+func TestBoundDropsNewFingerprints(t *testing.T) {
+	l := New(2)
+	l.Append(Observation{Fingerprint: "a", Table: "t", EstRows: 1, ActualRows: 10})
+	l.Append(Observation{Fingerprint: "b", Table: "t", EstRows: 1, ActualRows: 10})
+	l.Append(Observation{Fingerprint: "c", Table: "t", EstRows: 1, ActualRows: 10})
+	l.Append(Observation{Fingerprint: "a", Table: "t", EstRows: 1, ActualRows: 10})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", l.Dropped())
+	}
+	// Existing fingerprints still accumulate while full.
+	for _, e := range l.Snapshot() {
+		if e.Fingerprint == "a" && e.Count != 2 {
+			t.Fatalf("entry a count = %d, want 2", e.Count)
+		}
+	}
+}
+
+func TestTopQErrorOrdering(t *testing.T) {
+	l := New(0)
+	l.Append(Observation{Fingerprint: "mid", Table: "t", EstRows: 10, ActualRows: 100})  // q=10
+	l.Append(Observation{Fingerprint: "low", Table: "t", EstRows: 10, ActualRows: 20})   // q=2
+	l.Append(Observation{Fingerprint: "high", Table: "t", EstRows: 10, ActualRows: 990}) // q=99
+	l.Append(Observation{Fingerprint: "tie", Table: "t", EstRows: 10, ActualRows: 100})  // q=10
+	top := l.TopQError(3)
+	got := make([]string, len(top))
+	for i, e := range top {
+		got[i] = e.Fingerprint
+	}
+	want := "high,mid,tie"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("TopQError order = %v, want %s", got, want)
+	}
+	if all := l.TopQError(0); len(all) != 4 {
+		t.Fatalf("TopQError(0) = %d entries, want all 4", len(all))
+	}
+}
+
+func TestDriftPerTable(t *testing.T) {
+	l := New(0)
+	l.Append(Observation{Fingerprint: "a", Table: "lineitem", EstRows: 10, ActualRows: 40}) // under, q=4
+	l.Append(Observation{Fingerprint: "a", Table: "lineitem", EstRows: 40, ActualRows: 10}) // over, q=4
+	l.Append(Observation{Fingerprint: "b", Table: "orders", EstRows: 9, ActualRows: 9})     // exact, q=1
+	ds := l.Drift()
+	if len(ds) != 2 || ds[0].Table != "lineitem" || ds[1].Table != "orders" {
+		t.Fatalf("Drift tables = %+v", ds)
+	}
+	li := ds[0]
+	if li.Fingerprints != 1 || li.Count != 2 || li.OverCount != 1 || li.UnderCount != 1 || li.MaxQ != 4 {
+		t.Fatalf("lineitem drift = %+v", li)
+	}
+	if math.Abs(li.GeoMeanQ-4) > 1e-12 {
+		t.Fatalf("lineitem geomean = %g, want 4", li.GeoMeanQ)
+	}
+	if ds[1].GeoMeanQ != 1 || ds[1].MaxQ != 1 {
+		t.Fatalf("orders drift = %+v", ds[1])
+	}
+}
+
+func TestMetricsExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := New(1)
+	l.Metrics = reg
+	l.Append(Observation{Fingerprint: "a", Table: "t", EstRows: 10, ActualRows: 20})
+	l.Append(Observation{Fingerprint: "b", Table: "t", EstRows: 10, ActualRows: 20}) // dropped: full
+	if got := reg.Counter("robustqo_ledger_appends_total").Value(); got != 1 {
+		t.Fatalf("appends_total = %d, want 1", got)
+	}
+	if got := reg.Counter("robustqo_ledger_dropped_total").Value(); got != 1 {
+		t.Fatalf("dropped_total = %d, want 1", got)
+	}
+	if got := reg.Histogram("robustqo_ledger_qerror", obs.QErrorBuckets).Count(); got != 1 {
+		t.Fatalf("qerror count = %d, want 1", got)
+	}
+}
+
+// TestConcurrentAppend exercises the lock under -race and checks the
+// ordinal accounts every successful append exactly once.
+func TestConcurrentAppend(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append(Observation{
+					Fingerprint: fmt.Sprintf("fp-%d", i%32),
+					Table:       "t",
+					EstRows:     float64(i + 1),
+					ActualRows:  int64(w + 1),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Ordinal(); got != workers*per {
+		t.Fatalf("Ordinal = %d, want %d", got, workers*per)
+	}
+	if l.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", l.Len())
+	}
+	var total int64
+	for _, e := range l.Snapshot() {
+		total += e.Count
+	}
+	if total != workers*per {
+		t.Fatalf("entry counts sum to %d, want %d", total, workers*per)
+	}
+}

@@ -1,0 +1,105 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The ledger persists next to the statistics bundle and follows the same
+// wire discipline (see internal/sample/persist.go): explicit magic bytes
+// and a big-endian uint32 format version ahead of the gob payload, so a
+// ledger file can never be silently misloaded by (or into) a different
+// format — the magic check fails before gob ever sees the bytes, and a
+// version bump is refused with an explicit error instead of decoded on
+// faith.
+
+// wireMagic opens every versioned ledger stream.
+var wireMagic = [8]byte{'R', 'Q', 'O', 'L', 'E', 'D', 'G', 'R'}
+
+// wireVersion guards against decoding incompatible formats. Version 1 is
+// the initial format: bounded per-fingerprint aggregate entries plus the
+// append ordinal and drop count.
+const wireVersion = 1
+
+// savedLedger is the gob wire form. Entries are sorted by fingerprint at
+// save time, so equal ledgers serialize to equal bytes.
+type savedLedger struct {
+	Version int
+	Max     int
+	Ordinal uint64
+	Dropped int64
+	Entries []Entry
+}
+
+// Save serializes the ledger: header first, then the gob payload.
+func (l *Ledger) Save(w io.Writer) error {
+	if l == nil {
+		return fmt.Errorf("ledger: cannot save a nil ledger")
+	}
+	if _, err := w.Write(wireMagic[:]); err != nil {
+		return fmt.Errorf("ledger: writing header: %v", err)
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(wireVersion)); err != nil {
+		return fmt.Errorf("ledger: writing header: %v", err)
+	}
+	l.mu.Lock()
+	out := savedLedger{Version: wireVersion, Max: l.max, Ordinal: l.ord, Dropped: l.dropped}
+	l.mu.Unlock()
+	out.Entries = l.Snapshot()
+	if err := gob.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("ledger: encoding entries: %v", err)
+	}
+	return nil
+}
+
+// Load deserializes a ledger saved with Save. Streams without the magic
+// header and streams with a different format version are refused with an
+// explicit error; structural invariants (entry bound, ordinal monotony)
+// are validated before the ledger is returned.
+func Load(r io.Reader) (*Ledger, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("ledger: reading header: %v", err)
+	}
+	if magic != wireMagic {
+		return nil, fmt.Errorf("ledger: stream has no ledger format-version header; not a ledger file?")
+	}
+	var version uint32
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, fmt.Errorf("ledger: reading header: %v", err)
+	}
+	if version != wireVersion {
+		return nil, fmt.Errorf("ledger: unsupported format version %d (want %d); re-run the workload to rebuild", version, wireVersion)
+	}
+	var in savedLedger
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ledger: decoding entries: %v", err)
+	}
+	if in.Version != wireVersion {
+		return nil, fmt.Errorf("ledger: header version %d disagrees with payload version %d", version, in.Version)
+	}
+	if in.Max < 1 || len(in.Entries) > in.Max {
+		return nil, fmt.Errorf("ledger: %d entries exceed the declared bound %d", len(in.Entries), in.Max)
+	}
+	l := New(in.Max)
+	l.ord = in.Ordinal
+	l.dropped = in.Dropped
+	for i := range in.Entries {
+		e := in.Entries[i]
+		if e.Fingerprint == "" {
+			return nil, fmt.Errorf("ledger: entry %d has an empty fingerprint", i)
+		}
+		if e.Count < 1 || e.LastOrdinal > in.Ordinal || e.FirstOrdinal > e.LastOrdinal {
+			return nil, fmt.Errorf("ledger: entry %q has inconsistent ordinals (count=%d first=%d last=%d ledger=%d)",
+				e.Fingerprint, e.Count, e.FirstOrdinal, e.LastOrdinal, in.Ordinal)
+		}
+		if _, dup := l.entries[e.Fingerprint]; dup {
+			return nil, fmt.Errorf("ledger: duplicate fingerprint %q", e.Fingerprint)
+		}
+		cp := e
+		l.entries[e.Fingerprint] = &cp
+	}
+	return l, nil
+}

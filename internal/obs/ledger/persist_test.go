@@ -1,0 +1,120 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleLedger() *Ledger {
+	l := New(16)
+	l.Append(Observation{Fingerprint: "lineitem|l_shipdate between b10..b10", Table: "lineitem",
+		EstRows: 120, ActualRows: 480, Percentile: 0.8, PartsScanned: 1, PartsTotal: 4})
+	l.Append(Observation{Fingerprint: "lineitem,orders|o_totalprice<b9", Table: "orders",
+		EstRows: 50, ActualRows: 49, Percentile: 0.8})
+	l.Append(Observation{Fingerprint: "lineitem|l_shipdate between b10..b10", Table: "lineitem",
+		EstRows: 130, ActualRows: 470, Percentile: 0.95, PartsScanned: 1, PartsTotal: 4})
+	return l
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	l := sampleLedger()
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ordinal() != l.Ordinal() || got.Dropped() != l.Dropped() || got.max != l.max {
+		t.Fatalf("header fields drifted: ord %d/%d dropped %d/%d max %d/%d",
+			got.Ordinal(), l.Ordinal(), got.Dropped(), l.Dropped(), got.max, l.max)
+	}
+	if !reflect.DeepEqual(got.Snapshot(), l.Snapshot()) {
+		t.Fatalf("entries drifted:\ngot  %+v\nwant %+v", got.Snapshot(), l.Snapshot())
+	}
+	// Loaded ledgers keep appending where the original left off.
+	got.Append(Observation{Fingerprint: "part|p_size=b3", Table: "part", EstRows: 5, ActualRows: 5})
+	if got.Ordinal() != l.Ordinal()+1 {
+		t.Fatalf("append after load: ordinal %d, want %d", got.Ordinal(), l.Ordinal()+1)
+	}
+}
+
+func TestSaveDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleLedger().Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleLedger().Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("equal ledgers serialized to different bytes")
+	}
+}
+
+// TestLoadRefusesHeaderless is the regression test for the format
+// header: bytes without the magic — including any pre-ledger producer's
+// gob stream — must be refused before gob sees them.
+func TestLoadRefusesHeaderless(t *testing.T) {
+	_, err := Load(strings.NewReader("not a ledger stream at all"))
+	if err == nil || !strings.Contains(err.Error(), "format-version header") {
+		t.Fatalf("headerless stream: err = %v, want header refusal", err)
+	}
+	_, err = Load(strings.NewReader("RQO"))
+	if err == nil {
+		t.Fatal("truncated stream: want error")
+	}
+}
+
+// TestLoadRefusesVersionMismatch pins the version gate: a header with a
+// future version is refused with an explicit message, not decoded.
+func TestLoadRefusesVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLedger().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint32(raw[8:12], wireVersion+1)
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "unsupported format version") {
+		t.Fatalf("version mismatch: err = %v, want refusal", err)
+	}
+}
+
+func TestLoadValidatesStructure(t *testing.T) {
+	corrupt := func(mutate func(*savedLedger)) error {
+		s := savedLedger{Version: wireVersion, Max: 4, Ordinal: 2, Entries: []Entry{
+			{Fingerprint: "a", Table: "t", Count: 1, FirstOrdinal: 1, LastOrdinal: 1},
+		}}
+		mutate(&s)
+		var buf bytes.Buffer
+		buf.Write(wireMagic[:])
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], wireVersion)
+		buf.Write(v[:])
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			return err
+		}
+		_, err := Load(&buf)
+		return err
+	}
+	if err := corrupt(func(s *savedLedger) { s.Entries[0].Fingerprint = "" }); err == nil {
+		t.Fatal("empty fingerprint accepted")
+	}
+	if err := corrupt(func(s *savedLedger) { s.Entries[0].LastOrdinal = 9 }); err == nil {
+		t.Fatal("ordinal beyond ledger clock accepted")
+	}
+	if err := corrupt(func(s *savedLedger) { s.Max = 0 }); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	if err := corrupt(func(s *savedLedger) {
+		s.Entries = append(s.Entries, s.Entries[0])
+	}); err == nil {
+		t.Fatal("duplicate fingerprint accepted")
+	}
+}

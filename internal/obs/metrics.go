@@ -57,6 +57,40 @@ func (h *Histogram) Count() int64 {
 	return h.n
 }
 
+// Quantile estimates the p-th quantile (0 < p < 1) from the bucket
+// counts, interpolating linearly inside the bucket the rank falls in —
+// the standard Prometheus histogram_quantile estimate. The estimate is
+// clamped to the last finite bound for ranks in the +Inf bucket, and the
+// result is 0 when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := p * float64(h.n)
+	cum := int64(0)
+	for i, c := range h.counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry is a process-wide metrics store: named counter and histogram
 // series keyed by name plus sorted labels. All methods are safe for
 // concurrent use, and the text exposition is deterministic (series

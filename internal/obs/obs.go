@@ -27,6 +27,14 @@ type EstimateSnapshot struct {
 	Percentile float64
 	Estimator  string
 
+	// Fingerprint is the normalized table+conjunct-shape key of the
+	// estimate (see the optimizer's fingerprint grammar): queries whose
+	// predicates differ only in literal values inside the same magnitude
+	// bin share one fingerprint, so repeated traffic accumulates under a
+	// single feedback-ledger entry. Empty for nodes the ledger does not
+	// track (aggregation, sort, limit, projection).
+	Fingerprint string
+
 	// PartsScanned/PartsTotal describe partition pruning for scans of
 	// partitioned tables: the optimizer planned to read PartsScanned of
 	// the table's PartsTotal shards. Zero PartsTotal means the scan's
@@ -71,3 +79,24 @@ func QError(est, actual float64) float64 {
 // Q-error distributions: tight around 1 (good estimates), geometric in
 // the tail where misestimates blow up plans.
 var QErrorBuckets = []float64{1, 1.25, 1.5, 2, 3, 5, 10, 30, 100}
+
+// LatencyBuckets is the fixed bucketing for query-latency histograms on
+// the serve path, in seconds. The bounds are chosen so the p50/p90/p99
+// read-offs interpolate inside a bucket rather than saturating: sub-ms
+// resolution at the fast end, geometric growth to 10 s.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// RatioBuckets is the fixed bucketing for fraction-valued utilization
+// histograms (worker busy fractions): uniform tenths over [0, 1].
+var RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// SkewBuckets is the fixed bucketing for max/mean skew ratios (per-worker
+// and per-shard row imbalance): 1 is perfectly balanced, geometric tail.
+var SkewBuckets = []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10}
+
+// DepthBuckets is the fixed bucketing for queue-depth histograms
+// (exchange result-queue occupancy sampled at each coordinator receive).
+var DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32}

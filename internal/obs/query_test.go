@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogSequencesAndOmitsZeroFields(t *testing.T) {
+	var sb strings.Builder
+	log := NewEventLog(&sb)
+	log.Emit(Event{QueryID: "q1", Event: "received", SQL: "SELECT 1"})
+	log.Emit(Event{QueryID: "q1", Event: "executed", T: 0.8, DOP: 4, Rows: 42, ElapsedUS: 1234})
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["seq"] != float64(1) || first["qid"] != "q1" || first["event"] != "received" {
+		t.Fatalf("first line = %v", first)
+	}
+	for _, absent := range []string{"t", "dop", "rows", "elapsed_us", "wall_us"} {
+		if _, ok := first[absent]; ok {
+			t.Fatalf("zero field %q not omitted: %v", absent, first)
+		}
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["seq"] != float64(2) || second["dop"] != float64(4) || second["rows"] != float64(42) {
+		t.Fatalf("second line = %v", second)
+	}
+}
+
+func TestEventLogInjectedClock(t *testing.T) {
+	var sb strings.Builder
+	log := NewEventLog(&sb)
+	log.Now = func() time.Time { return time.UnixMicro(12345) }
+	log.Emit(Event{QueryID: "q1", Event: "received"})
+	var e map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e["wall_us"] != float64(12345) {
+		t.Fatalf("wall_us = %v, want 12345", e["wall_us"])
+	}
+}
+
+func TestNilLifecycleSinksAreInert(t *testing.T) {
+	var log *EventLog
+	log.Emit(Event{Event: "x"})
+	if log.Err() != nil {
+		t.Fatal("nil EventLog must be inert")
+	}
+	var q *QueryLive
+	q.SetPhase(PhaseExecute)
+	q.AddRows(5)
+	if q.Rows() != 0 || q.Progress() != 0 || q.Phase() != PhaseReceived {
+		t.Fatal("nil QueryLive must be inert")
+	}
+	var a *ActiveQueries
+	h := a.Begin("SELECT 1")
+	if h == nil || h.ID != "" {
+		t.Fatal("nil ActiveQueries.Begin must still hand out a usable handle")
+	}
+	a.Done(h)
+	if a.Snapshot() != nil {
+		t.Fatal("nil snapshot must be nil")
+	}
+	var sl *SlowLog
+	sl.Record(SlowQuery{QueryID: "q"})
+	if sl.Recent() != nil || sl.Err() != nil {
+		t.Fatal("nil SlowLog must be inert")
+	}
+}
+
+func TestProgressEstimate(t *testing.T) {
+	q := &QueryLive{EstRows: 200}
+	q.SetPhase(PhaseExecute)
+	if q.Progress() != 0 {
+		t.Fatalf("progress before rows = %g", q.Progress())
+	}
+	q.AddRows(50)
+	if q.Progress() != 0.25 {
+		t.Fatalf("progress = %g, want 0.25", q.Progress())
+	}
+	q.AddRows(500) // actual blew past the posterior estimate
+	if q.Progress() != 1 {
+		t.Fatalf("progress clamps at 1, got %g", q.Progress())
+	}
+	done := &QueryLive{EstRows: 0}
+	done.SetPhase(PhaseDone)
+	if done.Progress() != 1 {
+		t.Fatalf("done progress = %g, want 1", done.Progress())
+	}
+}
+
+func TestActiveQueriesIDsAndSnapshotOrder(t *testing.T) {
+	a := NewActiveQueries()
+	var handles []*QueryLive
+	for i := 0; i < 11; i++ {
+		handles = append(handles, a.Begin("SELECT 1"))
+	}
+	if handles[0].ID != "q1" || handles[10].ID != "q11" {
+		t.Fatalf("IDs = %s..%s", handles[0].ID, handles[10].ID)
+	}
+	views := a.Snapshot()
+	if len(views) != 11 {
+		t.Fatalf("snapshot has %d entries", len(views))
+	}
+	for i, v := range views {
+		if v.ID != handles[i].ID {
+			t.Fatalf("snapshot[%d] = %s, want %s (issue order)", i, v.ID, handles[i].ID)
+		}
+	}
+	a.Done(handles[3])
+	if got := len(a.Snapshot()); got != 10 {
+		t.Fatalf("after Done: %d entries, want 10", got)
+	}
+}
+
+func TestSlowLogRingAndMirror(t *testing.T) {
+	var sb strings.Builder
+	sl := NewSlowLog(2, &sb)
+	sl.Record(SlowQuery{QueryID: "q1", SQL: "a", ElapsedUS: 1})
+	sl.Record(SlowQuery{QueryID: "q2", SQL: "b", ElapsedUS: 2})
+	sl.Record(SlowQuery{QueryID: "q3", SQL: "c", ElapsedUS: 3, Analyze: "SeqScan(...)"})
+	rec := sl.Recent()
+	if len(rec) != 2 || rec[0].QueryID != "q2" || rec[1].QueryID != "q3" {
+		t.Fatalf("ring = %+v", rec)
+	}
+	if err := sl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("mirror got %d lines, want 3 (mirror is unbounded)", len(lines))
+	}
+	var last SlowQuery
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.QueryID != "q3" || last.Analyze != "SeqScan(...)" {
+		t.Fatalf("mirror line = %+v", last)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("robustqo_query_latency_seconds", LatencyBuckets)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002) // all in the (0.001, 0.0025] bucket
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.001 || p50 > 0.0025 {
+		t.Fatalf("p50 = %g, want inside the observed bucket", p50)
+	}
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.9999); got != LatencyBuckets[len(LatencyBuckets)-1] {
+		t.Fatalf("tail quantile = %g, want clamp to last bound", got)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -19,6 +21,9 @@ import (
 // nil check.
 type Trace struct {
 	Name string
+	// QueryID, when non-empty, is stamped on every exported Chrome event
+	// so per-query traces correlate with the event and slow-query logs.
+	QueryID string
 	// Now supplies timestamps; tests inject a fixed clock here. Nil
 	// means time.Now.
 	Now func() time.Time
@@ -57,6 +62,26 @@ func (t *Trace) StartSpan(name string) *Span {
 	}
 	t.spans = append(t.spans, s)
 	t.open = append(t.open, s)
+	return s
+}
+
+// StartSpanDetached opens a span as a child of the innermost open span
+// WITHOUT joining the open stack. It exists for spans whose lifetime runs
+// on another goroutine (Exchange worker spans): stack nesting would chain
+// concurrent siblings under each other, while a detached span parents to
+// the operator that spawned it and leaves the spawning goroutine's
+// nesting untouched.
+func (t *Trace) StartSpanDetached(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: len(t.spans) + 1, name: name, start: t.now()}
+	if n := len(t.open); n > 0 {
+		s.parent = t.open[n-1].id
+	}
+	t.spans = append(t.spans, s)
 	return s
 }
 
@@ -181,6 +206,20 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// workerIndex parses the N out of an Exchange worker span name
+// ("worker-N"); ok is false for every other span name.
+func workerIndex(name string) (int, bool) {
+	const prefix = "worker-"
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 // chromeEvent is one complete event ("ph":"X") of the Chrome trace-event
 // format understood by chrome://tracing and Perfetto.
 type chromeEvent struct {
@@ -195,19 +234,44 @@ type chromeEvent struct {
 
 // WriteChrome writes the trace in Chrome trace-event format: load the
 // file via chrome://tracing or ui.perfetto.dev to see the query as a
-// flame chart.
+// flame chart. Exchange worker spans (worker-N) and their descendants
+// render on their own lanes — tid N+2 — so a parallel drain shows as
+// concurrent per-worker tracks under the coordinator's tid 1; the
+// trace's QueryID, when set, is stamped on every event.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	recs := t.Records()
+	qid := ""
+	if t != nil {
+		qid = t.QueryID
+	}
 	events := make([]chromeEvent, len(recs))
+	// Records are in start order, so a parent's tid is always assigned
+	// before its children inherit it.
+	tidOf := make(map[int]int, len(recs))
 	for i, r := range recs {
+		tid := 1
+		if n, ok := workerIndex(r.Name); ok {
+			tid = n + 2
+		} else if pt, ok := tidOf[r.Parent]; ok {
+			tid = pt
+		}
+		tidOf[r.ID] = tid
+		args := r.Attrs
+		if qid != "" {
+			args = make(map[string]string, len(r.Attrs)+1)
+			for k, v := range r.Attrs {
+				args[k] = v
+			}
+			args["qid"] = qid
+		}
 		events[i] = chromeEvent{
 			Name: r.Name,
 			Ph:   "X",
 			Ts:   r.StartMicros,
 			Dur:  r.DurMicros,
 			Pid:  1,
-			Tid:  1,
-			Args: r.Attrs,
+			Tid:  tid,
+			Args: args,
 		}
 	}
 	doc := struct {

@@ -116,6 +116,9 @@ type planner struct {
 	// (estimator name, confidence percentile) each record starts from.
 	estimates map[engine.Node]obs.EstimateSnapshot
 	snap      obs.EstimateSnapshot
+	// fpCache memoizes ledger fingerprints per table mask; see
+	// fingerprint.go for the grammar.
+	fpCache map[uint32]string
 	// parts is the partition-pruning verdict per query table index,
 	// filled by computePruning before access-path seeding; tables absent
 	// from the map are unpartitioned.
@@ -128,6 +131,18 @@ type planner struct {
 func (p *planner) record(n engine.Node, rows float64) {
 	s := p.snap
 	s.Rows = rows
+	p.estimates[n] = s
+}
+
+// recordMask is record plus the ledger fingerprint of the masked
+// subexpression, for nodes whose cardinality is a direct prediction about
+// a table subset under its predicate (scans and joins). Post-join shaping
+// operators (aggregate, sort, limit, project) stay fingerprint-free via
+// plain record, so the ledger only accumulates predicate feedback.
+func (p *planner) recordMask(n engine.Node, rows float64, mask uint32) {
+	s := p.snap
+	s.Rows = rows
+	s.Fingerprint = p.fingerprintFor(mask)
 	p.estimates[n] = s
 }
 
@@ -145,6 +160,7 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 		rowCache:  make(map[uint32]float64),
 		estimates: make(map[engine.Node]obs.EstimateSnapshot),
 		snap:      obs.EstimateSnapshot{Estimator: o.Est.Name()},
+		fpCache:   make(map[uint32]string),
 	}
 	if cl, ok := o.Est.(core.ConfidenceReporter); ok {
 		if t, ok := cl.ConfidenceLevel(); ok {

@@ -188,12 +188,12 @@ func (p *planner) joinCandidates(rest uint32, i int, best map[uint32][]candidate
 	crossPred := expr.Conj(crossTerms...)
 	withCross := func(node engine.Node, joinOut float64, base float64) (engine.Node, float64) {
 		if crossPred == nil {
-			p.record(node, outRows)
+			p.recordMask(node, outRows, mask)
 			return node, base
 		}
-		p.record(node, joinOut)
+		p.recordMask(node, joinOut, mask)
 		f := &engine.Filter{Input: node, Pred: crossPred}
-		p.record(f, outRows)
+		p.recordMask(f, outRows, mask)
 		return f, base + joinOut*m.Tuple
 	}
 
@@ -456,7 +456,7 @@ func (p *planner) starCandidates(mask uint32, best map[uint32][]candidate) ([]ca
 			rows:    outRows,
 			ordered: ordered,
 		})
-		p.record(cands[len(cands)-1].node, outRows)
+		p.recordMask(cands[len(cands)-1].node, outRows, mask)
 	}
 	return cands, nil
 }

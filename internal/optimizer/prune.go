@@ -145,6 +145,7 @@ func (p *planner) scanParts(i int) []int {
 func (p *planner) recordScan(n engine.Node, rows float64, i int) {
 	s := p.snap
 	s.Rows = rows
+	s.Fingerprint = p.fingerprintFor(uint32(1) << uint(i))
 	if tp := p.parts[i]; tp != nil {
 		s.PartsScanned = len(tp.parts)
 		s.PartsTotal = tp.total
