@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fuzz-smoke bench-smoke ledger-smoke ci
+.PHONY: build test race lint vet fuzz-smoke bench-smoke ledger-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
 	$(GO) run ./cmd/benchjoin -out BENCH_join.json
 	$(GO) run ./cmd/benchshard -out BENCH_shard.json
+	$(GO) run ./cmd/benchserve -out BENCH_serve.json
 
 # ledger-smoke runs the 40-query feedback corpus end to end: persists
 # the cardinality ledger, a slow-query log (threshold 0 so the artifact
@@ -38,4 +39,10 @@ ledger-smoke:
 	$(GO) run ./cmd/robustqo ledger top -in ledger.bin -n 5
 	$(GO) run ./cmd/robustqo ledger drift -in ledger.bin
 
-ci: build lint race fuzz-smoke bench-smoke ledger-smoke
+# serve-smoke boots the debug server with a tiny admission gate and
+# asserts cache hits, prepared-statement execution, overload shedding,
+# and graceful drain through the real HTTP surface (see the script).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: build lint race fuzz-smoke bench-smoke ledger-smoke serve-smoke

@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// Credible intervals are the plan cache's re-bind rule (DESIGN.md §13):
+// when a prepared statement is re-executed with new parameter values, the
+// serving layer must decide — cheaply — whether the plan optimized for the
+// old values is still trustworthy. The paper's machinery answers this
+// directly: every estimate the optimizer consumed was a quantile of a Beta
+// posterior, so the posterior itself delimits the selectivity region the
+// plan was chosen under. A new binding whose point estimate stays inside
+// that credible region cannot move any cost comparison by more than the
+// uncertainty the optimizer already priced in at threshold T; a binding
+// that leaves the region invalidates the plan choice and forces
+// re-optimization. This is the parametric-query-optimization rule of
+// Trummer & Koch (arXiv:1511.01782) expressed in the paper's Bayesian
+// terms.
+
+// DefaultIntervalWidth is the central credible mass the plan cache
+// records per planned estimate: 0.95 leaves a 2.5% tail on each side.
+const DefaultIntervalWidth = 0.95
+
+// IntervalEstimator is the contract the plan cache needs from an
+// estimator to support parameter re-binding: a (relatively expensive)
+// credible interval at plan time, and a cheap point estimate — no
+// quantile inversion — at re-bind time. BayesEstimator implements it;
+// estimators without posteriors simply don't, and the cache treats any
+// parameter change as a miss for them.
+type IntervalEstimator interface {
+	CredibleInterval(req Request, width float64) (lo, hi float64, err error)
+	PointEstimate(req Request) (float64, error)
+}
+
+// CredibleInterval returns the central credible interval containing
+// `width` posterior mass for the request's selectivity: the posterior
+// quantiles at (1-width)/2 and 1-(1-width)/2. Both inversions go through
+// the shared QuantileCache, so repeated plans over the same synopsis
+// observations pay the bisection only once.
+func (e *BayesEstimator) CredibleInterval(req Request, width float64) (lo, hi float64, err error) {
+	if !(width > 0 && width < 1) {
+		return 0, 0, fmt.Errorf("core: credible interval width %g outside (0, 1)", width)
+	}
+	k, n, _, err := e.Observe(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	post, err := e.Prior.Posterior(k, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	tail := (1 - width) / 2
+	lo, err = e.Quantiles.Quantile(post, tail)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = e.Quantiles.Quantile(post, 1-tail)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// PointEstimate returns the posterior-mean selectivity (k+a)/(n+a+b) for
+// the request — the cheap re-bind check. It evaluates the predicate on
+// the synopsis (the same Observe the full estimate performs) but skips
+// the inverse-CDF entirely, which is what makes the plan-cache hit path
+// quantiling-free.
+func (e *BayesEstimator) PointEstimate(req Request) (float64, error) {
+	k, n, _, err := e.Observe(req)
+	if err != nil {
+		return 0, err
+	}
+	return (float64(k) + e.Prior.A) / (float64(n) + e.Prior.A + e.Prior.B), nil
+}
+
+// Compile-time check that the robust estimator supports re-binding.
+var _ IntervalEstimator = (*BayesEstimator)(nil)

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+
+	"robustqo/internal/expr"
+)
+
+// Rebind clones a plan tree with new literal bindings substituted in:
+// every embedded predicate goes through Expr and every index key range
+// through Range, while the tree shape, join order, access-path choices,
+// DOP, and partition lists are preserved bit-for-bit. The plan cache
+// uses it to serve a prepared statement with fresh parameters without
+// re-running optimization — which is only sound because the caller has
+// already verified (via the credible-interval re-bind rule) that the new
+// literals do not move any estimate outside the region the plan was
+// chosen under, and that the partition-pruning verdict is unchanged.
+//
+// The returned map sends each original node to its clone so callers can
+// transplant node-keyed side tables (Plan.EstimateOf snapshots). Nodes
+// are never mutated in place: the cached tree stays shared across
+// concurrent executions.
+func Rebind(root Node, opts RebindOptions) (Node, map[Node]Node, error) {
+	r := &rebinder{opts: opts, remap: make(map[Node]Node)}
+	nn, err := r.node(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nn, r.remap, nil
+}
+
+// RebindOptions supplies the two substitutions a re-bind performs.
+// Either may be nil, meaning identity.
+type RebindOptions struct {
+	// Expr rewrites an embedded predicate or scalar expression
+	// (Filter.Pred, scan filters/residuals, aggregate arguments). It is
+	// never called with nil.
+	Expr func(expr.Expr) expr.Expr
+	// Range rewrites an index key range of the named table — the re-bind
+	// re-derives [Lo, Hi] from the new literals via the same sargable
+	// analysis that planned the original range.
+	Range func(table string, r KeyRange) KeyRange
+}
+
+type rebinder struct {
+	opts  RebindOptions
+	remap map[Node]Node
+}
+
+func (r *rebinder) expr(e expr.Expr) expr.Expr {
+	if e == nil || r.opts.Expr == nil {
+		return e
+	}
+	return r.opts.Expr(e)
+}
+
+func (r *rebinder) rng(table string, k KeyRange) KeyRange {
+	if r.opts.Range == nil {
+		return k
+	}
+	return r.opts.Range(table, k)
+}
+
+// node clones one node, recursing into children. The switch must cover
+// every Node the optimizer can emit; an unknown type is a hard error so
+// a future node kind cannot be silently served with stale literals.
+func (r *rebinder) node(n Node) (Node, error) {
+	var nn Node
+	switch t := n.(type) {
+	case *SeqScan:
+		cp := *t
+		cp.Filter = r.expr(t.Filter)
+		nn = &cp
+	case *IndexRangeScan:
+		cp := *t
+		cp.Range = r.rng(t.Table, t.Range)
+		cp.Residual = r.expr(t.Residual)
+		nn = &cp
+	case *IndexIntersect:
+		cp := *t
+		cp.Ranges = make([]KeyRange, len(t.Ranges))
+		for i, k := range t.Ranges {
+			cp.Ranges[i] = r.rng(t.Table, k)
+		}
+		cp.Residual = r.expr(t.Residual)
+		nn = &cp
+	case *Filter:
+		in, err := r.node(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Input = in
+		cp.Pred = r.expr(t.Pred)
+		nn = &cp
+	case *Project:
+		in, err := r.node(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Input = in
+		nn = &cp
+	case *Aggregate:
+		in, err := r.node(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Input = in
+		cp.Aggs = make([]AggSpec, len(t.Aggs))
+		for i, spec := range t.Aggs {
+			spec.Arg = r.expr(spec.Arg)
+			cp.Aggs[i] = spec
+		}
+		nn = &cp
+	case *Sort:
+		in, err := r.node(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Input = in
+		nn = &cp
+	case *Limit:
+		in, err := r.node(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Input = in
+		nn = &cp
+	case *Exchange:
+		src, err := r.node(t.Source)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Source = src
+		nn = &cp
+	case *HashJoin:
+		build, err := r.node(t.Build)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := r.node(t.Probe)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Build, cp.Probe = build, probe
+		nn = &cp
+	case *MergeJoin:
+		left, err := r.node(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := r.node(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Left, cp.Right = left, right
+		nn = &cp
+	case *INLJoin:
+		outer, err := r.node(t.Outer)
+		if err != nil {
+			return nil, err
+		}
+		cp := *t
+		cp.Outer = outer
+		cp.Residual = r.expr(t.Residual)
+		nn = &cp
+	case *StarSemiJoin:
+		cp := *t
+		cp.Dims = make([]StarDim, len(t.Dims))
+		for i, d := range t.Dims {
+			scan, err := r.node(d.Scan)
+			if err != nil {
+				return nil, err
+			}
+			d.Scan = scan
+			cp.Dims[i] = d
+		}
+		cp.Residual = r.expr(t.Residual)
+		nn = &cp
+	default:
+		return nil, fmt.Errorf("engine: Rebind: unsupported node type %T", n)
+	}
+	r.remap[n] = nn
+	return nn, nil
+}

@@ -97,6 +97,28 @@ func hotSuppressed(n int) error {
 	return fmt.Errorf("bad %d", n)
 }
 
+// hotCacheLookup pins the plan-cache hit-path idiom: inline FNV-1a
+// over the key, a map probe, and a positional parameter comparison —
+// no hashing objects, no closures, no per-call allocation.
+//
+//qo:hotpath
+func hotCacheLookup(entries map[string][]int, key string, params []int) ([]int, bool) {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	cached, ok := entries[key]
+	if !ok || len(cached) != len(params) {
+		return nil, false
+	}
+	for i := range cached {
+		if cached[i] != params[i] {
+			return nil, false
+		}
+	}
+	return cached, h != 0
+}
+
 // coldAlloc is unannotated: it may allocate freely.
 func coldAlloc(rows []row) []row {
 	var out []row

@@ -37,6 +37,32 @@ func ledgerSeries(reg *obs.Registry) {
 	reg.Histogram("robustqo_ledger_qerror", skewBuckets).Observe(2)
 }
 
+// plancacheSeries registers the plan-cache outcome family: every
+// serve-path Plan call lands in exactly one of the first four.
+func plancacheSeries(reg *obs.Registry) {
+	reg.Counter("robustqo_plancache_hits_total").Inc()
+	reg.Counter("robustqo_plancache_rebinds_total").Inc()
+	reg.Counter("robustqo_plancache_misses_total").Inc()
+	reg.Counter("robustqo_plancache_rejects_total").Inc()
+	reg.Counter("robustqo_plancache_interval_rejects_total").Inc()
+	reg.Counter("robustqo_plancache_pruning_rejects_total").Inc()
+	reg.Counter("robustqo_plancache_invalidations_total").Inc()
+	reg.Counter("robustqo_plancache_evictions_total").Inc()
+}
+
+// admissionSeries registers the admission-gate family: counters for
+// every Admit disposition plus the queue-depth/wait histograms.
+func admissionSeries(reg *obs.Registry) {
+	reg.Counter("robustqo_admission_admitted_total").Inc()
+	reg.Counter("robustqo_admission_shed_total").Inc()
+	reg.Counter("robustqo_admission_timeouts_total").Inc()
+	reg.Counter("robustqo_admission_cancelled_total").Inc()
+	reg.Counter("robustqo_admission_closed_rejects_total").Inc()
+	reg.Counter("robustqo_admission_mem_rejects_total").Inc()
+	reg.Histogram("robustqo_admission_queue_depth", []float64{0, 1, 2, 4, 8, 16, 32}).Observe(1)
+	reg.Histogram("robustqo_admission_queue_wait_seconds", []float64{0.001, 0.01, 0.1, 1, 10}).Observe(0.002)
+}
+
 func badPrefix(reg *obs.Registry) {
 	reg.Counter("queries_total").Inc() // want "must match"
 }

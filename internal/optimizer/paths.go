@@ -45,41 +45,7 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 
 	// Collect sargable ranges per indexed column, remembering which
 	// conjuncts each range consumed.
-	type sarg struct {
-		rng      engine.KeyRange
-		consumed []int // indices into a.conjuncts
-	}
-	byColumn := make(map[string]*sarg)
-	var colOrder []string
-	for ci, c := range p.a.conjuncts {
-		if c.mask != bit {
-			continue
-		}
-		ref, lo, hi, ok := intRangeFromConjunct(c.pred)
-		if !ok {
-			continue
-		}
-		if ref.Table != "" && ref.Table != tName {
-			continue
-		}
-		if _, hasIx := schema.IndexOn(ref.Column); !hasIx {
-			continue
-		}
-		s, exists := byColumn[ref.Column]
-		if !exists {
-			s = &sarg{rng: engine.KeyRange{Column: ref.Column, Lo: lo, Hi: hi}}
-			byColumn[ref.Column] = s
-			colOrder = append(colOrder, ref.Column)
-		} else {
-			if lo > s.rng.Lo {
-				s.rng.Lo = lo
-			}
-			if hi < s.rng.Hi {
-				s.rng.Hi = hi
-			}
-		}
-		s.consumed = append(s.consumed, ci)
-	}
+	byColumn, colOrder := sargableRanges(p.a, schema, i)
 
 	residualExcept := func(consumed map[int]bool) expr.Expr {
 		var terms []expr.Expr
