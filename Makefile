@@ -19,6 +19,10 @@ lint: vet
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/
+	$(GO) test -run=^$$ -fuzz=FuzzBitPackRoundTrip -fuzztime=5s ./internal/colstore/
+	$(GO) test -run=^$$ -fuzz=FuzzFORRoundTrip -fuzztime=5s ./internal/colstore/
+	$(GO) test -run=^$$ -fuzz=FuzzRLERoundTrip -fuzztime=5s ./internal/colstore/
+	$(GO) test -run=^$$ -fuzz=FuzzDictRoundTrip -fuzztime=5s ./internal/colstore/
 
 bench-smoke:
 	$(GO) test -run=^$$ -bench=BenchmarkExecStreamVsMaterialize -benchtime=1x -benchmem ./internal/engine/
@@ -28,6 +32,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchjoin -out BENCH_join.json
 	$(GO) run ./cmd/benchshard -out BENCH_shard.json
 	$(GO) run ./cmd/benchserve -out BENCH_serve.json
+	$(GO) run ./cmd/benchcolumnar -out BENCH_columnar.json
 
 # ledger-smoke runs the 40-query feedback corpus end to end: persists
 # the cardinality ledger, a slow-query log (threshold 0 so the artifact

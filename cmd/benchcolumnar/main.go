@@ -1,0 +1,343 @@
+// Command benchcolumnar gates what compressed columnar segments must
+// deliver and what they must not change. Against a TPC-H-like lineitem
+// laid out in ship-date order it checks that the encodings shrink the
+// resident column data by at least 2x, that the optimizer plans a
+// selective date-range query as a late-materialized encoded scan whose
+// EXPLAIN ANALYZE reports the zone-map arithmetic ("segments: k/n
+// skipped (late)"), that the encoded scan returns byte-identical rows
+// and cost counters to the row path at every materialization mode and
+// DOP 1/2/4, and that the late-materialized scan beats the row path by
+// at least 2x wall-clock. Results land in a JSON report
+// (BENCH_columnar.json in CI). The wall-clock gate only bites on
+// machines with at least 4 CPUs; the compression and identity gates
+// bite everywhere.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"robustqo/internal/colstore"
+	"robustqo/internal/core"
+	"robustqo/internal/cost"
+	"robustqo/internal/engine"
+	"robustqo/internal/expr"
+	"robustqo/internal/optimizer"
+	"robustqo/internal/sample"
+	"robustqo/internal/sqlparse"
+	"robustqo/internal/stats"
+	"robustqo/internal/tpch"
+	"robustqo/internal/value"
+)
+
+type report struct {
+	NumCPU int `json:"num_cpu"`
+	Lines  int `json:"lines"`
+	Reps   int `json:"reps"`
+
+	// Compression: the encoded segments versus the raw column data they
+	// replace, summed over every table.
+	RawBytes         int64   `json:"raw_bytes"`
+	EncodedBytes     int64   `json:"encoded_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	MinCompression   float64 `json:"min_compression"`
+
+	// Planning: the selective date-range query must come out as a
+	// late-materialized encoded scan with most segments zone-skipped.
+	SegsSkipped    int     `json:"segs_skipped"`
+	SegsTotal      int     `json:"segs_total"`
+	SegsAnnotation string  `json:"segs_annotation"`
+	Strategy       string  `json:"strategy"`
+	BoundedEstRows float64 `json:"bounded_est_rows"`
+	UnboundEstRows float64 `json:"unbound_est_rows"`
+
+	// Identity: rows and cost counters across materialization modes and
+	// DOP 1/2/4 — the encoding is invisible to everything but the clock
+	// and the resident bytes.
+	MatchRows         int  `json:"match_rows"`
+	IdenticalRows     bool `json:"identical_rows"`
+	IdenticalCounters bool `json:"identical_counters"`
+
+	// Wall clock: late-materialized encoded scan versus the row path on
+	// the same selective predicate, best-of-reps.
+	RowsNsPerOp     float64  `json:"rows_ns_per_op"`
+	EagerNsPerOp    float64  `json:"eager_ns_per_op"`
+	LateNsPerOp     float64  `json:"late_ns_per_op"`
+	Speedup         float64  `json:"speedup"`
+	MinSpeedup      float64  `json:"min_speedup"`
+	SpeedupEnforced bool     `json:"speedup_enforced"`
+	SpeedupWaiver   string   `json:"speedup_waiver,omitempty"`
+	WaivedGates     []string `json:"waived_gates"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_columnar.json", "report file path")
+	lines := flag.Int("lines", 120000, "lineitem rows to generate")
+	reps := flag.Int("reps", 3, "benchmark repetitions (best-of)")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "fail when the late-vs-rows selective-scan speedup is below this (needs >=4 CPUs)")
+	minCompression := flag.Float64("min-compression", 2.0, "fail when raw/encoded falls below this")
+	flag.Parse()
+	if err := run(*out, *lines, *reps, *minSpeedup, *minCompression); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcolumnar:", err)
+		os.Exit(1)
+	}
+}
+
+// selectivePred is the gate query's WHERE clause: one quarter out of the
+// ~6.6-year ship-date span. On date-clustered data the quarter lives in
+// a handful of adjacent segments, so zone maps skip nearly everything.
+func selectivePred() expr.Expr {
+	return expr.Between{
+		E:  expr.TC("lineitem", "l_shipdate"),
+		Lo: expr.DateLit(value.DateFromCivil(1997, 7, 1)),
+		Hi: expr.DateLit(value.DateFromCivil(1997, 9, 30)),
+	}
+}
+
+func run(out string, lines, reps int, minSpeedup, minCompression float64) error {
+	db, err := tpch.Generate(tpch.Config{Lines: lines, Seed: 2005, ClusterDates: true})
+	if err != nil {
+		return err
+	}
+	ctx, err := engine.NewContext(db)
+	if err != nil {
+		return err
+	}
+	encs, err := colstore.BuildAll(db)
+	if err != nil {
+		return err
+	}
+	ctx.Encodings = encs
+	rep := report{
+		NumCPU:         runtime.NumCPU(),
+		Lines:          lines,
+		Reps:           reps,
+		RawBytes:       encs.RawBytes(),
+		EncodedBytes:   encs.EncodedBytes(),
+		MinCompression: minCompression,
+		MinSpeedup:     minSpeedup,
+		WaivedGates:    []string{},
+	}
+	rep.CompressionRatio = float64(rep.RawBytes) / float64(rep.EncodedBytes)
+
+	syn, err := sample.BuildAll(db, sample.DefaultSize, stats.NewRNG(2005^0x5a4d))
+	if err != nil {
+		return err
+	}
+	est, err := core.NewBayesEstimator(syn, core.ConfidenceThreshold(0.8))
+	if err != nil {
+		return err
+	}
+	if err := planGates(ctx, est, &rep); err != nil {
+		return err
+	}
+	if err := identityGates(ctx, &rep); err != nil {
+		return err
+	}
+	if err := clockGates(ctx, reps, &rep); err != nil {
+		return err
+	}
+
+	rep.SpeedupEnforced = rep.NumCPU >= 4
+	if !rep.SpeedupEnforced {
+		rep.SpeedupWaiver = fmt.Sprintf("only %d CPUs; the wall-clock gate needs at least 4", rep.NumCPU)
+		rep.WaivedGates = append(rep.WaivedGates, "late_scan_speedup")
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compression: %d -> %d bytes (%.1fx)\n", rep.RawBytes, rep.EncodedBytes, rep.CompressionRatio)
+	fmt.Printf("zone maps: %s, estimate %.1f bounded vs %.1f unbounded\n",
+		rep.SegsAnnotation, rep.BoundedEstRows, rep.UnboundEstRows)
+	fmt.Printf("selective scan: %.0f ns rows, %.0f ns eager, %.0f ns late (%.2fx); report: %s\n",
+		rep.RowsNsPerOp, rep.EagerNsPerOp, rep.LateNsPerOp, rep.Speedup, out)
+
+	if rep.CompressionRatio < minCompression {
+		return fmt.Errorf("compression %.2fx below the %.1fx floor", rep.CompressionRatio, minCompression)
+	}
+	if !rep.IdenticalRows {
+		return fmt.Errorf("encoded scan rows diverge from the row path")
+	}
+	if !rep.IdenticalCounters {
+		return fmt.Errorf("encoded scan counters diverge from the row path")
+	}
+	if rep.SpeedupEnforced && rep.Speedup < minSpeedup {
+		return fmt.Errorf("late-scan speedup %.2fx below the %.1fx floor", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// planGates optimizes the selective date-range aggregate with and
+// without encodings: the encoded plan must be a late-materialized scan,
+// EXPLAIN ANALYZE must carry the segment arithmetic, and the zone-map
+// selectivity bound must only tighten the posterior estimate.
+func planGates(ctx *engine.Context, est core.Estimator, rep *report) error {
+	q := func() (*optimizer.Query, error) {
+		return sqlparse.Parse("SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-09-30'")
+	}
+	opt, err := optimizer.New(ctx, est)
+	if err != nil {
+		return err
+	}
+	// Unbounded leg: same context, encodings detached.
+	encs := ctx.Encodings
+	ctx.Encodings = nil
+	qFree, err := q()
+	if err != nil {
+		return err
+	}
+	free, err := opt.Optimize(qFree)
+	if err != nil {
+		return err
+	}
+	ctx.Encodings = encs
+	qEnc, err := q()
+	if err != nil {
+		return err
+	}
+	plan, err := opt.Optimize(qEnc)
+	if err != nil {
+		return err
+	}
+	inst := engine.Instrument(plan.Root)
+	scan, ok := findScan(inst)
+	if !ok {
+		return fmt.Errorf("no lineitem SeqScan in the encoded plan:\n%s", plan.Explain())
+	}
+	if scan.Mode != engine.ScanLate {
+		return fmt.Errorf("encoded plan scans with mode %v, want late:\n%s", scan.Mode, plan.Explain())
+	}
+	snap, ok := plan.EstimateOf(scan)
+	if !ok || snap.SegsTotal == 0 {
+		return fmt.Errorf("encoded plan snapshot lacks segment arithmetic (%+v)", snap)
+	}
+	rep.SegsSkipped, rep.SegsTotal, rep.Strategy = snap.SegsSkipped, snap.SegsTotal, snap.Strategy
+	rep.SegsAnnotation = fmt.Sprintf("segments: %d/%d skipped (%s)", snap.SegsSkipped, snap.SegsTotal, snap.Strategy)
+	if snap.SegsSkipped == 0 {
+		return fmt.Errorf("zone maps skipped no segments on date-clustered data (%s)", rep.SegsAnnotation)
+	}
+	var c cost.Counters
+	if _, err := inst.Execute(ctx, &c); err != nil {
+		return err
+	}
+	explain := engine.ExplainAnalyze(inst, engine.AnalyzeOptions{EstimateOf: plan.EstimateOf})
+	if !strings.Contains(explain, rep.SegsAnnotation) {
+		return fmt.Errorf("EXPLAIN ANALYZE lacks %q:\n%s", rep.SegsAnnotation, explain)
+	}
+	freeScan, ok := findScan(engine.Instrument(free.Root))
+	if !ok {
+		return fmt.Errorf("no lineitem SeqScan in the row-path plan:\n%s", free.Explain())
+	}
+	freeSnap, _ := free.EstimateOf(freeScan)
+	rep.BoundedEstRows, rep.UnboundEstRows = snap.Rows, freeSnap.Rows
+	if rep.BoundedEstRows > rep.UnboundEstRows {
+		return fmt.Errorf("zone-bounded estimate %.2f rows exceeds unbounded %.2f", rep.BoundedEstRows, rep.UnboundEstRows)
+	}
+	return nil
+}
+
+// findScan locates the lineitem SeqScan in an instrumented plan.
+func findScan(n *engine.Instrumented) (*engine.SeqScan, bool) {
+	if s, ok := n.Origin.(*engine.SeqScan); ok && s.Table == "lineitem" {
+		return s, true
+	}
+	for _, kid := range n.Kids {
+		if s, ok := findScan(kid); ok {
+			return s, ok
+		}
+	}
+	return nil, false
+}
+
+// identityGates runs the selective scan at every materialization mode
+// and DOP 1/2/4, requiring byte-identical rows and cost counters — the
+// encoded paths charge exactly what the row path charges.
+func identityGates(ctx *engine.Context, rep *report) error {
+	pred := selectivePred()
+	plan := func(mode engine.ScanMode, dop int) engine.Node {
+		var n engine.Node = &engine.SeqScan{Table: "lineitem", Filter: pred, Mode: mode}
+		if dop > 1 {
+			n = &engine.Exchange{Source: n, DOP: dop}
+		}
+		return n
+	}
+	rep.IdenticalRows, rep.IdenticalCounters = true, true
+	first := true
+	var baseHash uint64
+	var baseCounters cost.Counters
+	for _, mode := range []engine.ScanMode{engine.ScanRows, engine.ScanEager, engine.ScanLate} {
+		for _, dop := range []int{1, 2, 4} {
+			var c cost.Counters
+			res, err := plan(mode, dop).Execute(ctx, &c)
+			if err != nil {
+				return fmt.Errorf("scan mode=%v dop=%d: %v", mode, dop, err)
+			}
+			h := fnv.New64a()
+			for _, r := range res.Rows {
+				for _, v := range r {
+					fmt.Fprint(h, v.String(), "\x1f")
+				}
+				fmt.Fprint(h, "\x1e")
+			}
+			if first {
+				baseHash, baseCounters, rep.MatchRows = h.Sum64(), c, len(res.Rows)
+				first = false
+				continue
+			}
+			if h.Sum64() != baseHash {
+				rep.IdenticalRows = false
+			}
+			if c != baseCounters {
+				rep.IdenticalCounters = false
+			}
+		}
+	}
+	return nil
+}
+
+// clockGates times the selective scan per materialization mode,
+// best-of-reps, serial — the speedup must come from skipping and late
+// materialization alone, not parallelism.
+func clockGates(ctx *engine.Context, reps int, rep *report) error {
+	pred := selectivePred()
+	times := make(map[engine.ScanMode]float64, 3)
+	for _, mode := range []engine.ScanMode{engine.ScanRows, engine.ScanEager, engine.ScanLate} {
+		n := &engine.SeqScan{Table: "lineitem", Filter: pred, Mode: mode}
+		best := math.MaxFloat64
+		for r := 0; r < reps; r++ {
+			var execErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var c cost.Counters
+					if _, err := n.Execute(ctx, &c); err != nil {
+						execErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if execErr != nil {
+				return execErr
+			}
+			if v := float64(res.NsPerOp()); v < best {
+				best = v
+			}
+		}
+		times[mode] = best
+	}
+	rep.RowsNsPerOp = times[engine.ScanRows]
+	rep.EagerNsPerOp = times[engine.ScanEager]
+	rep.LateNsPerOp = times[engine.ScanLate]
+	rep.Speedup = rep.RowsNsPerOp / rep.LateNsPerOp
+	return nil
+}

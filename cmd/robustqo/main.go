@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"robustqo/internal/colstore"
 	"robustqo/internal/engine"
 	"robustqo/internal/experiments"
 	"robustqo/internal/expr"
@@ -82,7 +83,11 @@ query and sql accept -analyze (EXPLAIN ANALYZE: estimated vs actual rows
 and Q-error per operator), -trace-out FILE [-trace-format json|chrome]
 to export an optimizer+execution trace, and -partitions N to
 range-partition lineitem on l_shipdate (pruned scans show up in the plan
-and in EXPLAIN ANALYZE as "partitions: k/n").
+and in EXPLAIN ANALYZE as "partitions: k/n"). sql also accepts -columnar
+to build compressed columnar encodings (encoded scans, zone-map segment
+skipping, late materialization; EXPLAIN ANALYZE shows "segments: k/n
+skipped") and -cluster to lay lineitem out in ship-date order so the
+date zone maps are selective.
 `)
 }
 
@@ -239,6 +244,8 @@ func runSQL(args []string, out io.Writer) error {
 	explainOnly := fs.Bool("explain", false, "print the plan without executing")
 	dop := fs.Int("parallelism", 1, "max degree of parallelism for eligible scans (1 = serial)")
 	partitions := fs.Int("partitions", 1, "range-partition lineitem on l_shipdate into this many shards (1 = unpartitioned)")
+	columnar := fs.Bool("columnar", false, "build compressed columnar encodings; scans decode them and zone maps skip segments")
+	cluster := fs.Bool("cluster", false, "lay lineitem out in l_shipdate order so date zone maps are selective")
 	maxRows := fs.Int("maxrows", 20, "print at most this many result rows")
 	var of obsFlags
 	of.register(fs)
@@ -253,7 +260,7 @@ func runSQL(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "generating TPC-H-like data (%d lineitem rows)...\n", *lines)
-	db, err := tpch.Generate(tpch.Config{Lines: *lines, Partitions: *partitions, Seed: *seed})
+	db, err := tpch.Generate(tpch.Config{Lines: *lines, Partitions: *partitions, Seed: *seed, ClusterDates: *cluster})
 	if err != nil {
 		return err
 	}
@@ -262,6 +269,15 @@ func runSQL(args []string, out io.Writer) error {
 		return err
 	}
 	ctx.Metrics = obs.Default
+	if *columnar {
+		encs, err := colstore.BuildAll(db)
+		if err != nil {
+			return err
+		}
+		ctx.Encodings = encs
+		fmt.Fprintf(out, "columnar encodings: %d bytes raw -> %d bytes encoded (%.1fx)\n",
+			encs.RawBytes(), encs.EncodedBytes(), float64(encs.RawBytes())/float64(encs.EncodedBytes()))
+	}
 	est, err := buildEstimator(db, *estimator, *threshold, *sampleSize, *seed)
 	if err != nil {
 		return err

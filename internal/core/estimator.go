@@ -22,6 +22,13 @@ type Request struct {
 	// shards' posteriors — pruning happens before quantiling, so the
 	// estimate tightens as shards drop. nil means the whole table.
 	Partitions []int
+	// MaxSelectivity, when in (0, 1), is an exact upper bound on the
+	// root's selectivity established outside the sample — the optimizer's
+	// zone-map pass sets it to the unskippable fraction of the root's
+	// segments. The Bayesian estimator conditions its quantile on the
+	// bound (sel ≤ f with certainty), which tightens the estimate the
+	// same way dropping pruned shards does. Zero (or ≥ 1) means no bound.
+	MaxSelectivity float64
 }
 
 // Estimate is a cardinality answer. Selectivity is the estimated fraction
@@ -226,10 +233,28 @@ func (e *BayesEstimator) Estimate(req Request) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
+	f := req.MaxSelectivity
+	bounded := f > 0 && f < 1
 	var sel float64
 	switch e.Rule {
 	case RuleQuantile:
-		sel, err = e.Quantiles.Quantile(post, float64(e.Threshold))
+		p := float64(e.Threshold)
+		if bounded {
+			// Condition the posterior on the exact bound sel ≤ f: the
+			// truncated distribution's T-quantile is the unconditioned
+			// posterior's quantile at p = T · CDF(f). CDF(f) ≤ 1 and the
+			// quantile function is monotone, so the conditioned estimate
+			// never exceeds the unconditioned one — zone-map evidence only
+			// ever tightens.
+			p *= post.CDF(f)
+			if p <= 0 {
+				// Degenerate truncation (CDF underflow): the bound itself is
+				// the tightest defensible estimate.
+				sel = f
+				break
+			}
+		}
+		sel, err = e.Quantiles.Quantile(post, p)
 	case RuleMean:
 		sel = post.Mean()
 	case RuleML:
@@ -240,6 +265,12 @@ func (e *BayesEstimator) Estimate(req Request) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
+	if bounded && sel > f { //qolint:allow-floatcmp — hard clamp at an exact bound, not a ranking
+		// Mean/ML (and quantile rounding) respect the hard bound too.
+		sel = f
+	}
+	// Posterior stays unconditioned: interval consumers (plan-cache
+	// validity ranges) reason about the sample evidence itself.
 	return Estimate{
 		Selectivity: sel,
 		Rows:        sel * float64(population),

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"robustqo/internal/testkit"
+)
+
+// TestBayesMaxSelectivityConditioning pins the zone-map bound semantics:
+// conditioning the posterior on an exact upper bound sel ≤ f never
+// raises the estimate (at T=50% and T=95%), never exceeds the bound, and
+// is a no-op when the bound is absent or vacuous. The true selectivity
+// of the probe predicate is ~0.10, so the bound grid brackets it from
+// both sides.
+func TestBayesMaxSelectivityConditioning(t *testing.T) {
+	db := corrDB(t, 5000, 50)
+	for _, thr := range []ConfidenceThreshold{0.50, 0.95} {
+		bayes, _ := buildEstimators(t, db, thr)
+		req := Request{Tables: []string{"fact"}, Pred: testkit.Expr("f_a < 10")}
+		free, err := bayes.Estimate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []float64{0.5, 0.12, 0.05, 0.01} {
+			req.MaxSelectivity = f
+			got, err := bayes.Estimate(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Selectivity > free.Selectivity+1e-12 {
+				t.Errorf("T=%v f=%g: conditioned %g exceeds unconditioned %g", thr, f, got.Selectivity, free.Selectivity)
+			}
+			if got.Selectivity > f {
+				t.Errorf("T=%v f=%g: estimate %g violates the hard bound", thr, f, got.Selectivity)
+			}
+			if got.Posterior == nil || *got.Posterior != *free.Posterior {
+				t.Errorf("T=%v f=%g: posterior should stay unconditioned", thr, f)
+			}
+		}
+		// A bound well below the posterior mass pins the estimate near it.
+		req.MaxSelectivity = 0.01
+		got, err := bayes.Estimate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Selectivity < 0.001 {
+			t.Errorf("T=%v: tight bound collapsed the estimate to %g", thr, got.Selectivity)
+		}
+		// Absent / vacuous bounds change nothing.
+		for _, f := range []float64{0, 1, 1.5} {
+			req.MaxSelectivity = f
+			got, err := bayes.Estimate(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Selectivity != free.Selectivity {
+				t.Errorf("T=%v f=%g: vacuous bound moved estimate %g -> %g", thr, f, free.Selectivity, got.Selectivity)
+			}
+		}
+	}
+
+	// The bound caps the non-quantile rules too.
+	bayes, _ := buildEstimators(t, db, 0.5)
+	for _, rule := range []EstimationRule{RuleMean, RuleML} {
+		e := &BayesEstimator{Synopses: bayes.Synopses, Prior: Jeffreys, Rule: rule, Quantiles: bayes.Quantiles}
+		got, err := e.Estimate(Request{Tables: []string{"fact"}, Pred: testkit.Expr("f_a < 10"), MaxSelectivity: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Selectivity > 0.02 {
+			t.Errorf("%s: estimate %g violates the bound", rule, got.Selectivity)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package engine
+
+// Encoded scan path: SeqScan over colstore compressed columnar segments.
+//
+// The encoded path slots in under the row path's window loop — both the
+// serial operator and the morsel workers call encScan.window for each
+// [next, end) row window instead of loading values through
+// storage.Table.Value — and is counter transparent: every window charges
+// the exact sequential-page and tuple counters the row path charges,
+// including windows inside zone-skipped segments. The saving is
+// wall-clock (no decode, no residual evaluation on rows the encoded
+// probes eliminate) and resident bytes, never simulated I/O.
+//
+// Semantics parity is structural. ScanLate evaluates the pushable prefix
+// of the filter's conjuncts exactly on encoded data (expr.SplitPushdown
+// guarantees exactness), then runs the bound residual on exactly the
+// rows the row path's left-to-right And short-circuit would reach with
+// the prefix true — same rows, same order, same errors. ScanEager
+// decodes every window fully and runs the caller's full bound filter,
+// the direct analogue of the row path.
+
+import (
+	"robustqo/internal/colstore"
+	"robustqo/internal/cost"
+	"robustqo/internal/expr"
+	"robustqo/internal/obs"
+	"robustqo/internal/storage"
+)
+
+// ScanMode selects how a SeqScan reads table data.
+type ScanMode int
+
+const (
+	// ScanRows is the default row-storage path.
+	ScanRows ScanMode = iota
+	// ScanEager decodes encoded segments fully, then filters — profitable
+	// when most rows survive and decode beats per-cell Value calls.
+	ScanEager
+	// ScanLate probes encoded data first — zone-map segment skipping plus
+	// encoded-domain predicate evaluation — and materializes only the
+	// surviving rows before the residual filter runs.
+	ScanLate
+)
+
+func (m ScanMode) String() string {
+	switch m {
+	case ScanEager:
+		return "eager"
+	case ScanLate:
+		return "late"
+	default:
+		return "rows"
+	}
+}
+
+// encScanSpec is the cold, shareable half of an encoded scan: the table
+// encoding, compiled probes (immutable, safe across workers), and the
+// unbound residual. Built once at Open / openMorsels.
+type encScanSpec struct {
+	enc    *colstore.TableEncoding
+	mode   ScanMode
+	probes []colstore.Probe
+	// residual is the filter minus the pushed prefix (ScanLate with
+	// probes); each consumer binds its own copy.
+	residual expr.Expr
+	mScanned *obs.Counter
+	mSkipped *obs.Counter
+}
+
+// prepareEncScan resolves a SeqScan's encoded path, returning nil when
+// the scan must stay on the row path: row mode requested, no encodings
+// in the context, the table missing from the set, or the encoding stale
+// (built at a different row count than the table currently has — the
+// silent-fallback staleness guard).
+func prepareEncScan(ctx *Context, t *storage.Table, schema expr.RelSchema, s *SeqScan) *encScanSpec {
+	if s.Mode == ScanRows || ctx.Encodings == nil {
+		return nil
+	}
+	enc, ok := ctx.Encodings.For(s.Table)
+	if !ok || enc.Rows() != t.NumRows() {
+		return nil
+	}
+	spec := &encScanSpec{enc: enc, mode: s.Mode, residual: s.Filter}
+	if s.Mode == ScanLate {
+		bounds, residual := expr.SplitPushdown(s.Filter, schema)
+		probes := make([]colstore.Probe, 0, len(bounds))
+		for _, b := range bounds {
+			pr, ok := enc.CompileProbe(colstore.Pred{
+				Col: b.Col, Lo: b.Lo, Hi: b.Hi,
+				StrLo: b.StrLo, StrHi: b.StrHi,
+				HasStrLo: b.HasStrLo, HasStrHi: b.HasStrHi,
+				IsStr: b.IsStr,
+			})
+			if !ok {
+				// A bound the encoding cannot probe (defensive; SplitPushdown
+				// and the encoder agree on kinds): keep the full filter.
+				probes = nil
+				break
+			}
+			probes = append(probes, pr)
+		}
+		if len(probes) > 0 {
+			spec.probes, spec.residual = probes, residual
+		}
+	}
+	if ctx.Metrics != nil {
+		spec.mScanned = ctx.Metrics.Counter("robustqo_columnar_segments_scanned_total")
+		spec.mSkipped = ctx.Metrics.Counter("robustqo_columnar_segments_skipped_total")
+	}
+	return spec
+}
+
+// late reports whether the spec runs the probe + late-materialize path.
+func (spec *encScanSpec) late() bool {
+	return spec.mode == ScanLate && len(spec.probes) > 0
+}
+
+// encScan is one consumer's mutable scan state over a shared spec: the
+// bound residual plus selection-vector scratch. One per serial operator
+// or per morsel worker — never shared.
+type encScan struct {
+	spec     *encScanSpec
+	residual *expr.Bound
+	sel      []int
+	sel2     []int
+	lastSeg  int
+	segSkip  bool
+}
+
+// newState binds the residual for one consumer.
+func (spec *encScanSpec) newState(schema expr.RelSchema) (*encScan, error) {
+	e := &encScan{spec: spec, lastSeg: -1}
+	if spec.late() {
+		b, err := bindFilter(spec.residual, schema)
+		if err != nil {
+			return nil, err
+		}
+		e.residual = b
+	}
+	return e, nil
+}
+
+// window processes one row window [next, end): charges the row path's
+// exact page and tuple counters, skips or probes encoded segments,
+// materializes survivors into out, and applies the residual (ScanLate)
+// or the caller's full bound filter (ScanEager). out holds the surviving
+// rows on return.
+//
+//qo:hotpath
+func (e *encScan) window(out *Batch, full *expr.Bound, next, end int, counters *cost.Counters) error {
+	spec := e.spec
+	enc := spec.enc
+	out.Reset()
+	// Identical charge arithmetic to the row path's window: pages whose
+	// first tuple falls inside [next, end), and one tuple per row — also
+	// for windows in zone-skipped segments, which a row scan would read.
+	const per = storage.TuplesPerPage
+	counters.SeqPages += int64((end+per-1)/per - (next+per-1)/per)
+	counters.Tuples += int64(end - next)
+	late := spec.late()
+	for lo := next; lo < end; {
+		si := enc.SegIndex(lo)
+		seg := enc.Segment(si)
+		stop := end
+		if seg.Hi < stop {
+			stop = seg.Hi
+		}
+		if si != e.lastSeg {
+			// First window inside this segment: settle the zone-map verdict
+			// once and meter the segment exactly once per consumer.
+			e.lastSeg = si
+			e.segSkip = false
+			if late {
+				for pi := range spec.probes {
+					if spec.probes[pi].SkipSegment(si) {
+						e.segSkip = true
+						break
+					}
+				}
+			}
+			if e.segSkip {
+				if spec.mSkipped != nil {
+					spec.mSkipped.Inc()
+				}
+			} else if spec.mScanned != nil {
+				spec.mScanned.Inc()
+			}
+		}
+		if e.segSkip {
+			lo = stop
+			continue
+		}
+		if late {
+			src := identSel(e.sel, stop-lo)
+			e.sel = src
+			dst := e.sel2
+			for pi := range spec.probes {
+				dst = spec.probes[pi].FilterWindow(si, lo, src, dst[:0])
+				src, dst = dst, src
+				if len(src) == 0 {
+					break
+				}
+			}
+			e.sel, e.sel2 = src, dst
+			if len(src) > 0 {
+				for c := range out.cols {
+					out.cols[c] = enc.AppendColSel(out.cols[c], c, si, lo, src)
+				}
+				out.n += len(src)
+			}
+		} else {
+			for c := range out.cols {
+				out.cols[c] = enc.AppendColRange(out.cols[c], c, lo, stop)
+			}
+			out.n += stop - lo
+		}
+		lo = stop
+	}
+	if out.n == 0 {
+		return nil
+	}
+	pred := full
+	if late {
+		pred = e.residual
+	}
+	e.sel = identSel(e.sel, out.n)
+	keep, err := pred.EvalBatch(out.Cols(), e.sel)
+	if err != nil {
+		return err
+	}
+	out.Gather(keep)
+	return nil
+}

@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 
+	"robustqo/internal/colstore"
 	"robustqo/internal/cost"
 	"robustqo/internal/expr"
 	"robustqo/internal/index"
@@ -35,9 +36,15 @@ type Context struct {
 	Indexes *index.Set
 	Model   cost.Model
 	// Metrics, when non-nil, receives engine-level operational counters
-	// (robustqo_hashjoin_* build pre-sizing outcomes). Nil disables
-	// metering; it never affects results or cost.Counters.
+	// (robustqo_hashjoin_* build pre-sizing outcomes, robustqo_columnar_*
+	// segment skipping). Nil disables metering; it never affects results
+	// or cost.Counters.
 	Metrics *obs.Registry
+	// Encodings, when non-nil, holds compressed columnar segment
+	// encodings that SeqScans with Mode != ScanRows read instead of row
+	// storage. Scans fall back to the row path silently when a table's
+	// encoding is absent or stale.
+	Encodings *colstore.Set
 }
 
 // NewContext builds a Context with the default cost model, constructing

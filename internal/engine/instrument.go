@@ -368,6 +368,12 @@ func ExplainAnalyze(root *Instrumented, opts AnalyzeOptions) string {
 				if est.PartsTotal > 0 {
 					fmt.Fprintf(&b, " partitions: %d/%d", est.PartsScanned, est.PartsTotal)
 				}
+				if est.SegsTotal > 0 {
+					fmt.Fprintf(&b, " segments: %d/%d skipped", est.SegsSkipped, est.SegsTotal)
+					if est.Strategy != "" {
+						fmt.Fprintf(&b, " (%s)", est.Strategy)
+					}
+				}
 				wroteEst = true
 			}
 		}

@@ -125,13 +125,17 @@ func (s *SeqScan) openMorsels(ctx *Context, _ *cost.Counters, _ int) (morselRunn
 	morsels, shards := spanMorselsShards(scanSpans(t, s.Partitions))
 	return &seqMorselRunner{
 		node: s, t: t, schema: schema,
+		spec:    prepareEncScan(ctx, t, schema, s),
 		morsels: morsels, shards: shards,
 	}, nil
 }
 
 type seqMorselRunner struct {
-	node   *SeqScan
-	t      *storage.Table
+	node *SeqScan
+	t    *storage.Table
+	// spec is the shared encoded-scan plan, nil on the row path; each
+	// worker derives its own mutable encScan state from it.
+	spec   *encScanSpec
 	schema expr.RelSchema
 	// morsels are the shard-major (shard, morsel) work units: ascending
 	// row-id windows, each inside one surviving shard. The Exchange's
@@ -159,12 +163,19 @@ func (r *seqMorselRunner) newWorker() (morselWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &seqMorselWorker{r: r, pred: pred, out: getBatch(r.schema)}, nil
+	w := &seqMorselWorker{r: r, pred: pred, out: getBatch(r.schema)}
+	if r.spec != nil {
+		if w.enc, err = r.spec.newState(r.schema); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 type seqMorselWorker struct {
 	r    *seqMorselRunner
 	pred *expr.Bound
+	enc  *encScan
 	out  *Batch
 	sel  []int
 }
@@ -181,6 +192,16 @@ func (w *seqMorselWorker) runMorsel(m int, counters *cost.Counters) ([]value.Row
 	var arena []value.Value
 	for next := lo; next < hi; {
 		end := min(next+BatchSize, hi)
+		if w.enc != nil {
+			// Encoded columnar window — identical counters to the row path.
+			if err := w.enc.window(w.out, w.pred, next, end, counters); err != nil {
+				//qo:alloc-ok error path, cold
+				return nil, fmt.Errorf("engine: SeqScan(%s): %v", w.r.node.Table, err)
+			}
+			rows, arena = appendArenaRows(rows, arena, w.out)
+			next = end
+			continue
+		}
 		w.out.Reset()
 		// Column-wise load of the row window [next, end) — the same
 		// windows, charges, and filter evaluation as seqScanOp.Next.

@@ -21,6 +21,10 @@ type SeqScan struct {
 	// of a partitioned table (the optimizer's pruning pass sets it). nil
 	// scans everything; an empty list scans nothing.
 	Partitions []int
+	// Mode selects the storage path: the default row path, or the eager /
+	// late-materializing encoded columnar paths (see colscan.go). The
+	// optimizer's scan-strategy pass sets it when encodings are present.
+	Mode ScanMode
 }
 
 // Schema implements Node.
@@ -31,10 +35,14 @@ func (s *SeqScan) Schema(ctx *Context) (expr.RelSchema, error) {
 
 // Describe implements Node.
 func (s *SeqScan) Describe() string {
-	if s.Filter == nil {
-		return fmt.Sprintf("SeqScan(%s%s)", s.Table, partsSuffix(s.Partitions))
+	mode := ""
+	if s.Mode != ScanRows {
+		mode = ", columnar=" + s.Mode.String()
 	}
-	return fmt.Sprintf("SeqScan(%s, filter=%s%s)", s.Table, s.Filter, partsSuffix(s.Partitions))
+	if s.Filter == nil {
+		return fmt.Sprintf("SeqScan(%s%s%s)", s.Table, mode, partsSuffix(s.Partitions))
+	}
+	return fmt.Sprintf("SeqScan(%s, filter=%s%s%s)", s.Table, s.Filter, mode, partsSuffix(s.Partitions))
 }
 
 // Execute implements Node.
@@ -53,6 +61,7 @@ type seqScanOp struct {
 	counters *cost.Counters
 	t        *storage.Table
 	pred     *expr.Bound
+	enc      *encScan
 	spans    []rowSpan
 	span     int
 	next     int
@@ -68,6 +77,11 @@ func (o *seqScanOp) Open(ctx *Context, counters *cost.Counters) error {
 	pred, err := bindFilter(o.node.Filter, schema)
 	if err != nil {
 		return err
+	}
+	if spec := prepareEncScan(ctx, t, schema, o.node); spec != nil {
+		if o.enc, err = spec.newState(schema); err != nil {
+			return err
+		}
 	}
 	o.counters, o.t, o.pred = counters, t, pred
 	o.spans = scanSpans(t, o.node.Partitions)
@@ -92,6 +106,18 @@ func (o *seqScanOp) Next() (*Batch, error) {
 		end := o.next + BatchSize
 		if end > s.hi {
 			end = s.hi
+		}
+		if o.enc != nil {
+			// Encoded columnar window: identical counters, filtered batch.
+			if err := o.enc.window(o.out, o.pred, o.next, end, o.counters); err != nil {
+				//qo:alloc-ok error path, cold
+				return nil, fmt.Errorf("engine: SeqScan(%s): %v", o.node.Table, err)
+			}
+			o.next = end
+			if o.out.Len() > 0 {
+				return o.out, nil
+			}
+			continue
 		}
 		o.out.Reset()
 		// Column-wise load of the row window [next, end).

@@ -119,6 +119,47 @@ func hotCacheLookup(entries map[string][]int, key string, params []int) ([]int, 
 	return cached, h != 0
 }
 
+// hotProbeFilter pins the encoded-probe kernel idiom from the columnar
+// scan: unpack bit-packed words inline (shift/mask, spill across word
+// boundaries), reconstruct frame-of-reference values, and append the
+// surviving offsets into a selection vector aliasing pre-sized pooled
+// storage — no closures, no per-window allocation.
+//
+//qo:hotpath
+func hotProbeFilter(words []uint64, width uint, ref, lo, hi int64, sel, out []int) []int {
+	out = out[:0]
+	mask := uint64(1)<<width - 1
+	for _, r := range sel {
+		bit := uint(r) * width
+		w, off := bit>>6, bit&63
+		raw := words[w] >> off
+		if off+width > 64 {
+			raw |= words[w+1] << (64 - off)
+		}
+		if v := ref + int64(raw&mask); v >= lo && v <= hi {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// hotRunIndex pins the RLE run-lookup idiom: a hand-rolled first-end-
+// exceeding-pos binary search — no sort.Search closure on the hot path.
+//
+//qo:hotpath
+func hotRunIndex(runEnds []int32, pos int32) int {
+	lo, hi := 0, len(runEnds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if runEnds[mid] <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // coldAlloc is unannotated: it may allocate freely.
 func coldAlloc(rows []row) []row {
 	var out []row

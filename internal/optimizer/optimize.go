@@ -123,6 +123,10 @@ type planner struct {
 	// filled by computePruning before access-path seeding; tables absent
 	// from the map are unpartitioned.
 	parts map[int]*tableParts
+	// zones is the zone-map verdict per query table index, filled by
+	// computeScanStrategies after pruning; tables absent from the map
+	// have no fresh columnar encoding and stay on the row path.
+	zones map[int]*tableZones
 }
 
 // record captures the optimizer's cardinality belief for a plan node.
@@ -168,6 +172,7 @@ func (o *Optimizer) Optimize(q *Query) (*Plan, error) {
 		}
 	}
 	p.computePruning()
+	p.computeScanStrategies()
 	best := make(map[uint32][]candidate)
 	if err := p.seedAccessPaths(best); err != nil {
 		return nil, err
@@ -398,13 +403,15 @@ func (p *planner) estOf(mask uint32, pred expr.Expr) (selEntry, error) {
 		sp.SetAttr("pred", fmt.Sprint(pred))
 	}
 	// Pruning tightens the observation before the quantile is taken: the
-	// estimator sums pseudo-counts over the surviving shards only. The
-	// shard list is a function of the mask's root (fixed per query), so
-	// the cache key needs no extension.
+	// estimator sums pseudo-counts over the surviving shards only, and
+	// zone-map evidence conditions the posterior on an exact selectivity
+	// ceiling. Both the shard list and the ceiling are functions of the
+	// mask's root (fixed per query), so the cache key needs no extension.
 	est, err := p.opt.Est.Estimate(core.Request{
-		Tables:     p.a.tablesOf(mask),
-		Pred:       pred,
-		Partitions: p.partsForMask(mask),
+		Tables:         p.a.tablesOf(mask),
+		Pred:           pred,
+		Partitions:     p.partsForMask(mask),
+		MaxSelectivity: p.maxSelForMask(mask),
 	})
 	if err != nil {
 		return selEntry{}, err

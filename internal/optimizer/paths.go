@@ -35,8 +35,25 @@ func (p *planner) accessPaths(i int) ([]candidate, error) {
 	}
 
 	fullPred := p.a.predOnly(i)
+	seq := &engine.SeqScan{Table: tName, Filter: fullPred, Partitions: p.scanParts(i)}
+	// Scan strategy: when a fresh columnar encoding exists, pick eager or
+	// late materialization from the posterior selectivity and the zone
+	// evidence. The simulated cost is unchanged by design — encoded scans
+	// are counter transparent — so the mode never distorts plan choice;
+	// it only changes the wall-clock of the plan the cost model picked.
+	selFrac := 1.0
+	if rows > 0 {
+		selFrac = outRows / rows
+	}
+	if mc := p.scanMode(i, selFrac); mc.Encoded {
+		if mc.Late {
+			seq.Mode = engine.ScanLate
+		} else {
+			seq.Mode = engine.ScanEager
+		}
+	}
 	cands := []candidate{{
-		node:    &engine.SeqScan{Table: tName, Filter: fullPred, Partitions: p.scanParts(i)},
+		node:    seq,
 		cost:    pages*m.SeqPage + rows*m.Tuple,
 		rows:    outRows,
 		ordered: ordered,

@@ -141,7 +141,9 @@ func (p *planner) scanParts(i int) []int {
 }
 
 // recordScan is record plus the partition arithmetic for scans of
-// partitioned tables, surfaced in EXPLAIN ANALYZE as "partitions: k/n".
+// partitioned tables ("partitions: k/n" in EXPLAIN ANALYZE) and, for
+// encoded sequential scans, the zone-map arithmetic ("segments: k/n
+// skipped") with the chosen materialization strategy.
 func (p *planner) recordScan(n engine.Node, rows float64, i int) {
 	s := p.snap
 	s.Rows = rows
@@ -149,6 +151,13 @@ func (p *planner) recordScan(n engine.Node, rows float64, i int) {
 	if tp := p.parts[i]; tp != nil {
 		s.PartsScanned = len(tp.parts)
 		s.PartsTotal = tp.total
+	}
+	if seq, ok := n.(*engine.SeqScan); ok && seq.Mode != engine.ScanRows {
+		if tz := p.zones[i]; tz != nil {
+			s.SegsSkipped = tz.skipped
+			s.SegsTotal = tz.total
+		}
+		s.Strategy = seq.Mode.String()
 	}
 	p.estimates[n] = s
 }

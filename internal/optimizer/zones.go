@@ -1,0 +1,160 @@
+package optimizer
+
+import (
+	"robustqo/internal/colstore"
+	"robustqo/internal/expr"
+)
+
+// Zone-map scan strategy is a planner pre-pass layered on partition
+// pruning: for each query table with a fresh columnar encoding, the
+// pushable prefix of its single-table predicate is compiled into encoded
+// probes and tested against every segment zone map in the surviving
+// shards. The pass yields three things downstream consumers share:
+//
+//   - an exact selectivity upper bound (the unskippable row fraction)
+//     that rides the estimator request as MaxSelectivity, tightening the
+//     posterior before its T-quantile is taken — the same principled
+//     move as dropping pruned shards' samples;
+//   - the eager-vs-late materialization choice per sequential scan,
+//     driven by the posterior selectivity and the skip evidence;
+//   - the "segments: k/n skipped" arithmetic EXPLAIN ANALYZE reports.
+
+// lateMaterializationThreshold is the estimated-selectivity knee below
+// which late materialization wins: few enough survivors that probing
+// encoded data and materializing only survivors beats full decode.
+const lateMaterializationThreshold = 0.25
+
+// tableZones is the zone-map verdict for one query table whose encoding
+// is present and fresh.
+type tableZones struct {
+	skipped  int     // segments provably empty under the pushed bounds
+	total    int     // segments in the surviving shards
+	maxSel   float64 // unskippable row fraction of the pruned physical rows
+	pushable bool    // a pushable predicate prefix exists
+}
+
+// computeScanStrategies fills p.zones after computePruning; tables
+// without a fresh encoding are simply absent and keep the row path.
+func (p *planner) computeScanStrategies() {
+	encs := p.opt.Ctx.Encodings
+	if encs == nil {
+		return
+	}
+	for i, name := range p.a.tables {
+		t, ok := p.opt.Ctx.DB.Table(name)
+		if !ok {
+			continue
+		}
+		enc, ok := encs.For(name)
+		if !ok || enc.Rows() != t.NumRows() {
+			continue // stale encoding: execution would fall back anyway
+		}
+		tz := &tableZones{maxSel: 1}
+		bounds, _ := expr.SplitPushdown(p.a.predOnly(i), expr.SchemaForTable(t.Schema()))
+		probes := make([]colstore.Probe, 0, len(bounds))
+		for _, b := range bounds {
+			pr, ok := enc.CompileProbe(colstore.Pred{
+				Col: b.Col, Lo: b.Lo, Hi: b.Hi,
+				StrLo: b.StrLo, StrHi: b.StrHi,
+				HasStrLo: b.HasStrLo, HasStrHi: b.HasStrHi,
+				IsStr: b.IsStr,
+			})
+			if !ok {
+				probes = probes[:0]
+				break
+			}
+			probes = append(probes, pr)
+		}
+		tz.pushable = len(probes) > 0
+		// Shards surviving partition pruning; nil means all of them.
+		var inShard []bool
+		if tp := p.parts[i]; tp != nil && tp.strict {
+			inShard = make([]bool, t.Partitions())
+			for _, s := range tp.parts {
+				inShard[s] = true
+			}
+		}
+		physRows, liveRows := 0, 0
+		for si := 0; si < enc.NumSegments(); si++ {
+			seg := enc.Segment(si)
+			if inShard != nil && (seg.Shard >= len(inShard) || !inShard[seg.Shard]) {
+				continue
+			}
+			tz.total++
+			physRows += seg.Rows()
+			skip := false
+			for pi := range probes {
+				if probes[pi].SkipSegment(si) {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				tz.skipped++
+			} else {
+				liveRows += seg.Rows()
+			}
+		}
+		if physRows > 0 && tz.skipped > 0 {
+			tz.maxSel = float64(liveRows) / float64(physRows)
+			if tz.maxSel <= 0 {
+				// Every segment skipped: keep the bound positive so the
+				// conditioned posterior stays proper.
+				tz.maxSel = 1e-9
+			}
+		}
+		if p.zones == nil {
+			p.zones = make(map[int]*tableZones)
+		}
+		p.zones[i] = tz
+	}
+}
+
+// maxSelForMask returns the zone-map selectivity bound the estimator
+// should condition on for the masked subexpression: the root table's
+// unskippable fraction, or 0 (no bound) when zone maps eliminated
+// nothing. Like partsForMask, only the FK root's evidence applies — the
+// synopsis population is rooted there — and the bound is fixed per root
+// per query, so estOf's cache key needs no extension.
+func (p *planner) maxSelForMask(mask uint32) float64 {
+	if len(p.zones) == 0 {
+		return 0
+	}
+	root, err := p.opt.Ctx.DB.Catalog.RootOf(p.a.tablesOf(mask))
+	if err != nil {
+		return 0
+	}
+	for i, name := range p.a.tables {
+		if name == root {
+			if tz, ok := p.zones[i]; ok && tz.skipped > 0 && tz.maxSel < 1 {
+				return tz.maxSel
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// scanMode picks the sequential scan's materialization strategy for
+// table i. selFrac is the estimated fraction of the scanned physical
+// rows the full predicate keeps.
+func (p *planner) scanMode(i int, selFrac float64) ScanModeChoice {
+	tz := p.zones[i]
+	if tz == nil {
+		return ScanModeChoice{}
+	}
+	c := ScanModeChoice{Encoded: true, SegsSkipped: tz.skipped, SegsTotal: tz.total}
+	if tz.pushable && (selFrac <= lateMaterializationThreshold || tz.skipped > 0) {
+		c.Late = true
+	}
+	return c
+}
+
+// ScanModeChoice is the zone pass's per-scan verdict, consumed when the
+// SeqScan candidate is built and recorded.
+type ScanModeChoice struct {
+	Encoded     bool
+	Late        bool
+	SegsSkipped int
+	SegsTotal   int
+}

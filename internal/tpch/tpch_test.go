@@ -52,6 +52,35 @@ func TestGenerateIntegrity(t *testing.T) {
 	}
 }
 
+// TestGenerateClusteredDates: ClusterDates preserves every integrity
+// property (same marginal distribution, receipt-trails-ship invariant,
+// referential integrity) while laying rows out in ship-date order.
+func TestGenerateClusteredDates(t *testing.T) {
+	db, err := Generate(Config{Lines: 5000, Seed: 1, ClusterDates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("referential integrity: %v", err)
+	}
+	li := testkit.Table(db, "lineitem")
+	shipIdx := li.Schema().ColumnIndex("l_shipdate")
+	rcptIdx := li.Schema().ColumnIndex("l_receiptdate")
+	ships := li.Ints(shipIdx)
+	rcpts := li.Ints(rcptIdx)
+	for i := range ships {
+		if i > 0 && ships[i] < ships[i-1] {
+			t.Fatalf("row %d: ship date %d precedes row %d's %d", i, ships[i], i-1, ships[i-1])
+		}
+		if d := rcpts[i] - ships[i]; d < 1 || d > MaxReceiptDelay {
+			t.Fatalf("row %d: receipt delay %d", i, d)
+		}
+	}
+	if ships[0] < ShipDateLo || ships[len(ships)-1] >= ShipDateHi {
+		t.Errorf("ship dates [%d, %d] outside the generation window", ships[0], ships[len(ships)-1])
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	a, err := Generate(Config{Lines: 500, Seed: 7})
 	if err != nil {
